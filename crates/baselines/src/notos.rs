@@ -1,0 +1,344 @@
+//! A Notos-style dynamic domain-reputation system (Antonakakis et al.,
+//! USENIX Security 2010), reimplemented as the paper's comparison baseline.
+//!
+//! Notos assigns reputation scores from *global* evidence about a domain:
+//! its historical domain-to-IP mappings, the abuse history of the networks
+//! it resolves into, and lexical properties of the name itself. It never
+//! sees which local machines query the domain. Two behaviors matter for
+//! the comparison in the paper's Section V:
+//!
+//! 1. **Reject option** — a domain without enough passive-DNS history
+//!    cannot be scored; Notos abstains. New malware-control domains are
+//!    exactly the domains with thin history, which caps Notos's achievable
+//!    TP rate (Fig. 12a never reaches 100%).
+//! 2. **Reputation false positives** — benign domains hosted in
+//!    previously-abused networks ("dirty" hosting) inherit low reputation
+//!    (Table IV), so pushing the threshold far enough to catch new control
+//!    domains costs a high FP rate.
+
+use segugio_ml::{Classifier, Dataset, ForestConfig, RandomForest};
+use segugio_model::{Blacklist, Day, DomainId, DomainTable, Whitelist};
+use segugio_pdns::{AbuseIndex, PassiveDns};
+
+/// Number of Notos features.
+pub const NOTOS_FEATURE_COUNT: usize = 10;
+
+/// Configuration for [`Notos::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotosConfig {
+    /// Passive-DNS lookback window in days.
+    pub history_days: u32,
+    /// Size of the popular-domain whitelist used for training (the paper's
+    /// comparison used the top-100K Alexa domains).
+    pub whitelist_top_n: usize,
+    /// Minimum number of pDNS records for a domain to be scoreable; below
+    /// this the model *rejects* (returns `None`).
+    pub min_history_records: usize,
+    /// Minimum age, in days, of the domain's earliest pDNS record for a
+    /// reputation to exist. Freshly activated domains have no accumulated
+    /// evidence and are rejected — the paper's explanation for why "Notos
+    /// is not able to detect all malware-control domains even at the
+    /// highest FP rates".
+    pub min_history_age_days: u32,
+    /// Forest hyperparameters.
+    pub forest: ForestConfig,
+}
+
+impl Default for NotosConfig {
+    fn default() -> Self {
+        NotosConfig {
+            history_days: 150,
+            whitelist_top_n: 100_000,
+            min_history_records: 1,
+            min_history_age_days: 10,
+            forest: ForestConfig {
+                n_trees: 60,
+                ..ForestConfig::default()
+            },
+        }
+    }
+}
+
+/// The Notos trainer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Notos;
+
+/// A trained Notos-style reputation model.
+#[derive(Debug, Clone)]
+pub struct NotosModel {
+    forest: RandomForest,
+    config: NotosConfig,
+}
+
+impl Notos {
+    /// Measures the Notos feature vector for `domain` on `day`, or `None`
+    /// if the domain has insufficient pDNS history (the reject option).
+    pub fn features(
+        domain: DomainId,
+        day: Day,
+        table: &DomainTable,
+        pdns: &PassiveDns,
+        abuse: &AbuseIndex,
+        config: &NotosConfig,
+    ) -> Option<[f32; NOTOS_FEATURE_COUNT]> {
+        let window = day.lookback_exclusive(config.history_days);
+        let ips = pdns.resolved_ips(domain, window);
+        if ips.len() < config.min_history_records {
+            return None;
+        }
+        // Reject option: reputations need accumulated evidence.
+        let age_ok = pdns
+            .first_seen_in(domain, window)
+            .is_some_and(|first| day.days_since(first) >= config.min_history_age_days);
+        if !age_ok {
+            return None;
+        }
+
+        let name = table.name(domain);
+        let s = name.as_str();
+        let digits = s.bytes().filter(|b| b.is_ascii_digit()).count();
+        let e2ld = name.e2ld();
+
+        let mut prefixes: Vec<_> = ips.iter().map(|ip| ip.prefix24()).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+
+        let mal_ips = ips.iter().filter(|&&ip| abuse.is_malware_ip(ip)).count();
+        let mal_pfx = prefixes
+            .iter()
+            .filter(|&&p| abuse.is_malware_prefix(p))
+            .count();
+        let unk_ips = ips
+            .iter()
+            .filter(|&&ip| abuse.unknown_domains_on_ip(ip) > 0)
+            .count();
+
+        Some([
+            s.len() as f32,
+            digits as f32 / s.len() as f32,
+            name.label_count() as f32,
+            e2ld.as_str().len() as f32,
+            ips.len() as f32,
+            prefixes.len() as f32,
+            mal_ips as f32 / ips.len() as f32,
+            mal_pfx as f32 / prefixes.len() as f32,
+            unk_ips as f32,
+            if s.bytes().any(|b| b == b'-') { 1.0 } else { 0.0 },
+        ])
+    }
+
+    /// Trains the reputation model from the blacklist (malicious) and the
+    /// top-N whitelist's observed FQDs (benign), using evidence up to `day`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scoreable training domains exist for either class.
+    pub fn train(
+        day: Day,
+        table: &DomainTable,
+        pdns: &PassiveDns,
+        blacklist: &Blacklist,
+        whitelist: &Whitelist,
+        config: &NotosConfig,
+    ) -> NotosModel {
+        let window = day.lookback_exclusive(config.history_days);
+        let abuse = AbuseIndex::build(pdns, window, |d| {
+            if blacklist.contains_as_of(d, day) {
+                segugio_model::Label::Malware
+            } else {
+                segugio_model::Label::Unknown
+            }
+        });
+        let top = whitelist.top_n(config.whitelist_top_n);
+
+        let mut data = Dataset::new(NOTOS_FEATURE_COUNT);
+        // Malicious rows: blacklisted domains known by `day`.
+        for (d, added) in blacklist.iter() {
+            if added > day {
+                continue;
+            }
+            if let Some(f) = Self::features(d, day, table, pdns, &abuse, config) {
+                data.push(&f, true);
+            }
+        }
+        // Benign rows: every interned FQD whose e2LD is in the top-N
+        // whitelist and that has history.
+        for d in table.ids() {
+            if blacklist.contains(d) || !top.contains(table.e2ld_of(d)) {
+                continue;
+            }
+            if let Some(f) = Self::features(d, day, table, pdns, &abuse, config) {
+                data.push(&f, false);
+            }
+        }
+        assert!(data.positive_count() > 0, "no scoreable blacklist domains");
+        assert!(data.negative_count() > 0, "no scoreable whitelist domains");
+
+        NotosModel {
+            forest: RandomForest::fit(&data, &config.forest),
+            config: config.clone(),
+        }
+    }
+}
+
+impl NotosModel {
+    /// Scores `domain` on `day`; `None` means the model rejects (not enough
+    /// history to build a reputation).
+    pub fn score(
+        &self,
+        domain: DomainId,
+        day: Day,
+        table: &DomainTable,
+        pdns: &PassiveDns,
+        abuse: &AbuseIndex,
+    ) -> Option<f32> {
+        Notos::features(domain, day, table, pdns, abuse, &self.config)
+            .map(|f| self.forest.score(&f))
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &NotosConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segugio_model::{DayWindow, DomainName, Ipv4, Label};
+
+    fn build_world() -> (DomainTable, PassiveDns, Blacklist, Whitelist) {
+        let mut table = DomainTable::new();
+        let mut pdns = PassiveDns::new();
+        let mut blacklist = Blacklist::new();
+        let mut whitelist = Whitelist::new();
+
+        // 20 benign domains with long, clean history.
+        for i in 0..20 {
+            let d = table.intern(&DomainName::parse(&format!("benign{i}.example")).unwrap());
+            whitelist.insert(table.e2ld_of(d));
+            for day in 0..30 {
+                pdns.record(d, Ipv4::from_octets(10, 0, i as u8, 1), Day(day));
+            }
+        }
+        // 10 blacklisted domains in a shared dirty prefix.
+        for i in 0..10 {
+            let d = table
+                .intern(&DomainName::parse(&format!("x{i}z9qkpw3.example")).unwrap());
+            blacklist.insert(d, Day(1));
+            for day in 0..30 {
+                pdns.record(d, Ipv4::from_octets(45, 0, 0, i as u8), Day(day));
+            }
+        }
+        (table, pdns, blacklist, whitelist)
+    }
+
+    #[test]
+    fn trains_and_separates() {
+        let (table, pdns, blacklist, whitelist) = build_world();
+        let model = Notos::train(
+            Day(30),
+            &table,
+            &pdns,
+            &blacklist,
+            &whitelist,
+            &NotosConfig::default(),
+        );
+        let window = Day(30).lookback_exclusive(150);
+        let abuse = AbuseIndex::build(&pdns, window, |d| {
+            if blacklist.contains(d) {
+                Label::Malware
+            } else {
+                Label::Unknown
+            }
+        });
+        // A *new* malicious domain in the dirty prefix gets a high score.
+        let mut table2 = table.clone();
+        let mut pdns2 = pdns.clone();
+        let fresh = table2
+            .intern(&DomainName::parse("q8k2n5m1.example").unwrap());
+        // Old enough to have a reputation (the reject option needs
+        // min_history_age_days of evidence), but in the dirty prefix.
+        for day in 15..30 {
+            pdns2.record(fresh, Ipv4::from_octets(45, 0, 0, 200), Day(day));
+        }
+        let s_fresh = model
+            .score(fresh, Day(30), &table2, &pdns2, &abuse)
+            .expect("has history");
+        let s_benign = model
+            .score(DomainId(0), Day(30), &table, &pdns, &abuse)
+            .expect("has history");
+        assert!(
+            s_fresh > s_benign,
+            "dirty-prefix domain {s_fresh} vs clean benign {s_benign}"
+        );
+    }
+
+    #[test]
+    fn rejects_too_young_histories() {
+        let (table, pdns, blacklist, whitelist) = build_world();
+        let model = Notos::train(
+            Day(30),
+            &table,
+            &pdns,
+            &blacklist,
+            &whitelist,
+            &NotosConfig::default(),
+        );
+        let mut table2 = table.clone();
+        let mut pdns2 = pdns.clone();
+        let young = table2.intern(&DomainName::parse("brandnew.example").unwrap());
+        pdns2.record(young, Ipv4::from_octets(45, 0, 0, 201), Day(29));
+        let abuse = AbuseIndex::build(&pdns2, DayWindow::new(Day(0), Day(30)), |_| Label::Unknown);
+        assert_eq!(
+            model.score(young, Day(30), &table2, &pdns2, &abuse),
+            None,
+            "one-day-old history ⇒ reject"
+        );
+    }
+
+    #[test]
+    fn rejects_domains_without_history() {
+        let (table, pdns, blacklist, whitelist) = build_world();
+        let model = Notos::train(
+            Day(30),
+            &table,
+            &pdns,
+            &blacklist,
+            &whitelist,
+            &NotosConfig::default(),
+        );
+        let mut table2 = table.clone();
+        let unseen = table2.intern(&DomainName::parse("neverseen.example").unwrap());
+        let abuse = AbuseIndex::build(&pdns, DayWindow::new(Day(0), Day(30)), |_| Label::Unknown);
+        assert_eq!(
+            model.score(unseen, Day(30), &table2, &pdns, &abuse),
+            None,
+            "no pDNS history ⇒ reject"
+        );
+    }
+
+    #[test]
+    fn feature_vector_shape() {
+        let (table, pdns, blacklist, _) = build_world();
+        let abuse = AbuseIndex::build(&pdns, DayWindow::new(Day(0), Day(30)), |d| {
+            if blacklist.contains(d) {
+                Label::Malware
+            } else {
+                Label::Unknown
+            }
+        });
+        let f = Notos::features(
+            DomainId(0),
+            Day(30),
+            &table,
+            &pdns,
+            &abuse,
+            &NotosConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(f.len(), NOTOS_FEATURE_COUNT);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert!(f[4] >= 1.0, "has at least one IP");
+    }
+}

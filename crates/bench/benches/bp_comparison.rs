@@ -1,0 +1,38 @@
+//! E13: regenerates the Section I loopy-BP pilot comparison and benchmarks
+//! BP inference against Segugio's classification pass on the same graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_baselines::{BeliefConfig, BeliefPropagation};
+use segugio_bench::{bench_scale, kernel_scale};
+use segugio_core::Segugio;
+use segugio_eval::experiments::bp_comparison;
+use segugio_eval::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let report = bp_comparison::run(&scale);
+    println!("\n{report}\n");
+
+    let small = kernel_scale();
+    let w = small.warmup;
+    let scenario = Scenario::run(small.isp1.clone(), w, &[w]);
+    let snap = scenario.snapshot_commercial(w, &small.config);
+    let activity = scenario.isp().activity();
+
+    let bp = BeliefPropagation::new(BeliefConfig::default());
+    c.bench_function("bp/loopy_bp_inference", |b| {
+        b.iter(|| bp.score_unknown(&snap.graph))
+    });
+
+    let model = Segugio::train(&snap, activity, &small.config);
+    c.bench_function("bp/segugio_classification", |b| {
+        b.iter(|| model.score_unknown(&snap, activity))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

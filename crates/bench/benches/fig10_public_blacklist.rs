@@ -1,0 +1,29 @@
+//! E8–E9: regenerates Fig. 10 (public-blacklist-only labeling) and the
+//! Section IV-E cross-blacklist test, and benchmarks relabeling a day's
+//! graph under a different blacklist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_bench::{bench_scale, kernel_scale};
+use segugio_eval::experiments::public_blacklist;
+use segugio_eval::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let report = public_blacklist::run(&scale);
+    println!("\n{report}\n");
+
+    let small = kernel_scale();
+    let w = small.warmup;
+    let scenario = Scenario::run(small.isp2.clone(), w, &[w]);
+    let public = scenario.isp().public_blacklist().clone();
+    c.bench_function("fig10/snapshot_with_public_labels", |b| {
+        b.iter(|| scenario.snapshot(w, &small.config, &public, None))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E12: regenerates Fig. 12 and Table IV (Notos comparison) and benchmarks
+//! Notos training, the heavier of the two reputation pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_baselines::{Notos, NotosConfig};
+use segugio_bench::{bench_scale, kernel_scale};
+use segugio_eval::experiments::notos_comparison;
+use segugio_eval::Scenario;
+use segugio_model::Day;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    // The paper used a 24-day training/test gap.
+    let report = notos_comparison::run(&scale, 24);
+    println!("\n{report}\n");
+
+    let small = kernel_scale();
+    let w = small.warmup;
+    let scenario = Scenario::run(small.isp1.clone(), w, &[w]);
+    let isp = scenario.isp();
+    let cfg = NotosConfig::default();
+    c.bench_function("fig12/train_notos", |b| {
+        b.iter(|| {
+            Notos::train(
+                Day(w),
+                isp.table(),
+                isp.pdns(),
+                isp.commercial_blacklist(),
+                isp.whitelist(),
+                &cfg,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E4: regenerates Table II and Fig. 6 (cross-day / cross-network ROC) and
+//! benchmarks the end-to-end train-then-classify pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_bench::bench_scale;
+use segugio_core::Segugio;
+use segugio_eval::experiments::crossday;
+use segugio_eval::protocol::select_test_split;
+use segugio_eval::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let report = crossday::run(&scale);
+    println!("\n{report}\n");
+
+    // Kernels on a single ISP1 pair.
+    let w = scale.warmup;
+    let scenario = Scenario::run(scale.isp1.clone(), w, &[w, w + 13]);
+    let bl = scenario.isp().commercial_blacklist().clone();
+    let split = select_test_split(&scenario, w + 13, &bl, 0.5, 0.5, 1);
+    let hidden = split.hidden();
+    let train_snap = scenario.snapshot(w, &scale.config, &bl, Some(&hidden));
+    let test_snap = scenario.snapshot(w + 13, &scale.config, &bl, Some(&hidden));
+    let activity = scenario.isp().activity();
+
+    c.bench_function("fig6/train_classifier", |b| {
+        b.iter(|| Segugio::train(&train_snap, activity, &scale.config))
+    });
+    let model = Segugio::train(&train_snap, activity, &scale.config);
+    c.bench_function("fig6/classify_all_unknown", |b| {
+        b.iter(|| model.score_unknown(&test_snap, activity))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E5: regenerates Fig. 7 (feature-group ablation) and benchmarks feature
+//! measurement, the per-domain kernel whose cost the ablation changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_bench::bench_scale;
+use segugio_core::{FeatureConfig, FeatureExtractor};
+use segugio_eval::experiments::ablation;
+use segugio_eval::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let report = ablation::run(&scale);
+    println!("\n{report}\n");
+
+    let w = scale.warmup;
+    let scenario = Scenario::run(scale.isp1.clone(), w, &[w]);
+    let snap = scenario.snapshot_commercial(w, &scale.config);
+    let extractor = FeatureExtractor::new(
+        &snap.graph,
+        scenario.isp().activity(),
+        &snap.abuse,
+        FeatureConfig::default(),
+    );
+    c.bench_function("fig7/measure_all_domain_features", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for d in snap.graph.domain_indices() {
+                acc += extractor.measure(d)[0];
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E6: regenerates Fig. 8 (cross-malware-family detection) and benchmarks
+//! the per-fold train/test cycle that family-held-out validation repeats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_bench::{bench_scale, kernel_scale};
+use segugio_eval::experiments::crossfamily;
+use segugio_eval::protocol::{select_test_split, train_and_eval};
+use segugio_eval::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let report = crossfamily::run(&scale, 5);
+    println!("\n{report}\n");
+
+    // Kernel: one fold cycle at reduced scale (Criterion repeats it).
+    let small = kernel_scale();
+    let w = small.warmup;
+    let scenario = Scenario::run(small.isp1.clone(), w, &[w]);
+    let bl = scenario.isp().commercial_blacklist().clone();
+    let split = select_test_split(&scenario, w, &bl, 0.3, 0.3, 5);
+    c.bench_function("fig8/single_fold_train_eval", |b| {
+        b.iter(|| train_and_eval(&scenario, w, &scenario, w, &split, &small.config, &bl, &bl))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

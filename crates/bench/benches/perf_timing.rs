@@ -1,0 +1,45 @@
+//! E11: regenerates the Section IV-G performance table and benchmarks the
+//! pipeline phases across network scales (throughput ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segugio_bench::bench_scale;
+use segugio_core::Segugio;
+use segugio_eval::experiments::performance;
+use segugio_eval::Scenario;
+use segugio_traffic::IspConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let report = performance::run(&scale, 4);
+    println!("\n{report}\n");
+
+    // Scale sweep: how the learning and classification phases grow with the
+    // machine population.
+    let mut group = c.benchmark_group("perf/scale_sweep");
+    group.sample_size(10);
+    for machines in [2_000usize, 5_000, 10_000] {
+        let cfg = IspConfig {
+            name: format!("sweep-{machines}"),
+            machines,
+            ..IspConfig::small(77)
+        };
+        let scenario = Scenario::run(cfg, 20, &[20]);
+        let snap = scenario.snapshot_commercial(20, &scale.config);
+        let activity = scenario.isp().activity();
+        group.bench_with_input(BenchmarkId::new("train", machines), &machines, |b, _| {
+            b.iter(|| Segugio::train(&snap, activity, &scale.config))
+        });
+        let model = Segugio::train(&snap, activity, &scale.config);
+        group.bench_with_input(BenchmarkId::new("classify", machines), &machines, |b, _| {
+            b.iter(|| model.score_unknown(&snap, activity))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

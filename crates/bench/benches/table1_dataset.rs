@@ -1,0 +1,40 @@
+//! E1–E3: regenerates Table I, Fig. 3 and the Section III pruning
+//! statistics, then benchmarks graph construction + pruning — the part of
+//! the learning phase that touches every edge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_bench::bench_scale;
+use segugio_core::SegugioConfig;
+use segugio_eval::experiments::dataset;
+use segugio_eval::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let config = SegugioConfig::default();
+
+    // Regenerate the artifacts: 2 networks x 2 days (the paper used 4 days
+    // per network; two keep the bench turnaround reasonable while producing
+    // every reported statistic).
+    let days = [scale.warmup, scale.warmup + 5];
+    let report = dataset::run(
+        &[scale.isp1.clone(), scale.isp2.clone()],
+        scale.warmup,
+        &days,
+        &config,
+    );
+    println!("\n{report}\n");
+
+    // Kernel: one day's snapshot (graph build + label + prune + abuse
+    // index) at ISP1 scale.
+    let scenario = Scenario::run(scale.isp1.clone(), scale.warmup, &[scale.warmup]);
+    c.bench_function("table1/snapshot_build_isp1_day", |b| {
+        b.iter(|| scenario.snapshot_commercial(scale.warmup, &config))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

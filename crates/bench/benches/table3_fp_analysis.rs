@@ -1,0 +1,30 @@
+//! E7: regenerates Table III (false-positive breakdown) and benchmarks the
+//! threshold-selection + FP-dissection pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_bench::{bench_scale, kernel_scale};
+use segugio_eval::experiments::fp_analysis;
+use segugio_eval::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    // The paper's operating point: at most 0.05% FPs.
+    let report = fp_analysis::run(&scale, 0.0005);
+    println!("\n{report}\n");
+
+    let small = kernel_scale();
+    let w = small.warmup;
+    let scenario = Scenario::run(small.isp1.clone(), w, &[w, w + 13]);
+    c.bench_function("table3/analyze_case", |b| {
+        b.iter(|| {
+            fp_analysis::analyze_case("bench", &scenario, w, &scenario, w + 13, &small, 0.002)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Shared setup for the table/figure benchmarks.
+//!
+//! Every bench target regenerates one artifact of the paper's evaluation
+//! (printed to stdout before sampling begins) and then times the
+//! computational kernel behind it with Criterion. Absolute numbers live in
+//! `EXPERIMENTS.md`; run `cargo bench --workspace` to refresh them.
+
+use segugio_eval::experiments::Scale;
+
+/// The scale benches run at: the `ISP1`/`ISP2` presets (tens of thousands
+/// of machines — the paper's deployments scaled down ~80–130×).
+pub fn bench_scale() -> Scale {
+    Scale::paper()
+}
+
+/// A reduced scale for the kernels sampled many times by Criterion.
+pub fn kernel_scale() -> Scale {
+    Scale::small()
+}

@@ -1,0 +1,73 @@
+//! Top-level Segugio configuration.
+
+use segugio_graph::PruneConfig;
+use segugio_ml::{BoostingConfig, ForestConfig, LogisticConfig};
+
+use crate::features::FeatureConfig;
+
+/// Which statistical classifier backs the model (paper Section II-A3:
+/// "e.g., using Random Forest, Logistic Regression, etc.").
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifierKind {
+    /// Bagged random forest (the default).
+    Forest(ForestConfig),
+    /// L2-regularized logistic regression.
+    Logistic(LogisticConfig),
+    /// Gradient-boosted trees (logistic loss).
+    Boosting(BoostingConfig),
+}
+
+impl Default for ClassifierKind {
+    fn default() -> Self {
+        ClassifierKind::Forest(ForestConfig::default())
+    }
+}
+
+/// Everything Segugio needs to build snapshots, train and detect.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SegugioConfig {
+    /// Feature-measurement windows.
+    pub features: FeatureConfig,
+    /// Graph-pruning thresholds (R1–R4).
+    pub prune: PruneConfig,
+    /// Classifier backend and hyperparameters.
+    pub classifier: ClassifierKind,
+    /// Feature columns used by the model; `None` means all 11. The
+    /// ablation experiments set this to a group's complement.
+    pub feature_columns: Option<Vec<usize>>,
+    /// When set, machines querying at least this many known malware domains
+    /// are removed before pruning — the Section VI heuristic against
+    /// security scanners that probe blacklisted names. `None` disables the
+    /// filter (the paper's default deployments did not need it).
+    pub probe_filter: Option<u32>,
+}
+
+impl SegugioConfig {
+    /// A configuration that excludes one feature group (the paper's "No
+    /// machine" / "No activity" / "No IP" ablations).
+    pub fn without_group(group: crate::features::FeatureGroup) -> Self {
+        SegugioConfig {
+            feature_columns: Some(group.complement_columns()),
+            ..SegugioConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureGroup;
+
+    #[test]
+    fn default_uses_forest_and_all_features() {
+        let c = SegugioConfig::default();
+        assert!(matches!(c.classifier, ClassifierKind::Forest(_)));
+        assert!(c.feature_columns.is_none());
+    }
+
+    #[test]
+    fn ablation_excludes_group() {
+        let c = SegugioConfig::without_group(FeatureGroup::IpAbuse);
+        assert_eq!(c.feature_columns, Some(vec![0, 1, 2, 3, 4, 5, 6]));
+    }
+}

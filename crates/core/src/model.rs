@@ -1,0 +1,439 @@
+//! The trained model and the detector.
+
+use segugio_ml::{Classifier, GradientBoosting, LogisticRegression, RandomForest, RocCurve};
+use segugio_model::{DomainId, Label, MachineId};
+use segugio_pdns::ActivityStore;
+
+use crate::features::{FeatureConfig, FeatureExtractor, FEATURE_COUNT};
+use crate::snapshot::DaySnapshot;
+
+/// The classifier behind a [`SegugioModel`].
+#[derive(Debug, Clone)]
+pub enum ModelBackend {
+    /// Random forest.
+    Forest(RandomForest),
+    /// Logistic regression.
+    Logistic(LogisticRegression),
+    /// Gradient-boosted trees.
+    Boosting(GradientBoosting),
+}
+
+impl ModelBackend {
+    fn score(&self, features: &[f32]) -> f32 {
+        match self {
+            ModelBackend::Forest(f) => f.score(features),
+            ModelBackend::Logistic(l) => l.score(features),
+            ModelBackend::Boosting(b) => b.score(features),
+        }
+    }
+}
+
+/// A domain scored above (or below) the detection threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// The scored domain.
+    pub domain: DomainId,
+    /// Its malware score in `[0, 1]`.
+    pub score: f32,
+}
+
+/// A trained Segugio classifier: feature projection + scorer.
+///
+/// Models are intentionally self-contained — they carry the feature windows
+/// and column projection they were trained with — so a model trained on one
+/// network can be deployed on another (the paper's cross-network result).
+#[derive(Debug, Clone)]
+pub struct SegugioModel {
+    backend: ModelBackend,
+    columns: Vec<usize>,
+    features: FeatureConfig,
+}
+
+impl SegugioModel {
+    pub(crate) fn new(
+        backend: ModelBackend,
+        columns: Vec<usize>,
+        features: FeatureConfig,
+    ) -> Self {
+        SegugioModel {
+            backend,
+            columns,
+            features,
+        }
+    }
+
+    /// The feature windows the model was trained with.
+    pub fn feature_config(&self) -> FeatureConfig {
+        self.features
+    }
+
+    /// The feature columns the model consumes (out of the full 11).
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Serializes the model to the versioned text persistence format, so a
+    /// model trained on one network can be shipped to another (the paper's
+    /// cross-network deployment).
+    pub fn save_to_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "segugio-model v1");
+        let _ = writeln!(
+            out,
+            "features {} {}",
+            self.features.activity_days, self.features.abuse_window_days
+        );
+        let cols: Vec<String> = self.columns.iter().map(usize::to_string).collect();
+        let _ = writeln!(out, "columns {}", cols.join(" "));
+        match &self.backend {
+            ModelBackend::Forest(f) => f.write_text(&mut out),
+            ModelBackend::Logistic(l) => l.write_text(&mut out),
+            ModelBackend::Boosting(b) => b.write_text(&mut out),
+        }
+        out
+    }
+
+    /// Loads a model saved with [`SegugioModel::save_to_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`segugio_ml::ParseModelError`] on version mismatch or
+    /// malformed content.
+    pub fn load_from_str(text: &str) -> Result<Self, segugio_ml::ParseModelError> {
+        use segugio_ml::ParseModelError;
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseModelError::new("empty model file"))?;
+        if header.trim() != "segugio-model v1" {
+            return Err(ParseModelError::new("unsupported model version header"));
+        }
+        let feat = lines
+            .next()
+            .ok_or_else(|| ParseModelError::new("missing features line"))?;
+        let mut parts = feat.split_whitespace();
+        if parts.next() != Some("features") {
+            return Err(ParseModelError::new("expected `features` line"));
+        }
+        let activity_days: u32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| ParseModelError::new("malformed activity window"))?;
+        let abuse_window_days: u32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| ParseModelError::new("malformed abuse window"))?;
+        let cols_line = lines
+            .next()
+            .ok_or_else(|| ParseModelError::new("missing columns line"))?;
+        let mut parts = cols_line.split_whitespace();
+        if parts.next() != Some("columns") {
+            return Err(ParseModelError::new("expected `columns` line"));
+        }
+        let columns: Vec<usize> = parts
+            .map(|p| {
+                p.parse::<usize>()
+                    .map_err(|_| ParseModelError::new("malformed column index"))
+            })
+            .collect::<Result<_, _>>()?;
+        if columns.is_empty() || columns.iter().any(|&c| c >= FEATURE_COUNT) {
+            return Err(ParseModelError::new("invalid feature columns"));
+        }
+        // Peek the backend header without consuming it.
+        let mut peek = lines.clone();
+        let backend_header = peek
+            .next()
+            .ok_or_else(|| ParseModelError::new("missing backend"))?;
+        let backend = if backend_header.starts_with("forest") {
+            ModelBackend::Forest(segugio_ml::RandomForest::read_text(&mut lines)?)
+        } else if backend_header.starts_with("logistic") {
+            ModelBackend::Logistic(segugio_ml::LogisticRegression::read_text(&mut lines)?)
+        } else if backend_header.starts_with("boosting") {
+            ModelBackend::Boosting(segugio_ml::GradientBoosting::read_text(&mut lines)?)
+        } else {
+            return Err(ParseModelError::new("unknown backend header"));
+        };
+        Ok(SegugioModel {
+            backend,
+            columns,
+            features: FeatureConfig {
+                activity_days,
+                abuse_window_days,
+            },
+        })
+    }
+
+    /// Scores a full 11-feature vector (projection applied internally).
+    pub fn score_features(&self, features: &[f32]) -> f32 {
+        debug_assert_eq!(features.len(), FEATURE_COUNT);
+        if self.columns.len() == FEATURE_COUNT {
+            self.backend.score(features)
+        } else {
+            let projected: Vec<f32> = self.columns.iter().map(|&c| features[c]).collect();
+            self.backend.score(&projected)
+        }
+    }
+
+    /// Measures and scores every *unknown* domain in `snapshot`, returning
+    /// detections sorted by descending score.
+    pub fn score_unknown(
+        &self,
+        snapshot: &DaySnapshot,
+        activity: &ActivityStore,
+    ) -> Vec<Detection> {
+        self.score_where(snapshot, activity, |label| label == Label::Unknown)
+    }
+
+    /// Measures and scores every domain whose label satisfies `pred`.
+    pub fn score_where<F>(
+        &self,
+        snapshot: &DaySnapshot,
+        activity: &ActivityStore,
+        pred: F,
+    ) -> Vec<Detection>
+    where
+        F: Fn(Label) -> bool,
+    {
+        let extractor = FeatureExtractor::new(
+            &snapshot.graph,
+            activity,
+            &snapshot.abuse,
+            self.features,
+        );
+        let mut out: Vec<Detection> = snapshot
+            .graph
+            .domain_indices()
+            .filter(|&d| pred(snapshot.graph.domain_label(d)))
+            .map(|d| Detection {
+                domain: snapshot.graph.domain_id(d),
+                score: self.score_features(&extractor.measure(d)),
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
+        out
+    }
+}
+
+/// A model plus an operating threshold: the deployed detector.
+///
+/// The threshold is typically chosen on training-day scores for a target
+/// false-positive rate via [`RocCurve::threshold_for_fpr`].
+#[derive(Debug, Clone)]
+pub struct Detector {
+    model: SegugioModel,
+    threshold: f32,
+}
+
+impl Detector {
+    /// Wraps a model with a fixed detection threshold.
+    pub fn new(model: SegugioModel, threshold: f32) -> Self {
+        Detector { model, threshold }
+    }
+
+    /// Chooses the threshold from a ROC curve at the target FPR.
+    pub fn with_target_fpr(model: SegugioModel, roc: &RocCurve, target_fpr: f64) -> Self {
+        let threshold = roc.threshold_for_fpr(target_fpr);
+        Detector { model, threshold }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &SegugioModel {
+        &self.model
+    }
+
+    /// The operating threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Scores the unknown domains of `snapshot` and returns those at or
+    /// above the threshold (sorted by descending score).
+    pub fn detect(&self, snapshot: &DaySnapshot, activity: &ActivityStore) -> Vec<Detection> {
+        self.model
+            .score_unknown(snapshot, activity)
+            .into_iter()
+            .filter(|d| d.score >= self.threshold)
+            .collect()
+    }
+
+    /// The machines implied infected by a set of detections: every machine
+    /// that queried at least one detected domain (Section VI: "Segugio can
+    /// detect both malware-control domains and the infected machines that
+    /// query them at the same time").
+    pub fn implied_infections(
+        &self,
+        snapshot: &DaySnapshot,
+        detections: &[Detection],
+    ) -> Vec<MachineId> {
+        let mut machines = Vec::new();
+        for det in detections {
+            if let Some(d) = snapshot.graph.domain_idx(det.domain) {
+                machines.extend(snapshot.graph.machines_of(d).map(|m| snapshot.graph.machine_id(m)));
+            }
+        }
+        machines.sort_unstable();
+        machines.dedup();
+        machines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SegugioConfig;
+    use crate::snapshot::SnapshotInput;
+    use crate::trainer::Segugio;
+    use segugio_model::{Blacklist, Day, DomainName, DomainTable, Ipv4, Whitelist};
+    use segugio_pdns::PassiveDns;
+
+    /// World with a *held-out* malware domain (never blacklisted) queried by
+    /// the infected cluster — the detector should find it.
+    fn fixture() -> (DaySnapshot, ActivityStore, SegugioConfig, DomainId) {
+        let mut table = DomainTable::new();
+        let benign: Vec<DomainId> = (0..8)
+            .map(|i| table.intern(&DomainName::parse(&format!("site{i}.example")).unwrap()))
+            .collect();
+        let known_mal: Vec<DomainId> = (0..2)
+            .map(|i| table.intern(&DomainName::parse(&format!("c2x{i}.example")).unwrap()))
+            .collect();
+        let unknown_mal =
+            table.intern(&DomainName::parse("freshc2.example").unwrap());
+
+        let mut whitelist = Whitelist::new();
+        for &b in &benign {
+            whitelist.insert(table.e2ld_of(b));
+        }
+        let mut blacklist = Blacklist::new();
+        for &m in &known_mal {
+            blacklist.insert(m, Day(0));
+        }
+
+        let mut queries = Vec::new();
+        for machine in 0..40u32 {
+            for &b in &benign {
+                queries.push((MachineId(machine), b));
+            }
+            if machine < 8 {
+                for &m in &known_mal {
+                    queries.push((MachineId(machine), m));
+                }
+                queries.push((MachineId(machine), unknown_mal));
+            }
+        }
+        let mut resolutions = Vec::new();
+        let mut pdns = PassiveDns::new();
+        let mut activity = ActivityStore::new();
+        for (k, &d) in benign.iter().enumerate() {
+            let ip = Ipv4::from_octets(10, 0, 0, k as u8);
+            resolutions.push((d, vec![ip]));
+            for day in 0..15 {
+                pdns.record(d, ip, Day(day));
+                activity.record(d, table.e2ld_of(d), Day(day));
+            }
+        }
+        // Malware lives in a shared abused prefix; the fresh domain is young.
+        for (k, &d) in known_mal.iter().enumerate() {
+            let ip = Ipv4::from_octets(45, 0, 0, k as u8);
+            resolutions.push((d, vec![ip]));
+            for day in 5..15 {
+                pdns.record(d, ip, Day(day));
+                activity.record(d, table.e2ld_of(d), Day(day));
+            }
+        }
+        let fresh_ip = Ipv4::from_octets(45, 0, 0, 200);
+        resolutions.push((unknown_mal, vec![fresh_ip]));
+        for day in 13..15 {
+            pdns.record(unknown_mal, fresh_ip, Day(day));
+            activity.record(unknown_mal, table.e2ld_of(unknown_mal), Day(day));
+        }
+
+        let mut config = SegugioConfig::default();
+        config.prune.min_machine_degree = 2;
+        // Every machine queries every benign domain in this fixture, so the
+        // too-popular rule R4 would empty it; disable R4 here.
+        config.prune.popular_fraction = 2.0;
+        if let crate::config::ClassifierKind::Forest(f) = &mut config.classifier {
+            f.n_trees = 15;
+        }
+        let input = SnapshotInput {
+            day: Day(14),
+            queries: &queries,
+            resolutions: &resolutions,
+            table: &table,
+            pdns: &pdns,
+            blacklist: &blacklist,
+            whitelist: &whitelist,
+            hidden: None,
+        };
+        let snap = Segugio::build_snapshot(&input, &config);
+        (snap, activity, config, unknown_mal)
+    }
+
+    #[test]
+    fn detector_finds_fresh_control_domain() {
+        let (snap, activity, config, unknown_mal) = fixture();
+        let model = Segugio::train(&snap, &activity, &config);
+        let detections = model.score_unknown(&snap, &activity);
+        assert!(!detections.is_empty());
+        // The fresh C&C domain must be the top-scored unknown domain.
+        assert_eq!(detections[0].domain, unknown_mal);
+        assert!(detections[0].score > 0.5);
+    }
+
+    #[test]
+    fn detector_threshold_filters() {
+        let (snap, activity, config, unknown_mal) = fixture();
+        let model = Segugio::train(&snap, &activity, &config);
+        let det = Detector::new(model, 0.5);
+        let hits = det.detect(&snap, &activity);
+        assert!(hits.iter().any(|d| d.domain == unknown_mal));
+        assert!(hits.iter().all(|d| d.score >= 0.5));
+    }
+
+    #[test]
+    fn implied_infections_cover_the_cluster() {
+        let (snap, activity, config, unknown_mal) = fixture();
+        let model = Segugio::train(&snap, &activity, &config);
+        let det = Detector::new(model, 0.5);
+        let hits: Vec<Detection> = det
+            .detect(&snap, &activity)
+            .into_iter()
+            .filter(|d| d.domain == unknown_mal)
+            .collect();
+        let machines = det.implied_infections(&snap, &hits);
+        assert_eq!(machines.len(), 8, "all eight infected machines implied");
+        assert!(machines.iter().all(|m| m.0 < 8));
+    }
+
+    #[test]
+    fn model_persistence_round_trip() {
+        let (snap, activity, config, _) = fixture();
+        let model = Segugio::train(&snap, &activity, &config);
+        let text = model.save_to_string();
+        let loaded = SegugioModel::load_from_str(&text).unwrap();
+        assert_eq!(loaded.columns(), model.columns());
+        assert_eq!(loaded.feature_config(), model.feature_config());
+        // Identical scores on identical inputs.
+        let a = model.score_unknown(&snap, &activity);
+        let b = loaded.score_unknown(&snap, &activity);
+        assert_eq!(a, b);
+        // Rejects garbage.
+        assert!(SegugioModel::load_from_str("").is_err());
+        assert!(SegugioModel::load_from_str("segugio-model v99").is_err());
+        assert!(SegugioModel::load_from_str("segugio-model v1
+features 14 150
+columns 0 1
+bogus").is_err());
+    }
+
+    #[test]
+    fn detections_are_sorted_desc() {
+        let (snap, activity, config, _) = fixture();
+        let model = Segugio::train(&snap, &activity, &config);
+        let detections = model.score_unknown(&snap, &activity);
+        for w in detections.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Multi-day tracking: the deployment loop as a library type.
+//!
+//! Segugio's goal is to *track* infections day over day — retrain each
+//! morning on the latest blacklist knowledge, calibrate an operating
+//! threshold, report new detections, and record when the blacklist later
+//! confirms them. [`Tracker`] packages that loop (the `isp_deployment`
+//! example and the Fig. 11 experiment are both instances of it).
+
+use std::collections::HashMap;
+
+use segugio_ml::RocCurve;
+use segugio_model::{Day, DomainId, MachineId};
+use segugio_pdns::ActivityStore;
+
+use crate::config::SegugioConfig;
+use crate::model::Detection;
+use crate::snapshot::{DaySnapshot, SnapshotInput};
+use crate::trainer::{build_training_set, Segugio};
+
+/// Tracker configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerConfig {
+    /// Detector configuration used every day.
+    pub segugio: SegugioConfig,
+    /// Target false-positive rate for the daily threshold, calibrated on
+    /// the training-day known domains via their hidden-label scores.
+    pub target_fpr: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            segugio: SegugioConfig::default(),
+            target_fpr: 0.005,
+        }
+    }
+}
+
+/// One day's tracking outcome.
+#[derive(Debug, Clone)]
+pub struct DayReport {
+    /// The processed day.
+    pub day: Day,
+    /// Domains newly flagged today (not flagged on any earlier day).
+    pub new_detections: Vec<Detection>,
+    /// All domains at/above threshold today, including re-detections.
+    pub all_detections: Vec<Detection>,
+    /// Machines implicated by today's detections.
+    pub implicated_machines: Vec<MachineId>,
+    /// Previously flagged domains that entered the blacklist today —
+    /// confirmations of earlier detections, with the original flag day.
+    pub confirmed: Vec<(DomainId, Day)>,
+    /// The threshold used.
+    pub threshold: f32,
+}
+
+/// Tracks malware-control domains across days.
+///
+/// Feed one [`SnapshotInput`] per day (ascending); each call retrains on
+/// the day's known labels, scores the unknowns, and reconciles earlier
+/// flags against today's blacklist.
+#[derive(Debug, Clone, Default)]
+pub struct Tracker {
+    /// Day each still-unconfirmed flagged domain was first detected.
+    flagged: HashMap<DomainId, Day>,
+    /// Confirmed detections: domain → (flagged day, confirmed day).
+    confirmed: HashMap<DomainId, (Day, Day)>,
+    days_processed: usize,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of days processed so far.
+    pub fn days_processed(&self) -> usize {
+        self.days_processed
+    }
+
+    /// Domains currently flagged but not yet blacklist-confirmed, with
+    /// their first-detection day.
+    pub fn pending(&self) -> impl Iterator<Item = (DomainId, Day)> + '_ {
+        self.flagged.iter().map(|(&d, &day)| (d, day))
+    }
+
+    /// Confirmed detections: `(domain, flagged_day, confirmed_day)`.
+    pub fn confirmations(&self) -> impl Iterator<Item = (DomainId, Day, Day)> + '_ {
+        self.confirmed
+            .iter()
+            .map(|(&d, &(f, c))| (d, f, c))
+    }
+
+    /// Processes one day of traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the day's graph has no known malware or benign domains to
+    /// train on (same condition as [`Segugio::train`]).
+    pub fn process_day(
+        &mut self,
+        input: &SnapshotInput<'_>,
+        activity: &ActivityStore,
+        config: &TrackerConfig,
+    ) -> DayReport {
+        let day = input.day;
+
+        // 1. Reconcile: blacklist confirmations of earlier flags.
+        let mut confirmed_today = Vec::new();
+        self.flagged.retain(|&domain, &mut flagged_on| {
+            if input.blacklist.contains_as_of(domain, day) {
+                confirmed_today.push((domain, flagged_on));
+                self.confirmed.insert(domain, (flagged_on, day));
+                false
+            } else {
+                true
+            }
+        });
+        confirmed_today.sort_by_key(|&(d, _)| d);
+
+        // 2. Train on today's knowledge and calibrate the threshold on the
+        //    known domains' hidden-label scores.
+        let snapshot = DaySnapshot::build(input, &config.segugio);
+        let model = Segugio::train(&snapshot, activity, &config.segugio);
+        let (train_set, _) = build_training_set(&snapshot, activity, &config.segugio);
+        let scores: Vec<f32> = (0..train_set.len())
+            .map(|i| model.score_features(train_set.row(i)))
+            .collect();
+        let roc = RocCurve::from_scores(&scores, train_set.labels());
+        let threshold = roc.threshold_for_fpr(config.target_fpr);
+
+        // 3. Detect.
+        let all_detections: Vec<Detection> = model
+            .score_unknown(&snapshot, activity)
+            .into_iter()
+            .filter(|d| d.score >= threshold)
+            .collect();
+        let mut new_detections = Vec::new();
+        for det in &all_detections {
+            if !self.flagged.contains_key(&det.domain) && !self.confirmed.contains_key(&det.domain)
+            {
+                self.flagged.insert(det.domain, day);
+                new_detections.push(*det);
+            }
+        }
+
+        // 4. Implicated machines.
+        let mut implicated = Vec::new();
+        for det in &all_detections {
+            if let Some(idx) = snapshot.graph.domain_idx(det.domain) {
+                implicated.extend(
+                    snapshot
+                        .graph
+                        .machines_of(idx)
+                        .map(|m| snapshot.graph.machine_id(m)),
+                );
+            }
+        }
+        implicated.sort_unstable();
+        implicated.dedup();
+
+        self.days_processed += 1;
+        DayReport {
+            day,
+            new_detections,
+            all_detections,
+            implicated_machines: implicated,
+            confirmed: confirmed_today,
+            threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segugio_traffic::{IspConfig, IspNetwork};
+
+    #[test]
+    fn tracker_flags_and_confirms_across_days() {
+        let mut isp = IspNetwork::new(IspConfig::tiny(55));
+        isp.warm_up(16);
+        let mut tracker = Tracker::new();
+        let config = TrackerConfig {
+            target_fpr: 0.02,
+            ..TrackerConfig::default()
+        };
+
+        let mut total_new = 0usize;
+        let mut total_confirmed = 0usize;
+        for _ in 0..6 {
+            let traffic = isp.next_day();
+            let input = SnapshotInput {
+                day: traffic.day,
+                queries: &traffic.queries,
+                resolutions: &traffic.resolutions,
+                table: isp.table(),
+                pdns: isp.pdns(),
+                blacklist: isp.commercial_blacklist(),
+                whitelist: isp.whitelist(),
+                hidden: None,
+            };
+            let report = tracker.process_day(&input, isp.activity(), &config);
+            assert_eq!(report.day, traffic.day);
+            total_new += report.new_detections.len();
+            total_confirmed += report.confirmed.len();
+            // New detections are a subset of all detections.
+            for det in &report.new_detections {
+                assert!(report.all_detections.contains(det));
+            }
+            // Confirmations must predate the confirming day.
+            for &(_, flagged_on) in &report.confirmed {
+                assert!(flagged_on < report.day);
+            }
+        }
+        assert_eq!(tracker.days_processed(), 6);
+        assert!(total_new > 0, "tracker must flag something over six days");
+        // With lagged blacklisting and agility, some flags get confirmed.
+        assert!(
+            total_confirmed > 0,
+            "expected blacklist confirmations of earlier flags"
+        );
+        // Confirmed + pending partition the flag space.
+        let pending = tracker.pending().count();
+        let confirmed = tracker.confirmations().count();
+        assert_eq!(confirmed, total_confirmed);
+        assert!(pending > 0 || total_new == total_confirmed);
+    }
+
+    #[test]
+    fn tracker_never_reflags_confirmed_domains() {
+        let mut isp = IspNetwork::new(IspConfig::tiny(56));
+        isp.warm_up(16);
+        let mut tracker = Tracker::new();
+        let config = TrackerConfig {
+            target_fpr: 0.02,
+            ..TrackerConfig::default()
+        };
+        let mut seen_new: std::collections::HashSet<DomainId> = Default::default();
+        for _ in 0..5 {
+            let traffic = isp.next_day();
+            let input = SnapshotInput {
+                day: traffic.day,
+                queries: &traffic.queries,
+                resolutions: &traffic.resolutions,
+                table: isp.table(),
+                pdns: isp.pdns(),
+                blacklist: isp.commercial_blacklist(),
+                whitelist: isp.whitelist(),
+                hidden: None,
+            };
+            let report = tracker.process_day(&input, isp.activity(), &config);
+            for det in &report.new_detections {
+                assert!(
+                    seen_new.insert(det.domain),
+                    "domain {} flagged as new twice",
+                    det.domain
+                );
+            }
+        }
+    }
+}

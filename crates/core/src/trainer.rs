@@ -1,0 +1,287 @@
+//! Training-set preparation and model training (paper Section II-A3).
+
+use segugio_graph::HiddenLabelView;
+use segugio_ml::{Dataset, GradientBoosting, LogisticRegression, RandomForest};
+use segugio_model::{DomainId, Label};
+use segugio_pdns::ActivityStore;
+
+use crate::config::{ClassifierKind, SegugioConfig};
+use crate::features::{FeatureExtractor, FEATURE_COUNT};
+use crate::model::{ModelBackend, SegugioModel};
+use crate::snapshot::{DaySnapshot, SnapshotInput};
+
+/// Builds the labeled training set from a day snapshot.
+///
+/// For every domain whose label is known (malware or benign), the label is
+/// *hidden* (cascading to the machines that depended on it, Fig. 5), the 11
+/// features are measured under the hidden view, and the feature vector is
+/// emitted with the domain's true label. Returns the dataset and the domain
+/// ids in row order.
+pub fn build_training_set(
+    snapshot: &DaySnapshot,
+    activity: &ActivityStore,
+    config: &SegugioConfig,
+) -> (Dataset, Vec<DomainId>) {
+    let extractor = FeatureExtractor::new(
+        &snapshot.graph,
+        activity,
+        &snapshot.abuse,
+        config.features,
+    );
+    let mut data = Dataset::new(FEATURE_COUNT);
+    let mut ids = Vec::new();
+    for d in snapshot.graph.domain_indices() {
+        let label = snapshot.graph.domain_label(d);
+        if label == Label::Unknown {
+            continue;
+        }
+        let view = HiddenLabelView::new(&snapshot.graph, d);
+        let features = extractor.measure_hidden(&view);
+        data.push(&features, label == Label::Malware);
+        ids.push(snapshot.graph.domain_id(d));
+    }
+    (data, ids)
+}
+
+/// The Segugio system facade: snapshot building and model training.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Segugio;
+
+impl Segugio {
+    /// Builds a labeled, pruned [`DaySnapshot`] from raw day inputs.
+    pub fn build_snapshot(input: &SnapshotInput<'_>, config: &SegugioConfig) -> DaySnapshot {
+        DaySnapshot::build(input, config)
+    }
+
+    /// Trains a [`SegugioModel`] on the known domains of `snapshot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot contains no known malware or no known benign
+    /// domains (there is nothing to learn from).
+    pub fn train(
+        snapshot: &DaySnapshot,
+        activity: &ActivityStore,
+        config: &SegugioConfig,
+    ) -> SegugioModel {
+        let (full, _ids) = build_training_set(snapshot, activity, config);
+        assert!(
+            full.positive_count() > 0,
+            "training snapshot has no known malware domains"
+        );
+        assert!(
+            full.negative_count() > 0,
+            "training snapshot has no known benign domains"
+        );
+        Self::train_on(&full, config)
+    }
+
+    /// Trains a model directly on a prepared training set (used by the
+    /// evaluation harness for cross-fold experiments).
+    pub fn train_on(full: &Dataset, config: &SegugioConfig) -> SegugioModel {
+        let columns = config
+            .feature_columns
+            .clone()
+            .unwrap_or_else(|| (0..FEATURE_COUNT).collect());
+        let projected = if columns.len() == FEATURE_COUNT {
+            full.clone()
+        } else {
+            full.project(&columns)
+        };
+        let backend = match &config.classifier {
+            ClassifierKind::Forest(cfg) => {
+                ModelBackend::Forest(RandomForest::fit(&projected, cfg))
+            }
+            ClassifierKind::Logistic(cfg) => {
+                ModelBackend::Logistic(LogisticRegression::fit(&projected, cfg))
+            }
+            ClassifierKind::Boosting(cfg) => {
+                ModelBackend::Boosting(GradientBoosting::fit(&projected, cfg))
+            }
+        };
+        SegugioModel::new(backend, columns, config.features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segugio_model::{
+        Blacklist, Day, DomainName, DomainTable, Ipv4, MachineId, Whitelist,
+    };
+    use segugio_pdns::PassiveDns;
+
+    /// A minimal but learnable world: 30 machines, 6 benign domains queried
+    /// by everyone, 2 malware domains queried by a 6-machine infected
+    /// cluster.
+    fn fixture() -> (DaySnapshot, ActivityStore, SegugioConfig) {
+        let mut table = DomainTable::new();
+        let benign: Vec<DomainId> = (0..6)
+            .map(|i| {
+                table.intern(&DomainName::parse(&format!("site{i}.example")).unwrap())
+            })
+            .collect();
+        let mal: Vec<DomainId> = (0..2)
+            .map(|i| table.intern(&DomainName::parse(&format!("c2x{i}.example")).unwrap()))
+            .collect();
+
+        let mut whitelist = Whitelist::new();
+        for &b in &benign {
+            whitelist.insert(table.e2ld_of(b));
+        }
+        let mut blacklist = Blacklist::new();
+        for &m in &mal {
+            blacklist.insert(m, Day(0));
+        }
+
+        let mut queries = Vec::new();
+        for machine in 0..30u32 {
+            for &b in &benign {
+                queries.push((MachineId(machine), b));
+            }
+            if machine < 6 {
+                for &m in &mal {
+                    queries.push((MachineId(machine), m));
+                }
+            }
+        }
+        let mut resolutions = Vec::new();
+        let mut pdns = PassiveDns::new();
+        let mut activity = ActivityStore::new();
+        for (k, &d) in benign.iter().chain(mal.iter()).enumerate() {
+            let ip = Ipv4::from_octets(10, 0, 0, k as u8);
+            resolutions.push((d, vec![ip]));
+            for day in 0..10 {
+                pdns.record(d, ip, Day(day));
+                activity.record(d, table.e2ld_of(d), Day(day));
+            }
+        }
+
+        let mut config = SegugioConfig::default();
+        config.prune.min_machine_degree = 2;
+        // Every machine queries every benign domain in this fixture, so the
+        // too-popular rule R4 would empty it; disable R4 here.
+        config.prune.popular_fraction = 2.0;
+        if let ClassifierKind::Forest(f) = &mut config.classifier {
+            f.n_trees = 15;
+        }
+        let input = SnapshotInput {
+            day: Day(9),
+            queries: &queries,
+            resolutions: &resolutions,
+            table: &table,
+            pdns: &pdns,
+            blacklist: &blacklist,
+            whitelist: &whitelist,
+            hidden: None,
+        };
+        let snap = Segugio::build_snapshot(&input, &config);
+        (snap, activity, config)
+    }
+
+    #[test]
+    fn training_set_has_all_known_domains() {
+        let (snap, activity, config) = fixture();
+        let (data, ids) = build_training_set(&snap, &activity, &config);
+        assert_eq!(data.len(), 8, "6 benign + 2 malware domains");
+        assert_eq!(data.positive_count(), 2);
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn hidden_features_do_not_leak_self_label() {
+        let (snap, activity, config) = fixture();
+        let (data, ids) = build_training_set(&snap, &activity, &config);
+        // For malware rows, the infected fraction (feature 0) must be below
+        // 1.0 when the machines' only malware evidence is sibling domains —
+        // here each infected machine queries *both* malware domains, so
+        // hiding one leaves the other and m stays 1.0. The benign rows must
+        // see m = 0.
+        for (i, id) in ids.iter().enumerate() {
+            let row = data.row(i);
+            if data.label(i) {
+                assert!(row[0] > 0.9, "cluster still known-infected via sibling");
+            } else {
+                // Benign sites are browsed by infected machines too, but the
+                // infected fraction stays at the base rate (6 of 30).
+                assert!((row[0] - 0.2).abs() < 1e-6, "benign domain {id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trained_model_separates_fixture() {
+        let (snap, activity, config) = fixture();
+        let model = Segugio::train(&snap, &activity, &config);
+        let (data, _) = build_training_set(&snap, &activity, &config);
+        for i in 0..data.len() {
+            let score = model.score_features(data.row(i));
+            if data.label(i) {
+                assert!(score > 0.5, "malware row scored {score}");
+            } else {
+                assert!(score < 0.5, "benign row scored {score}");
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_backend_also_works() {
+        let (snap, activity, mut config) = fixture();
+        config.classifier = ClassifierKind::Logistic(Default::default());
+        let model = Segugio::train(&snap, &activity, &config);
+        let (data, _) = build_training_set(&snap, &activity, &config);
+        let pos: Vec<f32> = (0..data.len())
+            .filter(|&i| data.label(i))
+            .map(|i| model.score_features(data.row(i)))
+            .collect();
+        let neg: Vec<f32> = (0..data.len())
+            .filter(|&i| !data.label(i))
+            .map(|i| model.score_features(data.row(i)))
+            .collect();
+        let min_pos = pos.iter().copied().fold(f32::INFINITY, f32::min);
+        let max_neg = neg.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(min_pos > max_neg, "logistic model must rank malware higher");
+    }
+
+    #[test]
+    fn boosting_backend_also_works() {
+        let (snap, activity, mut config) = fixture();
+        // The fixture has only 8 training rows; allow tiny leaves.
+        config.classifier = ClassifierKind::Boosting(segugio_ml::BoostingConfig {
+            n_rounds: 25,
+            min_samples_leaf: 1,
+            subsample: 1.0,
+            ..Default::default()
+        });
+        let model = Segugio::train(&snap, &activity, &config);
+        let (data, _) = build_training_set(&snap, &activity, &config);
+        let pos: Vec<f32> = (0..data.len())
+            .filter(|&i| data.label(i))
+            .map(|i| model.score_features(data.row(i)))
+            .collect();
+        let neg: Vec<f32> = (0..data.len())
+            .filter(|&i| !data.label(i))
+            .map(|i| model.score_features(data.row(i)))
+            .collect();
+        let min_pos = pos.iter().copied().fold(f32::INFINITY, f32::min);
+        let max_neg = neg.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(min_pos > max_neg, "boosting must rank malware higher");
+        // And it persists.
+        let text = model.save_to_string();
+        let loaded = crate::model::SegugioModel::load_from_str(&text).unwrap();
+        assert_eq!(loaded.score_features(data.row(0)), model.score_features(data.row(0)));
+    }
+
+    #[test]
+    fn ablated_model_uses_projected_columns() {
+        let (snap, activity, mut config) = fixture();
+        config.feature_columns = Some(crate::features::FeatureGroup::IpAbuse.complement_columns());
+        let model = Segugio::train(&snap, &activity, &config);
+        // Scoring still takes the full 11-feature vector.
+        let (data, _) = build_training_set(&snap, &activity, &config);
+        let s = model.score_features(data.row(0));
+        assert!(s.is_finite());
+    }
+}

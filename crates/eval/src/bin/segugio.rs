@@ -1,0 +1,419 @@
+//! `segugio` — command-line front end.
+//!
+//! ```text
+//! segugio experiment <name> [--scale tiny|small|paper]
+//!     run a reproduction experiment and print its table/figure
+//!     names: dataset, crossday, ablation, crossfamily, fp-analysis,
+//!            public-blacklist, early-detection, performance, notos,
+//!            bp, robustness, all
+//!
+//! segugio simulate --out FILE [--machines N] [--days D] [--seed S]
+//!     generate synthetic resolver logs (TSV) plus ground-truth sidecar
+//!     files FILE.blacklist / FILE.whitelist
+//!
+//! segugio train --logs FILE --blacklist FILE --whitelist FILE
+//!               --save FILE [--day D]
+//!     train on one day of ingested logs and persist the model
+//!
+//! segugio detect --logs FILE --blacklist FILE --whitelist FILE
+//!                [--model FILE] [--train-day D] [--test-day D] [--top N]
+//!     ingest resolver logs and rank the unknown domains of a day, either
+//!     training in place or deploying a previously saved model (the
+//!     cross-network story: train at one ISP, ship the model to another)
+//! ```
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use segugio_core::{Segugio, SegugioConfig, SnapshotInput};
+use segugio_eval::experiments::{
+    ablation, bp_comparison, crossday, crossfamily, dataset, early_detection, fp_analysis,
+    notos_comparison, performance, public_blacklist, robustness, seed_sensitivity, Scale,
+};
+use segugio_ingest::{export_day, LogCollector};
+use segugio_model::{Blacklist, Day, DomainName, Whitelist};
+use segugio_traffic::{IspConfig, IspNetwork};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+segugio — behavior-based tracking of malware-control domains
+
+USAGE:
+  segugio experiment <name> [--scale tiny|small|paper]
+  segugio simulate --out FILE [--machines N] [--days D] [--seed S]
+  segugio train --logs FILE --blacklist FILE --whitelist FILE
+                --save FILE [--day D]
+  segugio detect --logs FILE --blacklist FILE --whitelist FILE
+                 [--model FILE] [--train-day D] [--test-day D] [--top N]
+
+Experiments: dataset crossday ablation crossfamily fp-analysis
+             public-blacklist early-detection performance notos bp
+             robustness seed-sensitivity all
+";
+
+/// Parses `--key value` flags into a map, rejecting unknown keys.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        if !allowed.contains(&key) {
+            return Err(format!("unknown flag `--{key}`"));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn scale_by_name(name: &str) -> Result<Scale, String> {
+    match name {
+        "tiny" => Ok(Scale::tiny()),
+        "small" => Ok(Scale::small()),
+        "paper" => Ok(Scale::paper()),
+        other => Err(format!("unknown scale `{other}` (tiny|small|paper)")),
+    }
+}
+
+fn cmd_experiment(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or_else(|| format!("experiment name required\n\n{USAGE}"))?
+        .clone();
+    let flags = parse_flags(&args[1..], &["scale"])?;
+    let scale = scale_by_name(flags.get("scale").map(String::as_str).unwrap_or("small"))?;
+
+    let run_one = |name: &str, scale: &Scale| -> Result<(), String> {
+        match name {
+            "dataset" => {
+                let days = [scale.warmup, scale.warmup + 5];
+                println!(
+                    "{}",
+                    dataset::run(
+                        &[scale.isp1.clone(), scale.isp2.clone()],
+                        scale.warmup,
+                        &days,
+                        &scale.config
+                    )
+                );
+            }
+            "crossday" => println!("{}", crossday::run(scale)),
+            "ablation" => println!("{}", ablation::run(scale)),
+            "crossfamily" => println!("{}", crossfamily::run(scale, 5)),
+            "fp-analysis" => println!("{}", fp_analysis::run(scale, 0.0005)),
+            "public-blacklist" => println!("{}", public_blacklist::run(scale)),
+            "early-detection" => {
+                println!("{}", early_detection::run(scale, 4, 35, 0.005));
+            }
+            "performance" => println!("{}", performance::run(scale, 4)),
+            "notos" => println!("{}", notos_comparison::run(scale, 24)),
+            "bp" => println!("{}", bp_comparison::run(scale)),
+            "robustness" => println!("{}", robustness::run(scale)),
+            "seed-sensitivity" => {
+                println!("{}", seed_sensitivity::run(scale, &[0.1, 0.25, 0.5, 0.75, 1.0]));
+            }
+            other => return Err(format!("unknown experiment `{other}`\n\n{USAGE}")),
+        }
+        Ok(())
+    };
+
+    if name == "all" {
+        for exp in [
+            "dataset",
+            "crossday",
+            "ablation",
+            "crossfamily",
+            "fp-analysis",
+            "public-blacklist",
+            "early-detection",
+            "performance",
+            "notos",
+            "bp",
+            "robustness",
+            "seed-sensitivity",
+        ] {
+            println!("==================== {exp} ====================");
+            run_one(exp, &scale)?;
+            println!();
+        }
+        Ok(())
+    } else {
+        run_one(&name, &scale)
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["out", "machines", "days", "seed", "warmup"])?;
+    let out = flags
+        .get("out")
+        .ok_or_else(|| "--out FILE is required".to_owned())?;
+    let machines: usize = parse_or(&flags, "machines", 3_000)?;
+    let days: u32 = parse_or(&flags, "days", 2)?;
+    let seed: u64 = parse_or(&flags, "seed", 7)?;
+    let warmup: u32 = parse_or(&flags, "warmup", 18)?;
+
+    let mut isp = IspNetwork::new(IspConfig {
+        name: "simulated".to_owned(),
+        machines,
+        ..IspConfig::small(seed)
+    });
+    isp.warm_up(warmup);
+    let mut log = String::new();
+    for _ in 0..days {
+        let day = isp.next_day();
+        log.push_str(&export_day(
+            isp.table(),
+            day.day.0,
+            &day.queries,
+            &day.resolutions,
+        ));
+    }
+    fs::write(out, &log).map_err(|e| format!("writing {out}: {e}"))?;
+
+    // Ground-truth sidecars in the formats `segugio detect` reads.
+    let mut bl = String::new();
+    for (d, added) in isp.commercial_blacklist().iter() {
+        bl.push_str(&format!("{}\t{}\n", isp.table().name(d), added.0));
+    }
+    fs::write(format!("{out}.blacklist"), bl)
+        .map_err(|e| format!("writing {out}.blacklist: {e}"))?;
+    let mut wl = String::new();
+    for e in isp.whitelist().iter() {
+        wl.push_str(isp.table().e2ld_str(e));
+        wl.push('\n');
+    }
+    fs::write(format!("{out}.whitelist"), wl)
+        .map_err(|e| format!("writing {out}.whitelist: {e}"))?;
+
+    println!(
+        "wrote {} log lines to {out} (+ {out}.blacklist, {out}.whitelist)",
+        log.lines().count()
+    );
+    Ok(())
+}
+
+/// Shared: ingest logs + remap seed lists onto the collector's table.
+fn load_inputs(
+    flags: &HashMap<String, String>,
+) -> Result<(LogCollector, Blacklist, Whitelist), String> {
+    let logs_path = flags
+        .get("logs")
+        .ok_or_else(|| "--logs FILE is required".to_owned())?;
+    let bl_path = flags
+        .get("blacklist")
+        .ok_or_else(|| "--blacklist FILE is required".to_owned())?;
+    let wl_path = flags
+        .get("whitelist")
+        .ok_or_else(|| "--whitelist FILE is required".to_owned())?;
+
+    let mut collector = LogCollector::new();
+    let file = fs::File::open(logs_path).map_err(|e| format!("opening {logs_path}: {e}"))?;
+    let n = collector
+        .ingest_reader(std::io::BufReader::new(file))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "ingested {n} records: {} machines, days {:?}",
+        collector.machine_count(),
+        collector.days().iter().map(|d| d.0).collect::<Vec<_>>()
+    );
+
+    let mut blacklist = Blacklist::new();
+    let bl_text = fs::read_to_string(bl_path).map_err(|e| format!("reading {bl_path}: {e}"))?;
+    for (i, line) in bl_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let name = parts.next().expect("split yields at least one part");
+        let added: u32 = parts
+            .next()
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| format!("{bl_path}:{}: bad day index", i + 1))?;
+        let parsed =
+            DomainName::parse(name).map_err(|e| format!("{bl_path}:{}: {e}", i + 1))?;
+        if let Some(id) = collector.table().get(&parsed) {
+            blacklist.insert(id, Day(added));
+        }
+    }
+    let mut whitelist = Whitelist::new();
+    let wl_text = fs::read_to_string(wl_path).map_err(|e| format!("reading {wl_path}: {e}"))?;
+    for line in wl_text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(id) = collector.table().e2ld_id(line) {
+            whitelist.insert(id);
+        }
+    }
+    eprintln!(
+        "matched {} blacklist entries and {} whitelist e2LDs against the logs",
+        blacklist.len(),
+        whitelist.len()
+    );
+    Ok((collector, blacklist, whitelist))
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["logs", "blacklist", "whitelist", "save", "day"])?;
+    let save = flags
+        .get("save")
+        .ok_or_else(|| "--save FILE is required".to_owned())?
+        .clone();
+    let (collector, blacklist, whitelist) = load_inputs(&flags)?;
+    let days = collector.days();
+    if days.is_empty() {
+        return Err("log file contains no traffic".to_owned());
+    }
+    let day = match flags.get("day") {
+        Some(d) => Day(d.parse().map_err(|_| "bad --day")?),
+        None => days[0],
+    };
+    let train = collector
+        .day(day)
+        .ok_or_else(|| format!("no traffic on {day}"))?;
+    let config = SegugioConfig::default();
+    let input = SnapshotInput {
+        day,
+        queries: &train.queries,
+        resolutions: &train.resolutions,
+        table: collector.table(),
+        pdns: collector.pdns(),
+        blacklist: &blacklist,
+        whitelist: &whitelist,
+        hidden: None,
+    };
+    let snapshot = Segugio::build_snapshot(&input, &config);
+    let model = Segugio::train(&snapshot, collector.activity(), &config);
+    fs::write(&save, model.save_to_string()).map_err(|e| format!("writing {save}: {e}"))?;
+    println!("trained on {day} and saved the model to {save}");
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &["logs", "blacklist", "whitelist", "model", "train-day", "test-day", "top"],
+    )?;
+    let top: usize = parse_or(&flags, "top", 20)?;
+    let (collector, blacklist, whitelist) = load_inputs(&flags)?;
+    let days = collector.days();
+    if days.is_empty() {
+        return Err("log file contains no traffic".to_owned());
+    }
+    let test_day = match flags.get("test-day") {
+        Some(d) => Day(d.parse().map_err(|_| "bad --test-day")?),
+        None => *days.last().expect("non-empty"),
+    };
+
+    let config = SegugioConfig::default();
+    let model = match flags.get("model") {
+        Some(path) => {
+            // Deploy a previously trained (possibly cross-network) model.
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let model = segugio_core::SegugioModel::load_from_str(&text)
+                .map_err(|e| e.to_string())?;
+            eprintln!("loaded model from {path}; testing on {test_day}");
+            model
+        }
+        None => {
+            let train_day = match flags.get("train-day") {
+                Some(d) => Day(d.parse().map_err(|_| "bad --train-day")?),
+                None => days[0],
+            };
+            eprintln!("training on {train_day}, testing on {test_day}");
+            let train = collector
+                .day(train_day)
+                .ok_or_else(|| format!("no traffic on {train_day}"))?;
+            let input = SnapshotInput {
+                day: train_day,
+                queries: &train.queries,
+                resolutions: &train.resolutions,
+                table: collector.table(),
+                pdns: collector.pdns(),
+                blacklist: &blacklist,
+                whitelist: &whitelist,
+                hidden: None,
+            };
+            let snapshot = Segugio::build_snapshot(&input, &config);
+            Segugio::train(&snapshot, collector.activity(), &config)
+        }
+    };
+
+    let test = collector
+        .day(test_day)
+        .ok_or_else(|| format!("no traffic on {test_day}"))?;
+    let input = SnapshotInput {
+        day: test_day,
+        queries: &test.queries,
+        resolutions: &test.resolutions,
+        table: collector.table(),
+        pdns: collector.pdns(),
+        blacklist: &blacklist,
+        whitelist: &whitelist,
+        hidden: None,
+    };
+    let snapshot = Segugio::build_snapshot(&input, &config);
+    let detections = model.score_unknown(&snapshot, collector.activity());
+
+    println!("score\tdomain\tqueriers");
+    for det in detections.iter().take(top) {
+        let queriers = snapshot
+            .graph
+            .domain_idx(det.domain)
+            .map(|d| snapshot.graph.domain_degree(d))
+            .unwrap_or(0);
+        println!(
+            "{:.4}\t{}\t{queriers}",
+            det.score,
+            collector.table().name(det.domain)
+        );
+    }
+    Ok(())
+}
+
+fn parse_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: `{v}`")),
+    }
+}

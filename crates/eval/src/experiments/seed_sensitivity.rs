@@ -1,0 +1,141 @@
+//! Seed-ground-truth sensitivity (extension of the Section VI discussion).
+//!
+//! Segugio needs "a small number of public and private malware C&C
+//! blacklists" to seed the graph. How much coverage is enough? This sweep
+//! degrades the blacklist — keeping only a fraction of its entries — and
+//! measures detection on a fixed held-out test set. The public-blacklist
+//! result (Fig. 10) is one point on this curve; the sweep draws the whole
+//! curve.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use segugio_model::Blacklist;
+
+use crate::protocol::{select_test_split, train_and_eval};
+use crate::report::{pct, render_table};
+use crate::scenario::Scenario;
+
+use super::Scale;
+
+/// One sweep point: detection quality with a degraded seed blacklist.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedPoint {
+    /// Fraction of blacklist entries kept.
+    pub keep_fraction: f64,
+    /// Seed entries actually available.
+    pub seed_entries: usize,
+    /// TPR at 0.5% FP on the fixed test set.
+    pub tpr: f64,
+    /// Partial AUC in the 1% FP range.
+    pub pauc: f64,
+}
+
+/// The seed-sensitivity report.
+#[derive(Debug, Clone)]
+pub struct SeedSensitivityReport {
+    /// Sweep points, ascending by kept fraction.
+    pub points: Vec<SeedPoint>,
+}
+
+impl fmt::Display for SeedSensitivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SEED SENSITIVITY: blacklist coverage vs detection")?;
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    pct(p.keep_fraction),
+                    p.seed_entries.to_string(),
+                    pct(p.tpr),
+                    format!("{:.4}", p.pauc),
+                ]
+            })
+            .collect();
+        f.write_str(&render_table(
+            &["blacklist kept", "seed entries", "TPR@0.5%FP", "pAUC(1%)"],
+            &rows,
+        ))
+    }
+}
+
+/// Sweeps the kept-fraction of the commercial blacklist on an ISP1
+/// cross-day pair. The *test set* is fixed (selected against the full
+/// blacklist) so points are comparable; only the training/labeling seed
+/// degrades.
+pub fn run(scale: &Scale, fractions: &[f64]) -> SeedSensitivityReport {
+    let w = scale.warmup;
+    let scenario = Scenario::run(scale.isp1.clone(), w, &[w, w + 13]);
+    let full = scenario.isp().commercial_blacklist().clone();
+    let split = select_test_split(
+        &scenario,
+        w + 13,
+        &full,
+        scale.frac_test_malware,
+        scale.frac_test_benign,
+        scale.seed + 70,
+    );
+
+    // Entries eligible for degradation: everything not in the test set
+    // (test domains are hidden regardless; removing them twice would be a
+    // no-op and would couple the sweep to the split).
+    let mut pool: Vec<_> = full
+        .iter()
+        .filter(|(d, _)| !split.contains(*d))
+        .collect();
+    pool.sort_by_key(|&(d, _)| d);
+    let mut rng = StdRng::seed_from_u64(scale.seed + 71);
+    pool.shuffle(&mut rng);
+
+    let points = fractions
+        .iter()
+        .map(|&frac| {
+            let keep = ((pool.len() as f64) * frac).round() as usize;
+            let degraded: Blacklist = pool.iter().take(keep).copied().collect();
+            let out = train_and_eval(
+                &scenario,
+                w,
+                &scenario,
+                w + 13,
+                &split,
+                &scale.config,
+                &degraded,
+                &degraded,
+            );
+            SeedPoint {
+                keep_fraction: frac,
+                seed_entries: keep,
+                tpr: out.tpr_at_fpr(0.005),
+                pauc: out.roc.partial_auc(0.01),
+            }
+        })
+        .collect();
+    SeedSensitivityReport { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_seed_sensitivity_is_monotone_ish() {
+        let report = run(&Scale::tiny(), &[0.25, 1.0]);
+        assert_eq!(report.points.len(), 2);
+        let quarter = report.points[0];
+        let full = report.points[1];
+        assert!(full.seed_entries > quarter.seed_entries);
+        // More seed ground truth should not make things dramatically worse
+        // (tiny-scale noise allowed).
+        assert!(
+            full.pauc + 0.2 >= quarter.pauc,
+            "full {} vs quarter {}",
+            full.pauc,
+            quarter.pauc
+        );
+        assert!(report.to_string().contains("SEED SENSITIVITY"));
+    }
+}

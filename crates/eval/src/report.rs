@@ -1,0 +1,159 @@
+//! Plain-text rendering helpers shared by the experiment reports.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned two-dimensional text table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * n;
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate().take(n) {
+            let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a fraction as a percentage with two decimals (for low FP rates).
+pub fn pct2(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a large count with thousands separators.
+pub fn count(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// The FPR grid the paper's ROC figures use (FPs in `[0, 0.01]`).
+pub fn low_fpr_grid() -> Vec<f64> {
+    vec![0.0005, 0.001, 0.002, 0.003, 0.005, 0.0075, 0.01]
+}
+
+/// Renders ROC curves as an ASCII plot, mirroring the paper's figures
+/// (TPR on the y-axis, FPR up to `max_fpr` on the x-axis). Each curve is
+/// drawn with its own glyph; later curves overdraw earlier ones where they
+/// collide.
+pub fn ascii_roc(
+    curves: &[(&str, &segugio_ml::RocCurve)],
+    max_fpr: f64,
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(10);
+    let height = height.max(5);
+    let mut grid = vec![vec![' '; width]; height];
+    for (k, (_, curve)) in curves.iter().enumerate() {
+        let glyph = GLYPHS[k % GLYPHS.len()];
+        for (col, fpr) in (0..width)
+            .map(|c| (c, max_fpr * c as f64 / (width - 1) as f64))
+        {
+            let tpr = curve.tpr_at_fpr(fpr);
+            let row = (((1.0 - tpr) * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let tpr_label = 1.0 - r as f64 / (height - 1) as f64;
+        let _ = writeln!(
+            out,
+            "{:>5.0}% |{}",
+            tpr_label * 100.0,
+            row.iter().collect::<String>()
+        );
+    }
+    let _ = writeln!(out, "       +{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "        0%{:>w$}",
+        format!("{:.2}% FPR", max_fpr * 100.0),
+        w = width - 2
+    );
+    for (k, (name, _)) in curves.iter().enumerate() {
+        let _ = writeln!(out, "        {} {}", GLYPHS[k % GLYPHS.len()], name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn ascii_roc_draws_curves() {
+        let good = segugio_ml::RocCurve::from_scores(
+            &[0.9, 0.8, 0.2, 0.1],
+            &[true, true, false, false],
+        );
+        let bad = segugio_ml::RocCurve::from_scores(
+            &[0.1, 0.2, 0.8, 0.9],
+            &[true, true, false, false],
+        );
+        let plot = ascii_roc(&[("good", &good), ("bad", &bad)], 1.0, 30, 10);
+        assert!(plot.contains('*'), "first curve glyph present");
+        assert!(plot.contains('o'), "second curve glyph present");
+        assert!(plot.contains("good"));
+        assert!(plot.contains("100%"));
+        // The perfect curve's glyph appears on the top row; the inverted
+        // curve's on the bottom.
+        let top_row = plot.lines().next().unwrap();
+        assert!(top_row.contains('*'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.941), "94.1%");
+        assert_eq!(pct2(0.0005), "0.05%");
+        assert_eq!(count(1234567), "1,234,567");
+        assert_eq!(count(42), "42");
+        assert!(!low_fpr_grid().is_empty());
+    }
+}

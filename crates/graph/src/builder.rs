@@ -1,0 +1,218 @@
+//! Incremental construction of a [`BehaviorGraph`].
+
+use std::collections::HashMap;
+
+use segugio_model::{Day, DomainId, E2ldId, Ipv4, Label, MachineId};
+
+use crate::graph::BehaviorGraph;
+
+/// Accumulates one day of `(machine, domain)` query observations plus the
+/// per-domain annotations, then freezes them into a [`BehaviorGraph`].
+///
+/// Duplicate queries of the same pair are collapsed (the graph is a set of
+/// edges, not a multigraph). Unannotated domains get an empty IP set and,
+/// if no e2LD was registered, a sentinel e2LD equal to their own id — the
+/// builder is forgiving so tests can construct minimal graphs.
+///
+/// # Example
+///
+/// ```
+/// use segugio_graph::GraphBuilder;
+/// use segugio_model::{Day, DomainId, MachineId};
+///
+/// let mut b = GraphBuilder::new(Day(5));
+/// b.add_query(MachineId(1), DomainId(9));
+/// b.add_query(MachineId(1), DomainId(9)); // duplicate, collapsed
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// assert_eq!(g.day(), Day(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    day: Day,
+    edges: Vec<(MachineId, DomainId)>,
+    e2ld: HashMap<DomainId, E2ldId>,
+    ips: HashMap<DomainId, Vec<Ipv4>>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for the given observation day.
+    pub fn new(day: Day) -> Self {
+        GraphBuilder {
+            day,
+            edges: Vec::new(),
+            e2ld: HashMap::new(),
+            ips: HashMap::new(),
+        }
+    }
+
+    /// Records that `machine` queried `domain`.
+    pub fn add_query(&mut self, machine: MachineId, domain: DomainId) {
+        self.edges.push((machine, domain));
+    }
+
+    /// Records several queries at once.
+    pub fn add_queries<I: IntoIterator<Item = (MachineId, DomainId)>>(&mut self, queries: I) {
+        self.edges.extend(queries);
+    }
+
+    /// Annotates `domain` with its e2LD id.
+    pub fn set_e2ld(&mut self, domain: DomainId, e2ld: E2ldId) {
+        self.e2ld.insert(domain, e2ld);
+    }
+
+    /// Adds a resolved IP to `domain`'s annotation.
+    pub fn add_resolution(&mut self, domain: DomainId, ip: Ipv4) {
+        self.ips.entry(domain).or_default().push(ip);
+    }
+
+    /// Number of recorded (possibly duplicate) query observations.
+    pub fn query_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable graph. All labels start as
+    /// [`Label::Unknown`].
+    pub fn build(mut self) -> BehaviorGraph {
+        // Dedup edges.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        // Dense machine / domain index assignment (sorted by external id so
+        // binary-search lookup works).
+        let mut machines: Vec<MachineId> = self.edges.iter().map(|&(m, _)| m).collect();
+        machines.sort_unstable();
+        machines.dedup();
+        let mut domains: Vec<DomainId> = self.edges.iter().map(|&(_, d)| d).collect();
+        domains.sort_unstable();
+        domains.dedup();
+
+        let m_index: HashMap<MachineId, u32> = machines
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, i as u32))
+            .collect();
+        let d_index: HashMap<DomainId, u32> = domains
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u32))
+            .collect();
+
+        // Machine -> domain CSR. Edges are sorted by (machine, domain) and
+        // machines/domains are sorted, so adjacency lists come out sorted.
+        let mut m_off = vec![0u32; machines.len() + 1];
+        for &(m, _) in &self.edges {
+            m_off[m_index[&m] as usize + 1] += 1;
+        }
+        for i in 1..m_off.len() {
+            m_off[i] += m_off[i - 1];
+        }
+        let mut m_adj = vec![0u32; self.edges.len()];
+        {
+            let mut cursor = m_off.clone();
+            for &(m, d) in &self.edges {
+                let mi = m_index[&m] as usize;
+                m_adj[cursor[mi] as usize] = d_index[&d];
+                cursor[mi] += 1;
+            }
+        }
+
+        // Domain -> machine CSR.
+        let mut d_off = vec![0u32; domains.len() + 1];
+        for &(_, d) in &self.edges {
+            d_off[d_index[&d] as usize + 1] += 1;
+        }
+        for i in 1..d_off.len() {
+            d_off[i] += d_off[i - 1];
+        }
+        let mut d_adj = vec![0u32; self.edges.len()];
+        {
+            let mut cursor = d_off.clone();
+            for &(m, d) in &self.edges {
+                let di = d_index[&d] as usize;
+                d_adj[cursor[di] as usize] = m_index[&m];
+                cursor[di] += 1;
+            }
+        }
+        // Sort each domain's machine list for determinism.
+        for di in 0..domains.len() {
+            let lo = d_off[di] as usize;
+            let hi = d_off[di + 1] as usize;
+            d_adj[lo..hi].sort_unstable();
+        }
+
+        let domain_e2ld: Vec<E2ldId> = domains
+            .iter()
+            .map(|d| self.e2ld.get(d).copied().unwrap_or(E2ldId(d.0)))
+            .collect();
+        let domain_ips: Vec<Box<[Ipv4]>> = domains
+            .iter()
+            .map(|d| {
+                let mut ips = self.ips.remove(d).unwrap_or_default();
+                ips.sort_unstable();
+                ips.dedup();
+                ips.into_boxed_slice()
+            })
+            .collect();
+
+        let n_m = machines.len();
+        let n_d = domains.len();
+        BehaviorGraph {
+            day: self.day,
+            machines,
+            domains,
+            domain_e2ld,
+            domain_ips,
+            m_off,
+            m_adj,
+            d_off,
+            d_adj,
+            domain_labels: vec![Label::Unknown; n_d],
+            machine_labels: vec![Label::Unknown; n_m],
+            machine_malware_degree: vec![0; n_m],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(Day(0)).build();
+        assert_eq!(g.machine_count(), 0);
+        assert_eq!(g.domain_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::new(Day(0));
+        for _ in 0..5 {
+            b.add_query(MachineId(1), DomainId(2));
+        }
+        assert_eq!(b.query_count(), 5);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn annotations_dedup_and_default() {
+        let mut b = GraphBuilder::new(Day(0));
+        b.add_query(MachineId(1), DomainId(2));
+        b.add_query(MachineId(1), DomainId(3));
+        let ip = Ipv4::from_octets(1, 2, 3, 4);
+        b.add_resolution(DomainId(2), ip);
+        b.add_resolution(DomainId(2), ip);
+        b.set_e2ld(DomainId(2), E2ldId(77));
+        let g = b.build();
+        let d2 = g.domain_idx(DomainId(2)).unwrap();
+        let d3 = g.domain_idx(DomainId(3)).unwrap();
+        assert_eq!(g.domain_ips(d2), &[ip]);
+        assert!(g.domain_ips(d3).is_empty());
+        assert_eq!(g.domain_e2ld(d2), E2ldId(77));
+        // Sentinel e2LD for unannotated domain.
+        assert_eq!(g.domain_e2ld(d3), E2ldId(3));
+    }
+}

@@ -1,0 +1,34 @@
+//! Machine–domain bipartite behavior graph.
+//!
+//! One day of DNS traffic between ISP clients and the local resolver is
+//! summarized as an undirected bipartite graph `G = (M, D, E)`: machine
+//! `m_i` is connected to domain `d_j` iff `m_i` queried `d_j` during the
+//! observation window (paper Section II-A1). Domain nodes carry annotations
+//! (resolved IP set, e2LD); machine and domain nodes carry three-valued
+//! labels seeded from a blacklist/whitelist and propagated to machines.
+//!
+//! The crate provides:
+//!
+//! - [`GraphBuilder`] / [`BehaviorGraph`] — compact CSR storage in both
+//!   directions, sized for millions of edges;
+//! - [`labeling`] — seed-label application and machine-label propagation;
+//! - [`pruning`] — the conservative filtering rules R1–R4 with the paper's
+//!   two exceptions (infected machines survive R1; known malware domains
+//!   survive R3);
+//! - [`hiding`] — the label-hiding view used when measuring features for
+//!   known (training) domains without leaking their own ground truth.
+
+
+#![warn(missing_docs)]
+pub mod builder;
+pub mod graph;
+pub mod hiding;
+pub mod labeling;
+pub mod pruning;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use graph::{BehaviorGraph, DomainIdx, MachineIdx};
+pub use hiding::HiddenLabelView;
+pub use pruning::{PruneConfig, PruneStats};
+pub use stats::{DegreeSummary, GraphStats};

@@ -1,0 +1,442 @@
+//! Conservative graph pruning (paper Section II-A2, rules R1–R4).
+//!
+//! - **R1** — drop "inactive" machines that query ≤ `min_machine_degree`
+//!   domains, *except* machines already labeled malware (they may query a
+//!   tiny set of control domains and still help detection).
+//! - **R2** — drop proxy/forwarder machines whose degree is at or above the
+//!   `proxy_percentile` of the machine-degree distribution (θ_d).
+//! - **R3** — drop domains queried by only one machine, *except* known
+//!   malware domains.
+//! - **R4** — drop domains whose e2LD is queried by at least
+//!   `popular_fraction` of all machines in the network (θ_m): such
+//!   very-popular domains are overwhelmingly unlikely to be malware-control.
+
+use std::collections::HashMap;
+
+use segugio_model::Label;
+
+use crate::builder::GraphBuilder;
+use crate::graph::BehaviorGraph;
+use crate::labeling;
+
+/// Tunable thresholds for [`BehaviorGraph::prune`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneConfig {
+    /// R1: machines with degree ≤ this are dropped (paper: 5).
+    pub min_machine_degree: usize,
+    /// R2: percentile (in `[0,1]`) of the degree distribution above which
+    /// machines are treated as proxies (paper: 0.9999).
+    pub proxy_percentile: f64,
+    /// R4: fraction (in `[0,1]`) of all machines above which an e2LD is "too
+    /// popular" (paper: 1/3).
+    pub popular_fraction: f64,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            min_machine_degree: 5,
+            proxy_percentile: 0.9999,
+            popular_fraction: 1.0 / 3.0,
+        }
+    }
+}
+
+/// What pruning removed, and the thresholds it derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Node/edge counts before pruning.
+    pub machines_before: usize,
+    /// Domain count before pruning.
+    pub domains_before: usize,
+    /// Edge count before pruning.
+    pub edges_before: usize,
+    /// Node/edge counts after pruning.
+    pub machines_after: usize,
+    /// Domain count after pruning.
+    pub domains_after: usize,
+    /// Edge count after pruning.
+    pub edges_after: usize,
+    /// Machines removed by R1 (inactive).
+    pub r1_inactive_machines: usize,
+    /// Machines removed by R2 (proxies), with derived θ_d.
+    pub r2_proxy_machines: usize,
+    /// The derived proxy-degree threshold θ_d.
+    pub theta_d: usize,
+    /// Domains removed by R3 (single querier).
+    pub r3_single_machine_domains: usize,
+    /// Domains removed by R4 (too popular), with derived θ_m.
+    pub r4_popular_domains: usize,
+    /// The derived popularity threshold θ_m (machines).
+    pub theta_m: usize,
+}
+
+impl PruneStats {
+    /// Fractional reduction of domain nodes, in `[0,1]`.
+    pub fn domain_reduction(&self) -> f64 {
+        reduction(self.domains_before, self.domains_after)
+    }
+
+    /// Fractional reduction of machine nodes, in `[0,1]`.
+    pub fn machine_reduction(&self) -> f64 {
+        reduction(self.machines_before, self.machines_after)
+    }
+
+    /// Fractional reduction of edges, in `[0,1]`.
+    pub fn edge_reduction(&self) -> f64 {
+        reduction(self.edges_before, self.edges_after)
+    }
+}
+
+fn reduction(before: usize, after: usize) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        (before - after) as f64 / before as f64
+    }
+}
+
+impl BehaviorGraph {
+    /// Applies pruning rules R1–R4 and returns the pruned graph (labels
+    /// preserved and machine labels re-propagated) plus statistics.
+    ///
+    /// Machine rules (R1, R2) are evaluated on the input graph; domain rules
+    /// (R3, R4) are evaluated on the machine-filtered subgraph, which is the
+    /// conservative order (a domain never loses its known-malware survivors).
+    pub fn prune(&self, config: &PruneConfig) -> (BehaviorGraph, PruneStats) {
+        let mut stats = PruneStats {
+            machines_before: self.machine_count(),
+            domains_before: self.domain_count(),
+            edges_before: self.edge_count(),
+            ..PruneStats::default()
+        };
+
+        // θ_d from the degree distribution.
+        let mut degrees: Vec<usize> = (0..self.machine_count())
+            .map(|mi| (self.m_off[mi + 1] - self.m_off[mi]) as usize)
+            .collect();
+        let theta_d = percentile(&mut degrees, config.proxy_percentile).max(1);
+        stats.theta_d = theta_d;
+
+        let mut keep_machine = vec![true; self.machine_count()];
+        for (mi, keep) in keep_machine.iter_mut().enumerate() {
+            let deg = (self.m_off[mi + 1] - self.m_off[mi]) as usize;
+            if deg > theta_d && theta_d > config.min_machine_degree {
+                *keep = false;
+                stats.r2_proxy_machines += 1;
+            } else if deg <= config.min_machine_degree
+                && self.machine_labels[mi] != Label::Malware
+            {
+                *keep = false;
+                stats.r1_inactive_machines += 1;
+            }
+        }
+
+        // Domain degrees counting only kept machines.
+        let kept_domain_degree: Vec<usize> = (0..self.domain_count())
+            .map(|di| {
+                let lo = self.d_off[di] as usize;
+                let hi = self.d_off[di + 1] as usize;
+                self.d_adj[lo..hi]
+                    .iter()
+                    .filter(|&&m| keep_machine[m as usize])
+                    .count()
+            })
+            .collect();
+
+        // R4: distinct kept machines per e2LD.
+        let theta_m =
+            ((self.machine_count() as f64) * config.popular_fraction).ceil() as usize;
+        stats.theta_m = theta_m;
+        let mut e2ld_machines: HashMap<u32, Vec<u32>> = HashMap::new();
+        for di in 0..self.domain_count() {
+            let e = self.domain_e2ld[di].0;
+            let lo = self.d_off[di] as usize;
+            let hi = self.d_off[di + 1] as usize;
+            e2ld_machines
+                .entry(e)
+                .or_default()
+                .extend(self.d_adj[lo..hi].iter().filter(|&&m| keep_machine[m as usize]));
+        }
+        let popular_e2ld: std::collections::HashSet<u32> = e2ld_machines
+            .into_iter()
+            .filter_map(|(e, mut ms)| {
+                ms.sort_unstable();
+                ms.dedup();
+                (ms.len() >= theta_m && theta_m > 0).then_some(e)
+            })
+            .collect();
+
+        let mut keep_domain = vec![true; self.domain_count()];
+        for (di, keep) in keep_domain.iter_mut().enumerate() {
+            if popular_e2ld.contains(&self.domain_e2ld[di].0) {
+                *keep = false;
+                stats.r4_popular_domains += 1;
+            } else if kept_domain_degree[di] <= 1 && self.domain_labels[di] != Label::Malware {
+                *keep = false;
+                stats.r3_single_machine_domains += 1;
+            } else if kept_domain_degree[di] == 0 {
+                // Known-malware domain whose every querier was pruned: it can
+                // no longer contribute evidence; drop it too.
+                *keep = false;
+            }
+        }
+
+        // Rebuild the graph from surviving edges.
+        let mut builder = GraphBuilder::new(self.day);
+        for (mi, &keep) in keep_machine.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            let lo = self.m_off[mi] as usize;
+            let hi = self.m_off[mi + 1] as usize;
+            for &di in &self.m_adj[lo..hi] {
+                if keep_domain[di as usize] {
+                    builder.add_query(self.machines[mi], self.domains[di as usize]);
+                }
+            }
+        }
+        for (di, &keep) in keep_domain.iter().enumerate() {
+            if keep {
+                let id = self.domains[di];
+                builder.set_e2ld(id, self.domain_e2ld[di]);
+                for &ip in self.domain_ips[di].iter() {
+                    builder.add_resolution(id, ip);
+                }
+            }
+        }
+        let mut pruned = builder.build();
+
+        // Preserve domain labels by external id, then re-propagate.
+        for i in 0..pruned.domains.len() {
+            let old_idx = self
+                .domains
+                .binary_search(&pruned.domains[i])
+                .expect("pruned domain must exist in source graph");
+            pruned.domain_labels[i] = self.domain_labels[old_idx];
+        }
+        labeling::propagate_machine_labels(&mut pruned);
+
+        stats.machines_after = pruned.machine_count();
+        stats.domains_after = pruned.domain_count();
+        stats.edges_after = pruned.edge_count();
+        (pruned, stats)
+    }
+}
+
+impl BehaviorGraph {
+    /// Removes machines that look like security scanners / blacklist
+    /// probers: machines querying at least `max_malware_degree` known
+    /// malware domains in one day.
+    ///
+    /// Real infections query a handful of control domains per day (Fig. 3:
+    /// practically never more than twenty), while monitoring clients probe
+    /// *hundreds* of blacklisted names. The paper mentions using heuristics
+    /// to verify the filtered graphs contained no such clients (Section
+    /// VI); this is that heuristic, applied before feature measurement when
+    /// a deployment expects probing clients.
+    pub fn without_probing_machines(&self, max_malware_degree: u32) -> (BehaviorGraph, usize) {
+        let probing: Vec<bool> = (0..self.machine_count())
+            .map(|mi| self.machine_malware_degree[mi] >= max_malware_degree)
+            .collect();
+        let removed = probing.iter().filter(|&&p| p).count();
+        if removed == 0 {
+            return (self.clone(), 0);
+        }
+        let mut builder = GraphBuilder::new(self.day);
+        for (mi, &is_probing) in probing.iter().enumerate() {
+            if is_probing {
+                continue;
+            }
+            let lo = self.m_off[mi] as usize;
+            let hi = self.m_off[mi + 1] as usize;
+            for &di in &self.m_adj[lo..hi] {
+                builder.add_query(self.machines[mi], self.domains[di as usize]);
+            }
+        }
+        for di in 0..self.domain_count() {
+            let id = self.domains[di];
+            builder.set_e2ld(id, self.domain_e2ld[di]);
+            for &ip in self.domain_ips[di].iter() {
+                builder.add_resolution(id, ip);
+            }
+        }
+        let mut filtered = builder.build();
+        for i in 0..filtered.domains.len() {
+            let old_idx = self
+                .domains
+                .binary_search(&filtered.domains[i])
+                .expect("filtered domain exists in source graph");
+            filtered.domain_labels[i] = self.domain_labels[old_idx];
+        }
+        labeling::propagate_machine_labels(&mut filtered);
+        (filtered, removed)
+    }
+}
+
+/// The value at `pct` (in `[0,1]`) of the sorted distribution. `data` is
+/// sorted in place.
+fn percentile(data: &mut [usize], pct: f64) -> usize {
+    if data.is_empty() {
+        return 0;
+    }
+    data.sort_unstable();
+    let rank = ((data.len() as f64 - 1.0) * pct.clamp(0.0, 1.0)).round() as usize;
+    data[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::labeling::apply_seed_labels;
+    use segugio_model::{Day, DomainId, E2ldId, MachineId};
+
+    /// Builds a graph with:
+    /// - machines 0..10 querying 8 ordinary domains each (active, kept)
+    /// - machine 90: queries 2 domains only (inactive → R1) but one is malware? no
+    /// - machine 91: labeled malware, queries only malware domain 500 and 501
+    /// - machine 92: proxy querying everything
+    /// - domain 600: queried by one machine only (R3)
+    /// - domain 700 (e2LD 7): queried by everyone (R4)
+    fn sample() -> BehaviorGraph {
+        let mut b = GraphBuilder::new(Day(0));
+        for m in 0..10u32 {
+            for d in 0..8u32 {
+                b.add_query(MachineId(m), DomainId(d));
+                b.set_e2ld(DomainId(d), E2ldId(d));
+            }
+            // Popular domain 700 queried by all machines.
+            b.add_query(MachineId(m), DomainId(700));
+        }
+        b.set_e2ld(DomainId(700), E2ldId(7));
+        // Inactive benign machine 90.
+        b.add_query(MachineId(90), DomainId(0));
+        b.add_query(MachineId(90), DomainId(1));
+        // Inactive infected machine 91 queries malware domains 500, 501.
+        b.add_query(MachineId(91), DomainId(500));
+        b.add_query(MachineId(91), DomainId(501));
+        b.set_e2ld(DomainId(500), E2ldId(500));
+        b.set_e2ld(DomainId(501), E2ldId(501));
+        // Second querier for 500/501 so they survive with a querier even if
+        // machine 91 mattered; machine 5 is infected too.
+        b.add_query(MachineId(5), DomainId(500));
+        b.add_query(MachineId(5), DomainId(501));
+        // Domain 600 queried by exactly one active machine.
+        b.add_query(MachineId(3), DomainId(600));
+        b.set_e2ld(DomainId(600), E2ldId(600));
+        // Proxy machine 92 queries a huge set of unique domains.
+        for d in 1000..1400u32 {
+            b.add_query(MachineId(92), DomainId(d));
+            b.set_e2ld(DomainId(d), E2ldId(d));
+        }
+        let mut g = b.build();
+        apply_seed_labels(
+            &mut g,
+            |d| d == DomainId(500) || d == DomainId(501),
+            |_| false,
+        );
+        g
+    }
+
+    fn config() -> PruneConfig {
+        PruneConfig {
+            min_machine_degree: 5,
+            proxy_percentile: 0.95,
+            popular_fraction: 1.0 / 3.0,
+        }
+    }
+
+    #[test]
+    fn r1_drops_inactive_benign_but_keeps_infected() {
+        let g = sample();
+        let (p, stats) = g.prune(&config());
+        assert!(p.machine_idx(MachineId(90)).is_none(), "inactive benign dropped");
+        assert!(p.machine_idx(MachineId(91)).is_some(), "infected low-degree kept");
+        assert!(stats.r1_inactive_machines >= 1);
+    }
+
+    #[test]
+    fn r2_drops_proxies() {
+        let g = sample();
+        let (p, stats) = g.prune(&config());
+        assert!(p.machine_idx(MachineId(92)).is_none(), "proxy dropped");
+        assert!(stats.r2_proxy_machines >= 1);
+        assert!(stats.theta_d > 5);
+    }
+
+    #[test]
+    fn r3_drops_single_querier_domains_but_keeps_malware() {
+        let g = sample();
+        let (p, stats) = g.prune(&config());
+        assert!(p.domain_idx(DomainId(600)).is_none(), "single-querier dropped");
+        assert!(p.domain_idx(DomainId(500)).is_some(), "malware domain kept");
+        assert!(stats.r3_single_machine_domains >= 1);
+    }
+
+    #[test]
+    fn r4_drops_popular_e2lds() {
+        let g = sample();
+        let (p, stats) = g.prune(&config());
+        assert!(p.domain_idx(DomainId(700)).is_none(), "popular domain dropped");
+        assert!(stats.r4_popular_domains >= 1);
+    }
+
+    #[test]
+    fn labels_survive_pruning() {
+        let g = sample();
+        let (p, _) = g.prune(&config());
+        let d500 = p.domain_idx(DomainId(500)).unwrap();
+        assert_eq!(p.domain_label(d500), Label::Malware);
+        let m91 = p.machine_idx(MachineId(91)).unwrap();
+        assert_eq!(p.machine_label(m91), Label::Malware);
+        assert_eq!(p.machine_malware_degree(m91), 2);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = sample();
+        let (p, stats) = g.prune(&config());
+        assert_eq!(stats.machines_after, p.machine_count());
+        assert_eq!(stats.domains_after, p.domain_count());
+        assert_eq!(stats.edges_after, p.edge_count());
+        assert!(stats.domain_reduction() > 0.0);
+        assert!(stats.machine_reduction() > 0.0);
+        assert!(stats.edge_reduction() > 0.0);
+    }
+
+    #[test]
+    fn probing_machines_are_removed() {
+        let mut b = GraphBuilder::new(Day(0));
+        // 40 malware domains, each with two ordinary victims.
+        for d in 0..40u32 {
+            b.add_query(MachineId(0), DomainId(d));
+            b.add_query(MachineId(1), DomainId(d));
+            b.set_e2ld(DomainId(d), E2ldId(d));
+        }
+        // An ordinary infected machine querying 3 of them.
+        for d in 0..3u32 {
+            b.add_query(MachineId(2), DomainId(d));
+        }
+        let mut g = b.build();
+        apply_seed_labels(&mut g, |_| true, |_| false);
+        // Machines 0 and 1 query 40 known malware domains: probers.
+        let (filtered, removed) = g.without_probing_machines(21);
+        assert_eq!(removed, 2);
+        assert!(filtered.machine_idx(MachineId(0)).is_none());
+        assert!(filtered.machine_idx(MachineId(2)).is_some());
+        // No probers: graph unchanged.
+        let (same, zero) = filtered.without_probing_machines(21);
+        assert_eq!(zero, 0);
+        assert_eq!(same.machine_count(), filtered.machine_count());
+    }
+
+    #[test]
+    fn percentile_helper() {
+        let mut v = vec![1, 2, 3, 4, 100];
+        assert_eq!(percentile(&mut v, 1.0), 100);
+        assert_eq!(percentile(&mut v, 0.0), 1);
+        assert_eq!(percentile(&mut v, 0.5), 3);
+        assert_eq!(percentile(&mut [], 0.5), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Diagnostic statistics over a behavior graph.
+//!
+//! Operators sanity-check a day's graph before trusting its detections:
+//! degree distributions locate proxies and dead hosts, label-conditioned
+//! summaries show whether the seed ground truth reached enough of the
+//! graph, and the density figures feed capacity planning.
+
+use segugio_model::Label;
+
+use crate::graph::BehaviorGraph;
+
+/// Five-number summary (plus mean) of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeSummary {
+    /// Smallest degree.
+    pub min: usize,
+    /// 50th percentile.
+    pub median: usize,
+    /// 99th percentile.
+    pub p99: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl DegreeSummary {
+    fn from_degrees(mut degrees: Vec<usize>) -> Self {
+        if degrees.is_empty() {
+            return DegreeSummary {
+                min: 0,
+                median: 0,
+                p99: 0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let at = |pct: f64| degrees[(((n - 1) as f64) * pct).round() as usize];
+        DegreeSummary {
+            min: degrees[0],
+            median: at(0.5),
+            p99: at(0.99),
+            max: degrees[n - 1],
+            mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+        }
+    }
+}
+
+/// A full diagnostic snapshot of one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Machine-degree summary.
+    pub machine_degrees: DegreeSummary,
+    /// Domain-degree summary.
+    pub domain_degrees: DegreeSummary,
+    /// Domains per label `(malware, benign, unknown)`.
+    pub domain_labels: (usize, usize, usize),
+    /// Machines per label `(malware, benign, unknown)`.
+    pub machine_labels: (usize, usize, usize),
+    /// Edge density: edges / (machines × domains).
+    pub density: f64,
+    /// Mean degree of *malware-labeled* domains — how many victims the
+    /// known control domains have.
+    pub mean_malware_domain_degree: f64,
+    /// Fraction of edges incident to an unknown domain (the classification
+    /// surface).
+    pub unknown_edge_fraction: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics for `graph`.
+    pub fn compute(graph: &BehaviorGraph) -> Self {
+        let machine_degrees = DegreeSummary::from_degrees(
+            graph
+                .machine_indices()
+                .map(|m| graph.machine_degree(m))
+                .collect(),
+        );
+        let domain_degrees = DegreeSummary::from_degrees(
+            graph
+                .domain_indices()
+                .map(|d| graph.domain_degree(d))
+                .collect(),
+        );
+        let mut malware_degree_sum = 0usize;
+        let mut malware_count = 0usize;
+        let mut unknown_edges = 0usize;
+        for d in graph.domain_indices() {
+            match graph.domain_label(d) {
+                Label::Malware => {
+                    malware_degree_sum += graph.domain_degree(d);
+                    malware_count += 1;
+                }
+                Label::Unknown => unknown_edges += graph.domain_degree(d),
+                Label::Benign => {}
+            }
+        }
+        let nm = graph.machine_count();
+        let nd = graph.domain_count();
+        let ne = graph.edge_count();
+        GraphStats {
+            machine_degrees,
+            domain_degrees,
+            domain_labels: graph.domain_label_counts(),
+            machine_labels: graph.machine_label_counts(),
+            density: if nm == 0 || nd == 0 {
+                0.0
+            } else {
+                ne as f64 / (nm as f64 * nd as f64)
+            },
+            mean_malware_domain_degree: if malware_count == 0 {
+                0.0
+            } else {
+                malware_degree_sum as f64 / malware_count as f64
+            },
+            unknown_edge_fraction: if ne == 0 {
+                0.0
+            } else {
+                unknown_edges as f64 / ne as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::labeling::apply_seed_labels;
+    use segugio_model::{Day, DomainId, E2ldId, MachineId};
+
+    fn sample() -> BehaviorGraph {
+        let mut b = GraphBuilder::new(Day(0));
+        // 4 machines; benign domain 1 queried by all, malware domain 2 by
+        // two machines, unknown domain 3 by one.
+        for m in 0..4u32 {
+            b.add_query(MachineId(m), DomainId(1));
+        }
+        b.add_query(MachineId(0), DomainId(2));
+        b.add_query(MachineId(1), DomainId(2));
+        b.add_query(MachineId(2), DomainId(3));
+        for d in [1u32, 2, 3] {
+            b.set_e2ld(DomainId(d), E2ldId(d));
+        }
+        let mut g = b.build();
+        apply_seed_labels(&mut g, |d| d == DomainId(2), |e| e == E2ldId(1));
+        g
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let s = GraphStats::compute(&sample());
+        assert_eq!(s.domain_labels, (1, 1, 1));
+        assert_eq!(s.machine_labels.0, 2, "two infected machines");
+        assert_eq!(s.machine_degrees.min, 1);
+        assert_eq!(s.machine_degrees.max, 2);
+        assert_eq!(s.domain_degrees.max, 4);
+        assert!((s.mean_malware_domain_degree - 2.0).abs() < 1e-9);
+        // 1 of 7 edges goes to the unknown domain.
+        assert!((s.unknown_edge_fraction - 1.0 / 7.0).abs() < 1e-9);
+        let expected_density = 7.0 / (4.0 * 3.0);
+        assert!((s.density - expected_density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = GraphBuilder::new(Day(0)).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.machine_degrees.max, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.unknown_edge_fraction, 0.0);
+        assert_eq!(s.mean_malware_domain_degree, 0.0);
+    }
+
+    #[test]
+    fn degree_summary_percentiles() {
+        let s = DegreeSummary::from_degrees((1..=100).collect());
+        assert_eq!(s.min, 1);
+        // Nearest-rank on 0-indexed data: round(99 * 0.5) = index 50.
+        assert_eq!(s.median, 51);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Accumulating parsed logs into pipeline inputs.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+use segugio_model::{Day, DomainId, DomainTable, Ipv4, MachineId};
+use segugio_pdns::{ActivityStore, PassiveDns};
+
+use crate::error::ParseLogError;
+use crate::parser::LogRecord;
+
+/// One ingested day, ready for `segugio_core::SnapshotInput`.
+#[derive(Debug, Clone, Default)]
+pub struct IngestedDay {
+    /// `(machine, domain)` query observations.
+    pub queries: Vec<(MachineId, DomainId)>,
+    /// Per-domain resolved IPs observed that day.
+    pub resolutions: Vec<(DomainId, Vec<Ipv4>)>,
+}
+
+/// Accumulates multi-day DNS logs into the structures Segugio consumes:
+/// an interned [`DomainTable`], per-day query/resolution lists, and the
+/// [`ActivityStore`] / [`PassiveDns`] history stores.
+///
+/// Client identifiers are interned to dense [`MachineId`]s in first-seen
+/// order; the mapping is exposed via [`LogCollector::machine_name`].
+#[derive(Debug, Clone, Default)]
+pub struct LogCollector {
+    table: DomainTable,
+    activity: ActivityStore,
+    pdns: PassiveDns,
+    machines: Vec<String>,
+    machine_ids: HashMap<String, MachineId>,
+    days: BTreeMap<u32, DayAccumulator>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct DayAccumulator {
+    queries: Vec<(MachineId, DomainId)>,
+    resolutions: HashMap<DomainId, Vec<Ipv4>>,
+}
+
+impl LogCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one parsed record.
+    pub fn ingest(&mut self, record: LogRecord) {
+        let machine = self.intern_machine(&record.client);
+        let domain = self.table.intern(&record.qname);
+        let e2ld = self.table.e2ld_of(domain);
+        self.activity.record(domain, e2ld, record.day);
+        for &ip in &record.ips {
+            self.pdns.record(domain, ip, record.day);
+        }
+        let acc = self.days.entry(record.day.0).or_default();
+        acc.queries.push((machine, domain));
+        if !record.ips.is_empty() {
+            let ips = acc.resolutions.entry(domain).or_default();
+            for &ip in &record.ips {
+                if !ips.contains(&ip) {
+                    ips.push(ip);
+                }
+            }
+        }
+    }
+
+    /// Parses and ingests every line of a reader (`#` comments and blank
+    /// lines are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or I/O failure, with its line number;
+    /// everything before the failing line has been ingested.
+    pub fn ingest_reader<R: Read>(&mut self, reader: R) -> Result<usize, IngestError> {
+        let mut ingested = 0usize;
+        for (idx, line) in BufReader::new(reader).lines().enumerate() {
+            let line_no = idx as u64 + 1;
+            let line = line.map_err(|e| IngestError::Io(line_no, e.to_string()))?;
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            // Only strip the carriage return: a trailing tab is significant
+            // (it delimits an empty IP list).
+            let payload = line.trim_end_matches('\r');
+            self.ingest(LogRecord::parse(payload, line_no).map_err(IngestError::Parse)?);
+            ingested += 1;
+        }
+        Ok(ingested)
+    }
+
+    fn intern_machine(&mut self, client: &str) -> MachineId {
+        if let Some(&id) = self.machine_ids.get(client) {
+            return id;
+        }
+        let id = MachineId(self.machines.len() as u32);
+        self.machines.push(client.to_owned());
+        self.machine_ids.insert(client.to_owned(), id);
+        id
+    }
+
+    /// The interned domain table.
+    pub fn table(&self) -> &DomainTable {
+        &self.table
+    }
+
+    /// The accumulated activity store (feature group F2 input).
+    pub fn activity(&self) -> &ActivityStore {
+        &self.activity
+    }
+
+    /// The accumulated passive-DNS store (feature group F3 input).
+    pub fn pdns(&self) -> &PassiveDns {
+        &self.pdns
+    }
+
+    /// Number of distinct client machines seen.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The original client identifier behind a [`MachineId`].
+    pub fn machine_name(&self, id: MachineId) -> Option<&str> {
+        self.machines.get(id.index()).map(|s| s.as_str())
+    }
+
+    /// The [`MachineId`] for a client identifier, if seen.
+    pub fn machine_id(&self, client: &str) -> Option<MachineId> {
+        self.machine_ids.get(client).copied()
+    }
+
+    /// Days with ingested traffic, ascending.
+    pub fn days(&self) -> Vec<Day> {
+        self.days.keys().map(|&d| Day(d)).collect()
+    }
+
+    /// The ingested traffic of `day`, if any, as snapshot-ready lists.
+    pub fn day(&self, day: Day) -> Option<IngestedDay> {
+        self.days.get(&day.0).map(|acc| IngestedDay {
+            queries: acc.queries.clone(),
+            resolutions: acc
+                .resolutions
+                .iter()
+                .map(|(&d, ips)| (d, ips.clone()))
+                .collect(),
+        })
+    }
+}
+
+/// Errors from [`LogCollector::ingest_reader`].
+#[derive(Debug)]
+pub enum IngestError {
+    /// A line failed to parse.
+    Parse(ParseLogError),
+    /// Reading failed at the given line.
+    Io(u64, String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::Io(line, e) => write!(f, "log line {line}: i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Parse(e) => Some(e),
+            IngestError::Io(..) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment line
+0\thost-a\twww.example.com\t93.184.216.34
+
+0\thost-b\twww.example.com\t93.184.216.34
+0\thost-a\tmail.example.com\t93.184.216.35
+1\thost-a\tevil.test\t198.51.100.9,198.51.100.10
+";
+
+    fn collected() -> LogCollector {
+        let mut c = LogCollector::new();
+        let n = c.ingest_reader(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(n, 4);
+        c
+    }
+
+    #[test]
+    fn machines_and_domains_are_interned() {
+        let c = collected();
+        assert_eq!(c.machine_count(), 2);
+        assert_eq!(c.machine_name(MachineId(0)), Some("host-a"));
+        assert_eq!(c.machine_id("host-b"), Some(MachineId(1)));
+        assert_eq!(c.machine_id("missing"), None);
+        assert_eq!(c.table().len(), 3);
+    }
+
+    #[test]
+    fn days_are_separated() {
+        let c = collected();
+        assert_eq!(c.days(), vec![Day(0), Day(1)]);
+        let d0 = c.day(Day(0)).unwrap();
+        assert_eq!(d0.queries.len(), 3);
+        assert_eq!(d0.resolutions.len(), 2);
+        let d1 = c.day(Day(1)).unwrap();
+        assert_eq!(d1.queries.len(), 1);
+        let (_, ips) = &d1.resolutions[0];
+        assert_eq!(ips.len(), 2);
+        assert!(c.day(Day(7)).is_none());
+    }
+
+    #[test]
+    fn history_stores_accumulate() {
+        let c = collected();
+        let www = c.table().get_str("www.example.com").unwrap();
+        assert!(c.activity().fqd_active_on(www, Day(0)));
+        assert!(!c.activity().fqd_active_on(www, Day(1)));
+        assert_eq!(
+            c.pdns()
+                .resolved_ips(www, Day(1).lookback(5)),
+            vec![Ipv4::from_octets(93, 184, 216, 34)]
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let mut c = LogCollector::new();
+        let err = c
+            .ingest_reader("0\ta\texample.com\t1.1.1.1\nnot-a-line\n".as_bytes())
+            .unwrap_err();
+        match err {
+            IngestError::Parse(e) => assert_eq!(e.line(), 2),
+            IngestError::Io(..) => panic!("expected parse error"),
+        }
+        // The good line before the failure was ingested.
+        assert_eq!(c.machine_count(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Ingestion errors.
+
+use std::error::Error;
+use std::fmt;
+
+use segugio_model::ParseDomainError;
+
+/// Returned when a log line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogError {
+    line: u64,
+    kind: ParseLogErrorKind,
+}
+
+/// What went wrong on the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLogErrorKind {
+    /// Fewer than four tab-separated fields.
+    MissingField(&'static str),
+    /// The day field was not a non-negative integer.
+    BadDay(String),
+    /// The client id was empty.
+    EmptyClient,
+    /// The qname failed domain-name validation.
+    BadDomain(ParseDomainError),
+    /// An address failed dotted-quad parsing.
+    BadIp(String),
+}
+
+impl ParseLogError {
+    pub(crate) fn new(line: u64, kind: ParseLogErrorKind) -> Self {
+        ParseLogError { line, kind }
+    }
+
+    /// 1-based line number the error occurred on.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// The failure kind.
+    pub fn kind(&self) -> &ParseLogErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log line {}: ", self.line)?;
+        match &self.kind {
+            ParseLogErrorKind::MissingField(name) => write!(f, "missing field `{name}`"),
+            ParseLogErrorKind::BadDay(s) => write!(f, "invalid day index `{s}`"),
+            ParseLogErrorKind::EmptyClient => write!(f, "empty client id"),
+            ParseLogErrorKind::BadDomain(e) => write!(f, "invalid qname: {e}"),
+            ParseLogErrorKind::BadIp(s) => write!(f, "invalid ip address `{s}`"),
+        }
+    }
+}
+
+impl Error for ParseLogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseLogErrorKind::BadDomain(e) => Some(e),
+            _ => None,
+        }
+    }
+}

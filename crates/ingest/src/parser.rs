@@ -1,0 +1,138 @@
+//! Line-level parsing of the TSV log format.
+
+use segugio_model::{Day, DomainName, Ipv4};
+
+use crate::error::{ParseLogError, ParseLogErrorKind};
+
+/// One parsed log line: a client's query and the answer's resolved IPs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Day index of the observation.
+    pub day: Day,
+    /// Stable client identifier (opaque).
+    pub client: String,
+    /// The queried domain.
+    pub qname: DomainName,
+    /// Resolved addresses from the authoritative answer.
+    pub ips: Vec<Ipv4>,
+}
+
+impl LogRecord {
+    /// Parses one log line (`line_no` is used in error messages only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLogError`] when the line has missing fields, a bad
+    /// day index, an empty client id, an invalid domain, or an invalid IP.
+    pub fn parse(line: &str, line_no: u64) -> Result<Self, ParseLogError> {
+        let mut fields = line.split('\t');
+        let day = fields
+            .next()
+            .ok_or_else(|| ParseLogError::new(line_no, ParseLogErrorKind::MissingField("day")))?;
+        let day = day
+            .trim()
+            .parse::<u32>()
+            .map_err(|_| ParseLogError::new(line_no, ParseLogErrorKind::BadDay(day.to_owned())))?;
+        let client = fields
+            .next()
+            .ok_or_else(|| {
+                ParseLogError::new(line_no, ParseLogErrorKind::MissingField("client"))
+            })?
+            .trim();
+        if client.is_empty() {
+            return Err(ParseLogError::new(line_no, ParseLogErrorKind::EmptyClient));
+        }
+        let qname = fields
+            .next()
+            .ok_or_else(|| ParseLogError::new(line_no, ParseLogErrorKind::MissingField("qname")))?;
+        let qname = DomainName::parse(qname.trim())
+            .map_err(|e| ParseLogError::new(line_no, ParseLogErrorKind::BadDomain(e)))?;
+        let ips_field = fields
+            .next()
+            .ok_or_else(|| ParseLogError::new(line_no, ParseLogErrorKind::MissingField("ips")))?;
+        let mut ips = Vec::new();
+        for part in ips_field.trim().split(',') {
+            if part.is_empty() {
+                continue;
+            }
+            ips.push(parse_ip(part, line_no)?);
+        }
+        Ok(LogRecord {
+            day: Day(day),
+            client: client.to_owned(),
+            qname,
+            ips,
+        })
+    }
+}
+
+fn parse_ip(s: &str, line_no: u64) -> Result<Ipv4, ParseLogError> {
+    let bad = || ParseLogError::new(line_no, ParseLogErrorKind::BadIp(s.to_owned()));
+    let mut octets = [0u8; 4];
+    let mut parts = s.trim().split('.');
+    for octet in &mut octets {
+        let p = parts.next().ok_or_else(bad)?;
+        *octet = p.parse::<u8>().map_err(|_| bad())?;
+    }
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(Ipv4::from(octets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseLogErrorKind;
+
+    #[test]
+    fn parses_a_full_line() {
+        let r = LogRecord::parse("3\thost-1\tWWW.Example.COM\t1.2.3.4,5.6.7.8", 1).unwrap();
+        assert_eq!(r.day, Day(3));
+        assert_eq!(r.client, "host-1");
+        assert_eq!(r.qname.as_str(), "www.example.com");
+        assert_eq!(
+            r.ips,
+            vec![Ipv4::from_octets(1, 2, 3, 4), Ipv4::from_octets(5, 6, 7, 8)]
+        );
+    }
+
+    #[test]
+    fn allows_empty_ip_list() {
+        let r = LogRecord::parse("0\tc\texample.com\t", 1).unwrap();
+        assert!(r.ips.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            LogRecord::parse("x\tc\texample.com\t1.2.3.4", 9).unwrap_err().kind(),
+            ParseLogErrorKind::BadDay(_)
+        ));
+        assert!(matches!(
+            LogRecord::parse("1\t\texample.com\t1.2.3.4", 9).unwrap_err().kind(),
+            ParseLogErrorKind::EmptyClient
+        ));
+        assert!(matches!(
+            LogRecord::parse("1\tc\tnot a domain\t1.2.3.4", 9).unwrap_err().kind(),
+            ParseLogErrorKind::BadDomain(_)
+        ));
+        assert!(matches!(
+            LogRecord::parse("1\tc\texample.com\t999.1.1.1", 9).unwrap_err().kind(),
+            ParseLogErrorKind::BadIp(_)
+        ));
+        assert!(matches!(
+            LogRecord::parse("1\tc\texample.com\t1.2.3.4.5", 9).unwrap_err().kind(),
+            ParseLogErrorKind::BadIp(_)
+        ));
+        let err = LogRecord::parse("1\tc", 9).unwrap_err();
+        assert_eq!(err.line(), 9);
+        assert!(matches!(err.kind(), ParseLogErrorKind::MissingField("qname")));
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = LogRecord::parse("bad", 42).unwrap_err();
+        assert!(err.to_string().contains("line 42"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Zeek (Bro) `dns.log` ingestion.
+//!
+//! Zeek is the monitoring stack most likely to already be watching an
+//! ISP's resolver link, and its TSV `dns.log` carries everything Segugio
+//! needs: timestamp, client address, qname and the answer set. This parser
+//! reads the `#fields` header to locate columns (so reordered or extended
+//! logs keep working), keeps `A`-type `NOERROR` responses with at least
+//! one IPv4 answer, and converts timestamps to day indices.
+//!
+//! # Example
+//!
+//! ```
+//! use segugio_ingest::zeek::ZeekReader;
+//! use segugio_ingest::LogCollector;
+//!
+//! let log = "\
+//! #separator \\x09
+//! #fields\tts\tuid\tid.orig_h\tid.resp_h\tquery\tqtype_name\trcode_name\tanswers
+//! 86400.5\tC1\t10.0.0.1\t8.8.8.8\twww.example.com\tA\tNOERROR\t93.184.216.34
+//! 86401.0\tC2\t10.0.0.2\t8.8.8.8\twww.example.com\tAAAA\tNOERROR\t2606:2800::1
+//! ";
+//! let mut collector = LogCollector::new();
+//! let reader = ZeekReader::new();
+//! let stats = reader.ingest(log.as_bytes(), &mut collector).unwrap();
+//! assert_eq!(stats.ingested, 1); // the AAAA record is skipped
+//! assert_eq!(collector.machine_count(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+use segugio_model::{Day, DomainName, Ipv4};
+
+use crate::collector::LogCollector;
+use crate::parser::LogRecord;
+
+/// What a Zeek ingestion pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeekStats {
+    /// Records ingested (A-type, NOERROR, with usable qname and client).
+    pub ingested: usize,
+    /// Lines skipped (headers, comments, non-A, errors, unparsable).
+    pub skipped: usize,
+}
+
+/// Configurable Zeek `dns.log` reader.
+#[derive(Debug, Clone)]
+pub struct ZeekReader {
+    /// Unix timestamp of "day 0"; defaults to 0 (days = `ts / 86400`).
+    epoch: f64,
+}
+
+impl Default for ZeekReader {
+    fn default() -> Self {
+        ZeekReader { epoch: 0.0 }
+    }
+}
+
+impl ZeekReader {
+    /// A reader with day 0 at the Unix epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the Unix timestamp that maps to day 0 (use the first day of
+    /// your capture so day indices stay small).
+    pub fn with_epoch(epoch: f64) -> Self {
+        ZeekReader { epoch }
+    }
+
+    /// Parses a Zeek `dns.log` stream into `collector`.
+    ///
+    /// Unparsable *data* lines are counted in `skipped` rather than
+    /// failing the whole file — Zeek logs routinely contain `-` fields and
+    /// non-A records.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the stream has no `#fields` header
+    /// before data, the header lacks a required column, or reading fails.
+    pub fn ingest<R: Read>(
+        &self,
+        reader: R,
+        collector: &mut LogCollector,
+    ) -> Result<ZeekStats, String> {
+        let mut stats = ZeekStats::default();
+        let mut columns: Option<Columns> = None;
+        for (idx, line) in BufReader::new(reader).lines().enumerate() {
+            let line = line.map_err(|e| format!("dns.log line {}: {e}", idx + 1))?;
+            if let Some(rest) = line.strip_prefix("#fields") {
+                columns = Some(Columns::from_header(rest)?);
+                continue;
+            }
+            if line.starts_with('#') || line.trim().is_empty() {
+                stats.skipped += 1;
+                continue;
+            }
+            let Some(cols) = &columns else {
+                return Err("data before #fields header in dns.log".to_owned());
+            };
+            match self.parse_line(&line, cols) {
+                Some(record) => {
+                    collector.ingest(record);
+                    stats.ingested += 1;
+                }
+                None => stats.skipped += 1,
+            }
+        }
+        Ok(stats)
+    }
+
+    fn parse_line(&self, line: &str, cols: &Columns) -> Option<LogRecord> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let get = |i: usize| fields.get(i).copied().unwrap_or("-");
+
+        // Keep only successful A lookups.
+        if let Some(qtype) = cols.qtype_name {
+            if get(qtype) != "A" {
+                return None;
+            }
+        }
+        if let Some(rcode) = cols.rcode_name {
+            if get(rcode) != "NOERROR" {
+                return None;
+            }
+        }
+        let ts: f64 = get(cols.ts).parse().ok()?;
+        let days = (ts - self.epoch) / 86_400.0;
+        if days < 0.0 {
+            return None;
+        }
+        let client = get(cols.orig_h);
+        if client == "-" || client.is_empty() {
+            return None;
+        }
+        let qname = DomainName::parse(get(cols.query)).ok()?;
+        let ips: Vec<Ipv4> = match cols.answers {
+            Some(a) => get(a)
+                .split(',')
+                .filter_map(parse_ipv4)
+                .collect(),
+            None => Vec::new(),
+        };
+        Some(LogRecord {
+            day: Day(days as u32),
+            client: client.to_owned(),
+            qname,
+            ips,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Columns {
+    ts: usize,
+    orig_h: usize,
+    query: usize,
+    qtype_name: Option<usize>,
+    rcode_name: Option<usize>,
+    answers: Option<usize>,
+}
+
+impl Columns {
+    fn from_header(rest: &str) -> Result<Self, String> {
+        let names: Vec<&str> = rest.split('\t').filter(|s| !s.is_empty()).collect();
+        let index: HashMap<&str, usize> =
+            names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let need = |name: &str| -> Result<usize, String> {
+            index
+                .get(name)
+                .copied()
+                .ok_or_else(|| format!("dns.log #fields header lacks `{name}`"))
+        };
+        Ok(Columns {
+            ts: need("ts")?,
+            orig_h: need("id.orig_h")?,
+            query: need("query")?,
+            qtype_name: index.get("qtype_name").copied(),
+            rcode_name: index.get("rcode_name").copied(),
+            answers: index.get("answers").copied(),
+        })
+    }
+}
+
+fn parse_ipv4(s: &str) -> Option<Ipv4> {
+    let mut octets = [0u8; 4];
+    let mut parts = s.trim().split('.');
+    for octet in &mut octets {
+        *octet = parts.next()?.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Ipv4::from(octets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tquery\tqtype_name\trcode_name\tanswers";
+
+    fn log(lines: &[&str]) -> String {
+        let mut s = String::from("#separator \\x09\n");
+        s.push_str(HEADER);
+        s.push('\n');
+        for l in lines {
+            s.push_str(l);
+            s.push('\n');
+        }
+        s
+    }
+
+    #[test]
+    fn parses_a_records_and_skips_others() {
+        let text = log(&[
+            "86400.5\tC1\t10.0.0.1\t5353\t8.8.8.8\twww.example.com\tA\tNOERROR\t1.2.3.4,5.6.7.8",
+            "86401.0\tC2\t10.0.0.2\t5353\t8.8.8.8\twww.example.com\tAAAA\tNOERROR\t2606:2800::1",
+            "86402.0\tC3\t10.0.0.3\t5353\t8.8.8.8\tmissing.example\tA\tNXDOMAIN\t-",
+            "#close\t2026-01-01",
+        ]);
+        let mut c = LogCollector::new();
+        let stats = ZeekReader::new().ingest(text.as_bytes(), &mut c).unwrap();
+        assert_eq!(stats.ingested, 1);
+        assert!(stats.skipped >= 3);
+        let day = c.day(Day(1)).expect("ts 86400 is day 1");
+        assert_eq!(day.queries.len(), 1);
+        let (_, ips) = &day.resolutions[0];
+        assert_eq!(ips.len(), 2);
+    }
+
+    #[test]
+    fn epoch_offsets_days() {
+        let text = log(&[
+            "1000086400.0\tC1\t10.0.0.1\t1\t8.8.8.8\ta.example.com\tA\tNOERROR\t1.1.1.1",
+        ]);
+        let mut c = LogCollector::new();
+        ZeekReader::with_epoch(1_000_000_000.0)
+            .ingest(text.as_bytes(), &mut c)
+            .unwrap();
+        assert!(c.day(Day(1)).is_some());
+        // Timestamps before the epoch are skipped, not wrapped.
+        let mut c2 = LogCollector::new();
+        let stats = ZeekReader::with_epoch(2_000_000_000.0)
+            .ingest(text.as_bytes(), &mut c2)
+            .unwrap();
+        assert_eq!(stats.ingested, 0);
+    }
+
+    #[test]
+    fn reordered_columns_work() {
+        let text = "\
+#fields\tquery\tts\tid.orig_h\tanswers\tqtype_name\trcode_name
+b.example.org\t86400.0\t10.1.1.1\t9.9.9.9\tA\tNOERROR
+";
+        let mut c = LogCollector::new();
+        let stats = ZeekReader::new().ingest(text.as_bytes(), &mut c).unwrap();
+        assert_eq!(stats.ingested, 1);
+        assert!(c.table().get_str("b.example.org").is_some());
+    }
+
+    #[test]
+    fn missing_header_or_columns_error() {
+        let mut c = LogCollector::new();
+        assert!(ZeekReader::new()
+            .ingest("1\t2\t3\n".as_bytes(), &mut c)
+            .is_err());
+        assert!(ZeekReader::new()
+            .ingest("#fields\tts\tquery\n".as_bytes(), &mut c)
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_data_lines_are_skipped_not_fatal() {
+        let text = log(&[
+            "not-a-ts\tC1\t10.0.0.1\t1\t8.8.8.8\ta.example.com\tA\tNOERROR\t1.1.1.1",
+            "86400.0\tC1\t-\t1\t8.8.8.8\ta.example.com\tA\tNOERROR\t1.1.1.1",
+            "86400.0\tC1\t10.0.0.1\t1\t8.8.8.8\tnot a domain\tA\tNOERROR\t1.1.1.1",
+        ]);
+        let mut c = LogCollector::new();
+        let stats = ZeekReader::new().ingest(text.as_bytes(), &mut c).unwrap();
+        assert_eq!(stats.ingested, 0);
+        assert_eq!(stats.skipped, 4); // 3 bad lines + trailing none
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests: arbitrary well-formed logs survive the
+//! export → ingest round trip with nothing lost or invented.
+
+use proptest::prelude::*;
+
+use segugio_ingest::{export_day, LogCollector, LogRecord};
+use segugio_model::{Day, DomainName, DomainTable, Ipv4, MachineId};
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(label(), 1..4).prop_map(|l| l.join("."))
+}
+
+proptest! {
+    /// Every parsed record reproduces the encoded fields exactly.
+    #[test]
+    fn record_round_trips_through_text(
+        day in 0u32..1000,
+        client in "[a-z0-9-]{1,12}",
+        qname in name(),
+        ips in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4),
+    ) {
+        let ips: Vec<Ipv4> = ips
+            .iter()
+            .map(|&(a, b)| Ipv4::from_octets(10, 0, a, b))
+            .collect();
+        let mut dedup = ips.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let line = format!(
+            "{day}\t{client}\t{qname}\t{}",
+            ips.iter().map(|ip| ip.to_string()).collect::<Vec<_>>().join(",")
+        );
+        let record = LogRecord::parse(&line, 1).expect("constructed line is valid");
+        prop_assert_eq!(record.day, Day(day));
+        prop_assert_eq!(record.client.as_str(), client.as_str());
+        prop_assert_eq!(record.qname.as_str(), qname.as_str());
+        prop_assert_eq!(&record.ips, &ips);
+    }
+
+    /// Export → ingest preserves query multiset size, machine count and
+    /// distinct domains, for arbitrary traffic shapes.
+    #[test]
+    fn export_ingest_preserves_structure(
+        edges in proptest::collection::vec((0u32..8, 0usize..6), 1..60),
+        names in proptest::collection::vec(name(), 6..7),
+    ) {
+        let mut table = DomainTable::new();
+        let ids: Vec<_> = names
+            .iter()
+            .map(|n| table.intern(&DomainName::parse(n).unwrap()))
+            .collect();
+        let queries: Vec<(MachineId, _)> = edges
+            .iter()
+            .map(|&(m, d)| (MachineId(m), ids[d]))
+            .collect();
+        let text = export_day(&table, 3, &queries, &[]);
+        let mut collector = LogCollector::new();
+        let n = collector.ingest_reader(text.as_bytes()).unwrap();
+        prop_assert_eq!(n, queries.len());
+
+        let distinct_machines: std::collections::HashSet<u32> =
+            edges.iter().map(|&(m, _)| m).collect();
+        prop_assert_eq!(collector.machine_count(), distinct_machines.len());
+        let distinct_domains: std::collections::HashSet<usize> =
+            edges.iter().map(|&(_, d)| d).collect();
+        // Domains dedup by *name*; names may collide in the strategy.
+        let distinct_names: std::collections::HashSet<&str> = distinct_domains
+            .iter()
+            .map(|&d| names[d].as_str())
+            .collect();
+        prop_assert_eq!(collector.table().len(), distinct_names.len());
+        let day = collector.day(Day(3)).unwrap();
+        prop_assert_eq!(day.queries.len(), queries.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! Dense labeled dataset.
+
+/// A dense, row-major feature matrix with binary targets.
+///
+/// # Example
+///
+/// ```
+/// use segugio_ml::Dataset;
+///
+/// let mut data = Dataset::new(2);
+/// data.push(&[1.0, 0.5], true);
+/// data.push(&[0.0, 0.1], false);
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.row(0), &[1.0, 0.5]);
+/// assert!(data.label(0));
+/// assert_eq!(data.positive_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    n_features: usize,
+    x: Vec<f32>,
+    y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with rows of `n_features` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features` is zero.
+    pub fn new(n_features: usize) -> Self {
+        assert!(n_features > 0, "datasets need at least one feature");
+        Dataset {
+            n_features,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.n_features()`.
+    pub fn push(&mut self, features: &[f32], label: bool) {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature vector length mismatch"
+        );
+        self.x.extend_from_slice(features);
+        self.y.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The `i`-th feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.x[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The `i`-th label (`true` = positive/malware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> bool {
+        self.y[i]
+    }
+
+    /// All labels, in row order.
+    pub fn labels(&self) -> &[bool] {
+        &self.y
+    }
+
+    /// Number of positive samples.
+    pub fn positive_count(&self) -> usize {
+        self.y.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of negative samples.
+    pub fn negative_count(&self) -> usize {
+        self.len() - self.positive_count()
+    }
+
+    /// Builds a new dataset from the rows selected by `indices` (repeats
+    /// allowed — this is how bootstrap resamples are expressed).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.n_features);
+        out.x.reserve(indices.len() * self.n_features);
+        out.y.reserve(indices.len());
+        for &i in indices {
+            out.x.extend_from_slice(self.row(i));
+            out.y.push(self.y[i]);
+        }
+        out
+    }
+
+    /// Returns a copy with the feature columns in `keep` only, in the given
+    /// order. Used by the feature-ablation experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `keep` is out of range or `keep` is empty.
+    pub fn project(&self, keep: &[usize]) -> Dataset {
+        assert!(!keep.is_empty(), "cannot project onto zero features");
+        assert!(
+            keep.iter().all(|&c| c < self.n_features),
+            "projection column out of range"
+        );
+        let mut out = Dataset::new(keep.len());
+        for i in 0..self.len() {
+            let row = self.row(i);
+            let projected: Vec<f32> = keep.iter().map(|&c| row[c]).collect();
+            out.push(&projected, self.y[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(3);
+        d.push(&[1.0, 2.0, 3.0], true);
+        d.push(&[4.0, 5.0, 6.0], false);
+        d.push(&[7.0, 8.0, 9.0], true);
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.row(1), &[4.0, 5.0, 6.0]);
+        assert!(!d.label(1));
+        assert_eq!(d.positive_count(), 2);
+        assert_eq!(d.negative_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector length mismatch")]
+    fn push_wrong_arity_panics() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0], true);
+    }
+
+    #[test]
+    fn select_with_repeats() {
+        let d = sample();
+        let s = d.select(&[2, 2, 0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(s.row(2), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.positive_count(), 3);
+    }
+
+    #[test]
+    fn project_columns() {
+        let d = sample();
+        let p = d.project(&[2, 0]);
+        assert_eq!(p.n_features(), 2);
+        assert_eq!(p.row(0), &[3.0, 1.0]);
+        assert_eq!(p.labels(), d.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "projection column out of range")]
+    fn project_out_of_range_panics() {
+        sample().project(&[5]);
+    }
+}

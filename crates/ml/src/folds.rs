@@ -1,0 +1,135 @@
+//! Cross-validation fold assignment.
+//!
+//! Two splitters are provided:
+//!
+//! - [`stratified_kfold`] — preserves the positive/negative ratio per fold;
+//! - [`grouped_kfold`] — assigns whole *groups* (malware families, in the
+//!   cross-malware-family experiments of Section IV-C) to folds so that
+//!   "none of the known malware-control domains used for training belonged
+//!   to any of the malware families represented in the test set", with each
+//!   fold containing roughly the same number of families.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Assigns each sample to one of `k` folds, preserving class balance.
+/// Returns `fold[i] ∈ 0..k` per sample.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn stratified_kfold(labels: &[bool], k: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0, "need at least one fold");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fold = vec![0usize; labels.len()];
+    for class in [true, false] {
+        let mut idx: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        idx.shuffle(&mut rng);
+        for (j, &i) in idx.iter().enumerate() {
+            fold[i] = j % k;
+        }
+    }
+    fold
+}
+
+/// Assigns each sample to one of `k` folds such that samples sharing a
+/// group id always land in the same fold, and folds hold roughly equal
+/// numbers of *groups*. Returns `fold[i] ∈ 0..k` per sample.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn grouped_kfold(groups: &[u32], k: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0, "need at least one fold");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut distinct: Vec<u32> = groups.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct.shuffle(&mut rng);
+    let assignment: std::collections::HashMap<u32, usize> = distinct
+        .iter()
+        .enumerate()
+        .map(|(j, &g)| (g, j % k))
+        .collect();
+    groups.iter().map(|g| assignment[g]).collect()
+}
+
+/// Splits `0..n` into the train/test index sets for `fold`.
+pub fn fold_split(fold_of: &[usize], fold: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, &f) in fold_of.iter().enumerate() {
+        if f == fold {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        let labels: Vec<bool> = (0..100).map(|i| i < 20).collect();
+        let fold = stratified_kfold(&labels, 5, 1);
+        for f in 0..5 {
+            let pos = labels
+                .iter()
+                .zip(&fold)
+                .filter(|&(&l, &ff)| l && ff == f)
+                .count();
+            let total = fold.iter().filter(|&&ff| ff == f).count();
+            assert_eq!(pos, 4, "each fold gets 4 of 20 positives");
+            assert_eq!(total, 20);
+        }
+    }
+
+    #[test]
+    fn grouped_keeps_groups_together() {
+        let groups: Vec<u32> = (0..60).map(|i| i / 6).collect(); // 10 groups of 6
+        let fold = grouped_kfold(&groups, 5, 3);
+        for g in 0..10u32 {
+            let folds: std::collections::HashSet<usize> = groups
+                .iter()
+                .zip(&fold)
+                .filter(|&(&gg, _)| gg == g)
+                .map(|(_, &f)| f)
+                .collect();
+            assert_eq!(folds.len(), 1, "group {g} split across folds");
+        }
+        // Groups per fold are balanced: 10 groups / 5 folds = 2 each.
+        for f in 0..5 {
+            let groups_in: std::collections::HashSet<u32> = groups
+                .iter()
+                .zip(&fold)
+                .filter(|&(_, &ff)| ff == f)
+                .map(|(&g, _)| g)
+                .collect();
+            assert_eq!(groups_in.len(), 2);
+        }
+    }
+
+    #[test]
+    fn fold_split_partitions() {
+        let fold = vec![0, 1, 2, 0, 1, 2];
+        let (train, test) = fold_split(&fold, 1);
+        assert_eq!(test, vec![1, 4]);
+        assert_eq!(train, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let labels: Vec<bool> = (0..50).map(|i| i % 3 == 0).collect();
+        assert_eq!(
+            stratified_kfold(&labels, 4, 9),
+            stratified_kfold(&labels, 4, 9)
+        );
+        let groups: Vec<u32> = (0..50).map(|i| i / 5).collect();
+        assert_eq!(grouped_kfold(&groups, 4, 9), grouped_kfold(&groups, 4, 9));
+    }
+}

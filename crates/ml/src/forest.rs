@@ -1,0 +1,467 @@
+//! Bagged random forests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::persist::{self, ParseModelError};
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+
+/// How each tree's training sample is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BootstrapMode {
+    /// Classic bagging: `n` draws with replacement from all rows.
+    #[default]
+    Standard,
+    /// Class-balanced bagging: each tree sees an equal number of positive
+    /// and negative draws (with replacement), `2 * min(n_pos, n_neg)` total.
+    /// This keeps trees sensitive to the rare malware class when negatives
+    /// outnumber positives by orders of magnitude, as in ISP traffic.
+    Balanced,
+    /// No resampling: every tree sees the full dataset (only feature
+    /// subsampling differs between trees).
+    None,
+}
+
+/// Hyperparameters for [`RandomForest::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree CART parameters. When `tree.mtry` is `None`, it is set to
+    /// `ceil(sqrt(n_features))` at fit time, the usual forest default.
+    pub tree: TreeConfig,
+    /// Bootstrap strategy.
+    pub bootstrap: BootstrapMode,
+    /// RNG seed; each tree derives an independent stream from it.
+    pub seed: u64,
+    /// Number of worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig {
+                max_depth: 24,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+                mtry: None,
+            },
+            bootstrap: BootstrapMode::Balanced,
+            seed: 0xD05_5E66,
+            threads: 0,
+        }
+    }
+}
+
+/// A trained random forest; the malware score of a sample is the mean of the
+/// per-tree leaf probabilities.
+///
+/// # Example
+///
+/// ```
+/// use segugio_ml::{Classifier, Dataset, ForestConfig, RandomForest};
+///
+/// let mut data = Dataset::new(1);
+/// for i in 0..100 {
+///     data.push(&[i as f32], i >= 50);
+/// }
+/// let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 10, ..Default::default() });
+/// assert!(forest.score(&[80.0]) > 0.8);
+/// assert!(forest.score(&[10.0]) < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Trains a forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `config.n_trees` is zero.
+    pub fn fit(data: &Dataset, config: &ForestConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "forest needs at least one tree");
+
+        let mut tree_config = config.tree.clone();
+        if tree_config.mtry.is_none() {
+            tree_config.mtry = Some((data.n_features() as f64).sqrt().ceil() as usize);
+        }
+
+        let n_threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        }
+        .min(config.n_trees);
+
+        let trees = if n_threads <= 1 {
+            (0..config.n_trees)
+                .map(|t| Self::fit_one(data, &tree_config, config, t))
+                .collect()
+        } else {
+            let mut slots: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
+            crossbeam::thread::scope(|scope| {
+                for (worker, chunk) in slots.chunks_mut(config.n_trees.div_ceil(n_threads)).enumerate() {
+                    let tree_config = &tree_config;
+                    scope.spawn(move |_| {
+                        let base = worker * config.n_trees.div_ceil(n_threads);
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(Self::fit_one(data, tree_config, config, base + k));
+                        }
+                    });
+                }
+            })
+            .expect("forest training worker panicked");
+            slots.into_iter().map(|t| t.expect("all trees trained")).collect()
+        };
+        RandomForest { trees }
+    }
+
+    fn fit_one(
+        data: &Dataset,
+        tree_config: &TreeConfig,
+        config: &ForestConfig,
+        tree_index: usize,
+    ) -> DecisionTree {
+        // Independent deterministic stream per tree.
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(tree_index as u64),
+        );
+        let indices = draw_bootstrap(data, config.bootstrap, &mut rng);
+        DecisionTree::fit_on(data, &indices, tree_config, &mut rng)
+    }
+
+    /// Trains a forest and returns out-of-bag score estimates alongside it.
+    ///
+    /// Each sample is scored only by the trees whose bootstrap did not
+    /// contain it, giving an unbiased generalization estimate without a
+    /// holdout set. Samples that were in every bootstrap get `None`
+    /// (possible with few trees).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RandomForest::fit`].
+    pub fn fit_with_oob(data: &Dataset, config: &ForestConfig) -> (Self, OobEstimate) {
+        let forest = Self::fit(data, config);
+        let n = data.len();
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0u32; n];
+        // Re-derive each tree's bootstrap (the per-tree RNG stream is
+        // deterministic, and `fit_one` draws the bootstrap before any other
+        // randomness), then score the out-of-bag rows.
+        for (t, tree) in forest.trees.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t as u64),
+            );
+            let indices = draw_bootstrap(data, config.bootstrap, &mut rng);
+            let mut in_bag = vec![false; n];
+            for &i in &indices {
+                in_bag[i as usize] = true;
+            }
+            for i in 0..n {
+                if !in_bag[i] {
+                    sums[i] += tree.score(data.row(i)) as f64;
+                    counts[i] += 1;
+                }
+            }
+        }
+        let scores: Vec<Option<f32>> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| (c > 0).then(|| (s / c as f64) as f32))
+            .collect();
+        (forest, OobEstimate::new(scores, data.labels()))
+    }
+
+    /// Serializes the forest into the line-oriented persistence format.
+    pub fn write_text(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "forest {}", self.trees.len());
+        for tree in &self.trees {
+            tree.write_text(out);
+        }
+    }
+
+    /// Reads a forest from the persistence format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseModelError`] on malformed input.
+    pub fn read_text<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<Self, ParseModelError> {
+        let header = persist::next_line(lines, "forest header")?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("forest") {
+            return Err(ParseModelError::new("expected `forest` header"));
+        }
+        let n: usize = persist::field(parts.next(), "forest tree count")?;
+        if n == 0 {
+            return Err(ParseModelError::new("forest must contain trees"));
+        }
+        let trees = (0..n)
+            .map(|_| DecisionTree::read_text(lines))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RandomForest { trees })
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The individual trees.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+}
+
+/// Out-of-bag generalization estimate from [`RandomForest::fit_with_oob`].
+#[derive(Debug, Clone)]
+pub struct OobEstimate {
+    scores: Vec<Option<f32>>,
+    auc: Option<f64>,
+}
+
+impl OobEstimate {
+    fn new(scores: Vec<Option<f32>>, labels: &[bool]) -> Self {
+        let mut s = Vec::new();
+        let mut l = Vec::new();
+        for (score, &label) in scores.iter().zip(labels) {
+            if let Some(v) = score {
+                s.push(*v);
+                l.push(label);
+            }
+        }
+        let auc = (l.iter().any(|&x| x) && l.iter().any(|&x| !x))
+            .then(|| crate::eval::RocCurve::from_scores(&s, &l).auc());
+        OobEstimate { scores, auc }
+    }
+
+    /// Per-sample OOB scores (`None` if the sample was in every bootstrap).
+    pub fn scores(&self) -> &[Option<f32>] {
+        &self.scores
+    }
+
+    /// OOB ROC AUC, when both classes have covered samples.
+    pub fn auc(&self) -> Option<f64> {
+        self.auc
+    }
+
+    /// Fraction of samples with an OOB estimate.
+    pub fn coverage(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        self.scores.iter().filter(|s| s.is_some()).count() as f64 / self.scores.len() as f64
+    }
+}
+
+impl Classifier for RandomForest {
+    fn score(&self, features: &[f32]) -> f32 {
+        let sum: f32 = self.trees.iter().map(|t| t.score(features)).sum();
+        sum / self.trees.len() as f32
+    }
+}
+
+fn draw_bootstrap<R: Rng>(data: &Dataset, mode: BootstrapMode, rng: &mut R) -> Vec<u32> {
+    let n = data.len();
+    match mode {
+        BootstrapMode::None => (0..n as u32).collect(),
+        BootstrapMode::Standard => (0..n).map(|_| rng.gen_range(0..n) as u32).collect(),
+        BootstrapMode::Balanced => {
+            let pos: Vec<u32> = (0..n as u32).filter(|&i| data.label(i as usize)).collect();
+            let neg: Vec<u32> = (0..n as u32).filter(|&i| !data.label(i as usize)).collect();
+            if pos.is_empty() || neg.is_empty() {
+                // Degenerate single-class data: fall back to standard.
+                return (0..n).map(|_| rng.gen_range(0..n) as u32).collect();
+            }
+            let per_class = pos.len().min(neg.len()).max(1);
+            let mut out = Vec::with_capacity(per_class * 2);
+            for _ in 0..per_class {
+                out.push(pos[rng.gen_range(0..pos.len())]);
+                out.push(neg[rng.gen_range(0..neg.len())]);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            let x = i as f32 / n as f32;
+            d.push(&[x, (i % 7) as f32], x >= 0.5);
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_separable_data() {
+        let data = separable(200);
+        let f = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+        );
+        assert_eq!(f.tree_count(), 20);
+        assert!(f.score(&[0.9, 0.0]) > 0.9);
+        assert!(f.score(&[0.1, 0.0]) < 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = separable(100);
+        let cfg = ForestConfig {
+            n_trees: 8,
+            threads: 1,
+            ..ForestConfig::default()
+        };
+        let f1 = RandomForest::fit(&data, &cfg);
+        let f2 = RandomForest::fit(&data, &cfg);
+        for x in [0.1f32, 0.4, 0.6, 0.9] {
+            assert_eq!(f1.score(&[x, 1.0]), f2.score(&[x, 1.0]));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let data = separable(100);
+        let serial = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 8,
+                threads: 1,
+                ..ForestConfig::default()
+            },
+        );
+        let parallel = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 8,
+                threads: 4,
+                ..ForestConfig::default()
+            },
+        );
+        for x in [0.05f32, 0.35, 0.65, 0.95] {
+            assert_eq!(serial.score(&[x, 2.0]), parallel.score(&[x, 2.0]));
+        }
+    }
+
+    #[test]
+    fn balanced_bootstrap_handles_imbalance() {
+        // 5 positives vs 500 negatives; balanced mode must still rank
+        // positives above negatives.
+        let mut d = Dataset::new(1);
+        for i in 0..500 {
+            d.push(&[(i % 50) as f32], false);
+        }
+        for _ in 0..5 {
+            d.push(&[100.0], true);
+        }
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 15,
+                bootstrap: BootstrapMode::Balanced,
+                ..ForestConfig::default()
+            },
+        );
+        assert!(f.score(&[100.0]) > f.score(&[10.0]));
+        assert!(f.score(&[100.0]) > 0.8);
+    }
+
+    #[test]
+    fn single_class_data_degrades_gracefully() {
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push(&[i as f32], false);
+        }
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 3,
+                ..ForestConfig::default()
+            },
+        );
+        assert!(f.score(&[5.0]) < 0.1);
+    }
+
+    #[test]
+    fn forest_text_round_trip() {
+        let data = separable(80);
+        let f = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+        );
+        let mut text = String::new();
+        f.write_text(&mut text);
+        let f2 = RandomForest::read_text(&mut text.lines()).unwrap();
+        assert_eq!(f2.tree_count(), 6);
+        for i in 0..data.len() {
+            assert_eq!(f.score(data.row(i)), f2.score(data.row(i)));
+        }
+        assert!(RandomForest::read_text(&mut "forest 0".lines()).is_err());
+    }
+
+    #[test]
+    fn oob_estimates_generalization() {
+        let data = separable(300);
+        let (forest, oob) = RandomForest::fit_with_oob(
+            &data,
+            &ForestConfig {
+                n_trees: 25,
+                ..ForestConfig::default()
+            },
+        );
+        assert_eq!(forest.tree_count(), 25);
+        assert!(oob.coverage() > 0.9, "coverage {}", oob.coverage());
+        let auc = oob.auc().expect("both classes covered");
+        assert!(auc > 0.95, "separable data must have high OOB AUC, got {auc}");
+        // OOB scores track the labels.
+        for (i, score) in oob.scores().iter().enumerate() {
+            if let Some(s) = score {
+                assert!((0.0..=1.0).contains(s));
+                let _ = i;
+            }
+        }
+    }
+
+    #[test]
+    fn score_all_matches_score() {
+        let data = separable(60);
+        let f = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 5,
+                ..ForestConfig::default()
+            },
+        );
+        let all = f.score_all(&data);
+        assert_eq!(all.len(), data.len());
+        for i in [0usize, 10, 59] {
+            assert_eq!(all[i], f.score(data.row(i)));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Plain-text model persistence.
+//!
+//! A deliberately simple, versioned, line-oriented format (no external
+//! serialization dependencies) so trained models can be written to disk,
+//! shipped to another network, and loaded back — the deployment story
+//! behind the paper's cross-network result.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a persisted model fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    message: String,
+}
+
+impl ParseModelError {
+    /// Creates an error with the given context message. Public so crates
+    /// layering their own persisted structures on this format (e.g.
+    /// `segugio-core`'s model files) can reuse the error type.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseModelError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model data: {}", self.message)
+    }
+}
+
+impl Error for ParseModelError {}
+
+/// Reads the next non-empty line or errors with context.
+pub(crate) fn next_line<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    expected: &str,
+) -> Result<&'a str, ParseModelError> {
+    lines
+        .next()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| ParseModelError::new(format!("unexpected end of input, expected {expected}")))
+}
+
+/// Parses a whitespace-separated field.
+pub(crate) fn field<T: std::str::FromStr>(
+    part: Option<&str>,
+    what: &str,
+) -> Result<T, ParseModelError> {
+    part.ok_or_else(|| ParseModelError::new(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseModelError::new(format!("malformed {what}")))
+}

@@ -1,0 +1,519 @@
+//! CART decision trees with Gini impurity.
+
+use rand::seq::index::sample as sample_indices;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::persist::{self, ParseModelError};
+use crate::Classifier;
+
+/// Hyperparameters for a single [`DecisionTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes with fewer samples than this.
+    pub min_samples_split: usize,
+    /// Each child of a split must keep at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Number of features considered at each split; `None` means all.
+    /// Random forests typically use `sqrt(n_features)`.
+    pub mtry: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 24,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            mtry: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        probability: f32,
+    },
+    Split {
+        feature: u16,
+        threshold: f32,
+        /// Index of the left child in the arena; right child is `left + 1`…
+        /// no — children are stored at arbitrary positions, so both indices
+        /// are kept explicitly.
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A trained CART classification tree producing P(positive) estimates.
+///
+/// # Example
+///
+/// ```
+/// use segugio_ml::{Classifier, Dataset, DecisionTree, TreeConfig};
+/// use rand::SeedableRng;
+///
+/// let mut data = Dataset::new(1);
+/// for i in 0..50 {
+///     data.push(&[i as f32], i >= 25);
+/// }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
+/// assert!(tree.score(&[40.0]) > 0.9);
+/// assert!(tree.score(&[3.0]) < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit<R: Rng>(data: &Dataset, config: &TreeConfig, rng: &mut R) -> Self {
+        let indices: Vec<u32> = (0..data.len() as u32).collect();
+        Self::fit_on(data, &indices, config, rng)
+    }
+
+    /// Fits a tree on the rows of `data` selected by `indices` (repeats
+    /// allowed, as produced by bootstrap sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_on<R: Rng>(
+        data: &Dataset,
+        indices: &[u32],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: data.n_features(),
+        };
+        let mut work = indices.to_vec();
+        tree.grow(data, &mut work, 0, config, rng);
+        tree
+    }
+
+    /// Serializes the tree into the line-oriented persistence format.
+    pub fn write_text(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "tree {} {}", self.n_features, self.nodes.len());
+        for node in &self.nodes {
+            match *node {
+                Node::Leaf { probability } => {
+                    let _ = writeln!(out, "L {probability}");
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let _ = writeln!(out, "S {feature} {threshold} {left} {right}");
+                }
+            }
+        }
+    }
+
+    /// Reads a tree from the persistence format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseModelError`] on malformed input (wrong header, node
+    /// count mismatch, child index out of range).
+    pub fn read_text<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<Self, ParseModelError> {
+        let header = persist::next_line(lines, "tree header")?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("tree") {
+            return Err(ParseModelError::new("expected `tree` header"));
+        }
+        let n_features: usize = persist::field(parts.next(), "tree feature count")?;
+        let n_nodes: usize = persist::field(parts.next(), "tree node count")?;
+        if n_features == 0 || n_nodes == 0 {
+            return Err(ParseModelError::new("tree must have features and nodes"));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let line = persist::next_line(lines, "tree node")?;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("L") => nodes.push(Node::Leaf {
+                    probability: persist::field(parts.next(), "leaf probability")?,
+                }),
+                Some("S") => nodes.push(Node::Split {
+                    feature: persist::field(parts.next(), "split feature")?,
+                    threshold: persist::field(parts.next(), "split threshold")?,
+                    left: persist::field(parts.next(), "split left child")?,
+                    right: persist::field(parts.next(), "split right child")?,
+                }),
+                _ => return Err(ParseModelError::new("expected node line `L ...` or `S ...`")),
+            }
+        }
+        // Validate child references so scoring can never index out of
+        // bounds.
+        for node in &nodes {
+            if let Node::Split { left, right, feature, .. } = *node {
+                if left as usize >= nodes.len() || right as usize >= nodes.len() {
+                    return Err(ParseModelError::new("node child index out of range"));
+                }
+                if feature as usize >= n_features {
+                    return Err(ParseModelError::new("split feature out of range"));
+                }
+            }
+        }
+        Ok(DecisionTree { nodes, n_features })
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: u32) -> usize {
+            match nodes[i as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, left).max(depth_of(nodes, right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+
+    /// Grows a subtree over `indices`, returning its node index.
+    fn grow<R: Rng>(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [u32],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> u32 {
+        let n = indices.len();
+        let pos = indices.iter().filter(|&&i| data.label(i as usize)).count();
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            // Laplace-smoothed leaf estimate: keeps large pure leaves more
+            // confident than tiny ones, which gives the forest's averaged
+            // score a much finer ranking resolution at the extremes (the
+            // low-FP operating points live there).
+            let probability = (pos as f32 + 1.0) / (n as f32 + 2.0);
+            nodes.push(Node::Leaf { probability });
+            (nodes.len() - 1) as u32
+        };
+
+        if depth >= config.max_depth
+            || n < config.min_samples_split
+            || pos == 0
+            || pos == n
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let Some(split) = self.best_split(data, indices, config, rng) else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        // Partition indices in place around the threshold.
+        let mid = partition(indices, |&i| {
+            data.row(i as usize)[split.feature as usize] <= split.threshold
+        });
+        debug_assert!(mid > 0 && mid < n, "split must separate samples");
+
+        // Reserve this node's slot before recursing.
+        let node_idx = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { probability: 0.0 });
+        let (left_slice, right_slice) = indices.split_at_mut(mid);
+        let left = self.grow(data, left_slice, depth + 1, config, rng);
+        let right = self.grow(data, right_slice, depth + 1, config, rng);
+        self.nodes[node_idx as usize] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    fn best_split<R: Rng>(
+        &self,
+        data: &Dataset,
+        indices: &[u32],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Option<SplitCandidate> {
+        let n_features = data.n_features();
+        let mtry = config.mtry.unwrap_or(n_features).clamp(1, n_features);
+        let features: Vec<usize> = if mtry == n_features {
+            (0..n_features).collect()
+        } else {
+            sample_indices(rng, n_features, mtry).into_vec()
+        };
+
+        let n = indices.len();
+        let total_pos = indices.iter().filter(|&&i| data.label(i as usize)).count();
+        let parent_gini = gini(total_pos, n);
+
+        let mut best: Option<SplitCandidate> = None;
+        let mut column: Vec<(f32, bool)> = Vec::with_capacity(n);
+        for &f in &features {
+            column.clear();
+            column.extend(indices.iter().map(|&i| {
+                (data.row(i as usize)[f], data.label(i as usize))
+            }));
+            column.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+            let mut left_pos = 0usize;
+            for k in 0..n - 1 {
+                if column[k].1 {
+                    left_pos += 1;
+                }
+                let left_n = k + 1;
+                // Can only split between distinct values.
+                if column[k].0 == column[k + 1].0 {
+                    continue;
+                }
+                let right_n = n - left_n;
+                if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                    continue;
+                }
+                let right_pos = total_pos - left_pos;
+                let weighted = (left_n as f64 * gini(left_pos, left_n)
+                    + right_n as f64 * gini(right_pos, right_n))
+                    / n as f64;
+                // Zero-gain splits are accepted (best-effort, like CART on
+                // XOR-shaped data): recursion still terminates because both
+                // children are non-empty and depth is bounded.
+                let gain = parent_gini - weighted;
+                if gain > -1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    let threshold = midpoint(column[k].0, column[k + 1].0);
+                    best = Some(SplitCandidate {
+                        feature: f as u16,
+                        threshold,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn score(&self, features: &[f32]) -> f32 {
+        assert_eq!(features.len(), self.n_features, "feature arity mismatch");
+        let mut i = 0u32;
+        loop {
+            match self.nodes[i as usize] {
+                Node::Leaf { probability } => return probability,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if features[feature as usize] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SplitCandidate {
+    feature: u16,
+    threshold: f32,
+    gain: f64,
+}
+
+fn gini(pos: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / n as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Midpoint that is guaranteed to satisfy `lo <= mid < hi` under f32
+/// rounding (falls back to `lo` when the values are adjacent floats).
+fn midpoint(lo: f32, hi: f32) -> f32 {
+    let mid = lo + (hi - lo) * 0.5;
+    if mid >= hi {
+        lo
+    } else {
+        mid
+    }
+}
+
+/// In-place stable-order-free partition; returns the number of elements for
+/// which `pred` holds (they end up in the prefix).
+fn partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
+    let mut store = 0;
+    for i in 0..slice.len() {
+        if pred(&slice[i]) {
+            slice.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            d.push(&[i as f32, 0.0], true);
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.node_count(), 1);
+        // Laplace-smoothed pure leaf: (10+1)/(10+2).
+        assert!(t.score(&[3.0, 0.0]) > 0.9);
+    }
+
+    #[test]
+    fn separable_data_splits_perfectly() {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            d.push(&[i as f32, (i % 3) as f32], i >= 10);
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert!(t.score(&[2.0, 1.0]) < 0.1);
+        assert!(t.score(&[15.0, 1.0]) > 0.9);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let mut d = Dataset::new(2);
+        for _ in 0..5 {
+            d.push(&[0.0, 0.0], false);
+            d.push(&[1.0, 1.0], false);
+            d.push(&[0.0, 1.0], true);
+            d.push(&[1.0, 0.0], true);
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert!(t.depth() >= 2);
+        assert!(t.score(&[0.0, 1.0]) > 0.8);
+        assert!(t.score(&[1.0, 1.0]) < 0.2);
+    }
+
+    #[test]
+    fn max_depth_zero_is_a_prior_leaf() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], true);
+        d.push(&[1.0], false);
+        d.push(&[2.0], false);
+        d.push(&[3.0], false);
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&d, &cfg, &mut rng());
+        assert_eq!(t.node_count(), 1);
+        // Smoothed prior: (1+1)/(4+2).
+        assert!((t.score(&[9.0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let mut d = Dataset::new(1);
+        // One positive outlier; a leaf of size 1 would isolate it.
+        d.push(&[100.0], true);
+        for i in 0..9 {
+            d.push(&[i as f32], false);
+        }
+        let cfg = TreeConfig {
+            min_samples_leaf: 3,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&d, &cfg, &mut rng());
+        // The outlier cannot be isolated; every leaf has >= 3 samples, so no
+        // leaf is pure-positive.
+        assert!(t.score(&[100.0]) < 1.0);
+    }
+
+    #[test]
+    fn fit_on_bootstrap_indices() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push(&[i as f32], i >= 5);
+        }
+        // Bootstrap containing only negatives.
+        let t = DecisionTree::fit_on(&d, &[0, 1, 2, 0, 1], &TreeConfig::default(), &mut rng());
+        assert!(t.score(&[9.0]) < 0.2);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_scores() {
+        let mut d = Dataset::new(2);
+        for i in 0..60 {
+            d.push(&[i as f32, (i % 5) as f32], i % 3 == 0);
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        let mut text = String::new();
+        t.write_text(&mut text);
+        let t2 = DecisionTree::read_text(&mut text.lines()).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(t.score(d.row(i)), t2.score(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn read_text_rejects_garbage() {
+        assert!(DecisionTree::read_text(&mut "nope".lines()).is_err());
+        assert!(DecisionTree::read_text(&mut "tree 2 1
+X 1".lines()).is_err());
+        assert!(DecisionTree::read_text(&mut "tree 2 1
+S 0 1.0 5 6".lines()).is_err());
+        assert!(DecisionTree::read_text(&mut "tree 2 2
+S 9 1.0 1 1
+L 0.5".lines()).is_err());
+        assert!(DecisionTree::read_text(&mut "tree 2 2
+L 0.5".lines()).is_err());
+    }
+
+    #[test]
+    fn partition_helper() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        let k = partition(&mut v, |&x| x <= 2);
+        assert_eq!(k, 2);
+        let (left, right) = v.split_at(k);
+        assert!(left.iter().all(|&x| x <= 2));
+        assert!(right.iter().all(|&x| x > 2));
+    }
+
+    #[test]
+    fn midpoint_never_reaches_hi() {
+        let lo = 1.0f32;
+        let hi = lo + f32::EPSILON;
+        let m = midpoint(lo, hi);
+        assert!(m >= lo && m < hi);
+    }
+}

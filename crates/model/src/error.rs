@@ -1,0 +1,56 @@
+//! Error types for the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a string cannot be parsed as a [`DomainName`].
+///
+/// [`DomainName`]: crate::DomainName
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDomainError {
+    kind: ParseDomainErrorKind,
+}
+
+/// The specific reason a domain name failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseDomainErrorKind {
+    /// The input was empty, or empty after trimming a trailing dot.
+    Empty,
+    /// The name exceeded 253 characters.
+    TooLong,
+    /// A label (dot-separated component) was empty.
+    EmptyLabel,
+    /// A label exceeded 63 characters.
+    LabelTooLong,
+    /// A character outside `[a-z0-9-_]` appeared in a label.
+    InvalidCharacter,
+}
+
+impl ParseDomainError {
+    pub(crate) fn new(kind: ParseDomainErrorKind) -> Self {
+        ParseDomainError { kind }
+    }
+
+    /// The specific reason the parse failed.
+    pub fn kind(&self) -> ParseDomainErrorKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for ParseDomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseDomainErrorKind::Empty => write!(f, "domain name is empty"),
+            ParseDomainErrorKind::TooLong => write!(f, "domain name exceeds 253 characters"),
+            ParseDomainErrorKind::EmptyLabel => write!(f, "domain name contains an empty label"),
+            ParseDomainErrorKind::LabelTooLong => {
+                write!(f, "domain name label exceeds 63 characters")
+            }
+            ParseDomainErrorKind::InvalidCharacter => {
+                write!(f, "domain name contains an invalid character")
+            }
+        }
+    }
+}
+
+impl Error for ParseDomainError {}

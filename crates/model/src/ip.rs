@@ -1,0 +1,103 @@
+//! IPv4 addresses and /24 prefixes.
+//!
+//! The IP-abuse feature group (F3) reasons about both exact resolved
+//! addresses and their /24 prefixes, because malware operators tend to
+//! relocate control servers within the same "bullet-proof" hosting ranges.
+
+use std::fmt;
+
+/// An IPv4 address, stored as a big-endian `u32`.
+///
+/// # Example
+///
+/// ```
+/// use segugio_model::{Ipv4, Prefix24};
+///
+/// let ip = Ipv4::from_octets(192, 0, 2, 55);
+/// assert_eq!(ip.to_string(), "192.0.2.55");
+/// assert_eq!(ip.prefix24(), Prefix24::from_octets(192, 0, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Builds an address from four dotted-quad octets.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four dotted-quad octets.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// The enclosing /24 prefix.
+    pub fn prefix24(self) -> Prefix24 {
+        Prefix24(self.0 >> 8)
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl From<[u8; 4]> for Ipv4 {
+    fn from(o: [u8; 4]) -> Self {
+        Ipv4::from_octets(o[0], o[1], o[2], o[3])
+    }
+}
+
+/// A /24 IPv4 prefix (the top 24 bits of an address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix24(pub u32);
+
+impl Prefix24 {
+    /// Builds a prefix from its three leading octets.
+    pub fn from_octets(a: u8, b: u8, c: u8) -> Self {
+        Prefix24(u32::from_be_bytes([0, a, b, c]))
+    }
+
+    /// Returns the `n`-th address inside this prefix.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; `host` is the full low octet range.
+    pub fn host(self, host: u8) -> Ipv4 {
+        Ipv4((self.0 << 8) | host as u32)
+    }
+}
+
+impl fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [_, a, b, c] = self.0.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.0/24")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let ip = Ipv4::from_octets(10, 20, 30, 40);
+        assert_eq!(ip.octets(), [10, 20, 30, 40]);
+        assert_eq!(Ipv4::from(ip.octets()), ip);
+    }
+
+    #[test]
+    fn prefix_and_host() {
+        let p = Prefix24::from_octets(198, 51, 100);
+        assert_eq!(p.host(7), Ipv4::from_octets(198, 51, 100, 7));
+        assert_eq!(Ipv4::from_octets(198, 51, 100, 200).prefix24(), p);
+        assert_eq!(p.to_string(), "198.51.100.0/24");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Ipv4::from_octets(1, 2, 3, 4).to_string(), "1.2.3.4");
+    }
+}

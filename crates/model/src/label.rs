@@ -1,0 +1,69 @@
+//! Three-valued node labeling.
+
+use std::fmt;
+
+/// The label attached to a machine or domain node in the behavior graph.
+///
+/// Labels come from the seed ground truth (blacklist / whitelist) and from
+/// propagation (a machine that queries a malware domain is labeled
+/// [`Label::Malware`]; one that queries only benign domains is
+/// [`Label::Benign`]). Everything else is [`Label::Unknown`] — the nodes
+/// Segugio classifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Label {
+    /// Known malware-control (domains) or infected (machines).
+    Malware,
+    /// Known benign.
+    Benign,
+    /// Not yet known; the classification target.
+    #[default]
+    Unknown,
+}
+
+impl Label {
+    /// Whether this label is [`Label::Malware`].
+    pub fn is_malware(self) -> bool {
+        matches!(self, Label::Malware)
+    }
+
+    /// Whether this label is [`Label::Benign`].
+    pub fn is_benign(self) -> bool {
+        matches!(self, Label::Benign)
+    }
+
+    /// Whether this label is [`Label::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Label::Unknown)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Malware => f.write_str("malware"),
+            Label::Benign => f.write_str("benign"),
+            Label::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Label::Malware.is_malware());
+        assert!(Label::Benign.is_benign());
+        assert!(Label::Unknown.is_unknown());
+        assert!(!Label::Benign.is_malware());
+        assert_eq!(Label::default(), Label::Unknown);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Label::Malware.to_string(), "malware");
+        assert_eq!(Label::Benign.to_string(), "benign");
+        assert_eq!(Label::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,228 @@
+//! Seed ground-truth lists: C&C blacklists and popularity whitelists.
+//!
+//! The paper labels domains *malware* when the full FQD matches a C&C
+//! blacklist and *benign* when the effective second-level domain matches a
+//! whitelist of consistently-popular e2LDs (Section III). Blacklist entries
+//! carry the day they were added, which drives both the "known as of day t"
+//! labeling protocol and the early-detection experiment (Fig. 11).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::ids::{DomainId, E2ldId};
+use crate::time::Day;
+
+/// A C&C domain blacklist with per-entry addition days.
+///
+/// # Example
+///
+/// ```
+/// use segugio_model::{Blacklist, DomainId, Day};
+///
+/// let mut bl = Blacklist::new();
+/// bl.insert(DomainId(7), Day(10));
+/// assert!(bl.contains_as_of(DomainId(7), Day(10)));
+/// assert!(!bl.contains_as_of(DomainId(7), Day(9)));
+/// assert_eq!(bl.added_on(DomainId(7)), Some(Day(10)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Blacklist {
+    added: HashMap<DomainId, Day>,
+}
+
+impl Blacklist {
+    /// Creates an empty blacklist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `domain` with addition day `day`. If the domain is already
+    /// listed, the earlier addition day wins (blacklists only grow).
+    pub fn insert(&mut self, domain: DomainId, day: Day) {
+        self.added
+            .entry(domain)
+            .and_modify(|d| *d = (*d).min(day))
+            .or_insert(day);
+    }
+
+    /// Whether `domain` is on the list at all, regardless of date.
+    pub fn contains(&self, domain: DomainId) -> bool {
+        self.added.contains_key(&domain)
+    }
+
+    /// Whether `domain` was on the list on (or before) `day`.
+    pub fn contains_as_of(&self, domain: DomainId, day: Day) -> bool {
+        self.added.get(&domain).is_some_and(|&d| d <= day)
+    }
+
+    /// The day `domain` was added, if listed.
+    pub fn added_on(&self, domain: DomainId) -> Option<Day> {
+        self.added.get(&domain).copied()
+    }
+
+    /// Number of listed domains.
+    pub fn len(&self) -> usize {
+        self.added.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+    }
+
+    /// Iterates over `(domain, added_day)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, Day)> + '_ {
+        self.added.iter().map(|(&d, &day)| (d, day))
+    }
+
+    /// The set of domains known as of `day`.
+    pub fn known_as_of(&self, day: Day) -> HashSet<DomainId> {
+        self.added
+            .iter()
+            .filter(|(_, &added)| added <= day)
+            .map(|(&d, _)| d)
+            .collect()
+    }
+}
+
+impl FromIterator<(DomainId, Day)> for Blacklist {
+    fn from_iter<I: IntoIterator<Item = (DomainId, Day)>>(iter: I) -> Self {
+        let mut bl = Blacklist::new();
+        for (d, day) in iter {
+            bl.insert(d, day);
+        }
+        bl
+    }
+}
+
+impl Extend<(DomainId, Day)> for Blacklist {
+    fn extend<I: IntoIterator<Item = (DomainId, Day)>>(&mut self, iter: I) {
+        for (d, day) in iter {
+            self.insert(d, day);
+        }
+    }
+}
+
+/// A whitelist of consistently-popular effective second-level domains.
+///
+/// A fully-qualified domain is labeled benign when its e2LD is whitelisted.
+#[derive(Debug, Clone, Default)]
+pub struct Whitelist {
+    e2lds: HashSet<E2ldId>,
+}
+
+impl Whitelist {
+    /// Creates an empty whitelist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an e2LD to the whitelist. Returns `true` if it was newly added.
+    pub fn insert(&mut self, e2ld: E2ldId) -> bool {
+        self.e2lds.insert(e2ld)
+    }
+
+    /// Removes an e2LD (e.g. when filtering out free-registration zones).
+    /// Returns `true` if it was present.
+    pub fn remove(&mut self, e2ld: E2ldId) -> bool {
+        self.e2lds.remove(&e2ld)
+    }
+
+    /// Whether `e2ld` is whitelisted.
+    pub fn contains(&self, e2ld: E2ldId) -> bool {
+        self.e2lds.contains(&e2ld)
+    }
+
+    /// Number of whitelisted e2LDs.
+    pub fn len(&self) -> usize {
+        self.e2lds.len()
+    }
+
+    /// Whether the whitelist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.e2lds.is_empty()
+    }
+
+    /// Iterates over the whitelisted e2LDs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = E2ldId> + '_ {
+        self.e2lds.iter().copied()
+    }
+
+    /// Restricts the whitelist to its `n` smallest ids (a deterministic
+    /// stand-in for "top-N by popularity" when ids are assigned in
+    /// popularity order), returning the restricted copy.
+    pub fn top_n(&self, n: usize) -> Whitelist {
+        let mut ids: Vec<E2ldId> = self.e2lds.iter().copied().collect();
+        ids.sort_unstable();
+        ids.truncate(n);
+        Whitelist {
+            e2lds: ids.into_iter().collect(),
+        }
+    }
+}
+
+impl FromIterator<E2ldId> for Whitelist {
+    fn from_iter<I: IntoIterator<Item = E2ldId>>(iter: I) -> Self {
+        Whitelist {
+            e2lds: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<E2ldId> for Whitelist {
+    fn extend<I: IntoIterator<Item = E2ldId>>(&mut self, iter: I) {
+        self.e2lds.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blacklist_dates() {
+        let mut bl = Blacklist::new();
+        bl.insert(DomainId(1), Day(5));
+        bl.insert(DomainId(1), Day(9)); // later re-add keeps the earlier day
+        assert_eq!(bl.added_on(DomainId(1)), Some(Day(5)));
+        bl.insert(DomainId(1), Day(2)); // earlier re-add moves it back
+        assert_eq!(bl.added_on(DomainId(1)), Some(Day(2)));
+        assert!(bl.contains_as_of(DomainId(1), Day(2)));
+        assert!(!bl.contains_as_of(DomainId(1), Day(1)));
+        assert!(!bl.contains(DomainId(2)));
+    }
+
+    #[test]
+    fn blacklist_known_as_of() {
+        let bl: Blacklist = [(DomainId(1), Day(1)), (DomainId(2), Day(5))]
+            .into_iter()
+            .collect();
+        let known = bl.known_as_of(Day(3));
+        assert!(known.contains(&DomainId(1)));
+        assert!(!known.contains(&DomainId(2)));
+        assert_eq!(bl.len(), 2);
+    }
+
+    #[test]
+    fn whitelist_membership() {
+        let mut wl = Whitelist::new();
+        assert!(wl.insert(E2ldId(3)));
+        assert!(!wl.insert(E2ldId(3)));
+        assert!(wl.contains(E2ldId(3)));
+        assert!(wl.remove(E2ldId(3)));
+        assert!(!wl.contains(E2ldId(3)));
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn whitelist_top_n() {
+        let wl: Whitelist = [E2ldId(5), E2ldId(1), E2ldId(9), E2ldId(2)]
+            .into_iter()
+            .collect();
+        let top = wl.top_n(2);
+        assert!(top.contains(E2ldId(1)));
+        assert!(top.contains(E2ldId(2)));
+        assert!(!top.contains(E2ldId(5)));
+        assert_eq!(top.len(), 2);
+    }
+}

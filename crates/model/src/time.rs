@@ -1,0 +1,183 @@
+//! Simulation calendar: days and day windows.
+//!
+//! All Segugio processing is day-granular: the behavior graph is built on
+//! one day of traffic, the domain-activity features look back `n = 14` days,
+//! and the IP-abuse features look back `W = 5` months. [`Day`] is a dense
+//! day counter from the simulation epoch; [`DayWindow`] is a half-open range
+//! of days.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A day index since the simulation epoch (day 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Day(pub u32);
+
+impl Day {
+    /// The raw day index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next day.
+    pub fn next(self) -> Day {
+        Day(self.0 + 1)
+    }
+
+    /// The previous day, saturating at the epoch.
+    pub fn prev(self) -> Day {
+        Day(self.0.saturating_sub(1))
+    }
+
+    /// Days elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn days_since(self, earlier: Day) -> u32 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The window of the `n` days ending with (and including) `self`:
+    /// `[self - n + 1, self + 1)`. With `n == 0`, the window is empty.
+    pub fn lookback(self, n: u32) -> DayWindow {
+        if n == 0 {
+            return DayWindow::new(self, self);
+        }
+        DayWindow::new(Day(self.0.saturating_sub(n - 1)), self.next())
+    }
+
+    /// The window of the `n` days strictly before `self`: `[self - n, self)`.
+    pub fn lookback_exclusive(self, n: u32) -> DayWindow {
+        DayWindow::new(Day(self.0.saturating_sub(n)), self)
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day {}", self.0)
+    }
+}
+
+impl Add<u32> for Day {
+    type Output = Day;
+
+    fn add(self, rhs: u32) -> Day {
+        Day(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u32> for Day {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u32> for Day {
+    type Output = Day;
+
+    fn sub(self, rhs: u32) -> Day {
+        Day(self.0.saturating_sub(rhs))
+    }
+}
+
+/// A half-open range of days `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DayWindow {
+    start: Day,
+    end: Day,
+}
+
+impl DayWindow {
+    /// Creates the window `[start, end)`. If `end < start` the window is
+    /// empty (normalized to `[start, start)`).
+    pub fn new(start: Day, end: Day) -> Self {
+        let end = end.max(start);
+        DayWindow { start, end }
+    }
+
+    /// First day inside the window.
+    pub fn start(self) -> Day {
+        self.start
+    }
+
+    /// First day *after* the window.
+    pub fn end(self) -> Day {
+        self.end
+    }
+
+    /// Number of days covered.
+    pub fn len(self) -> u32 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether the window covers no days.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `day` falls inside the window.
+    pub fn contains(self, day: Day) -> bool {
+        self.start <= day && day < self.end
+    }
+
+    /// Iterates over the days in the window, in order.
+    pub fn iter(self) -> impl Iterator<Item = Day> {
+        (self.start.0..self.end.0).map(Day)
+    }
+}
+
+impl fmt::Display for DayWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[day {}, day {})", self.start.0, self.end.0)
+    }
+}
+
+impl IntoIterator for DayWindow {
+    type Item = Day;
+    type IntoIter = std::iter::Map<std::ops::Range<u32>, fn(u32) -> Day>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        (self.start.0..self.end.0).map(Day as fn(u32) -> Day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Day(5) + 3, Day(8));
+        assert_eq!(Day(5) - 3, Day(2));
+        assert_eq!(Day(1) - 5, Day(0));
+        assert_eq!(Day(7).days_since(Day(3)), 4);
+        assert_eq!(Day(3).days_since(Day(7)), 0);
+    }
+
+    #[test]
+    fn lookback_windows() {
+        let w = Day(10).lookback(3);
+        assert_eq!(w.start(), Day(8));
+        assert_eq!(w.end(), Day(11));
+        assert!(w.contains(Day(10)));
+        assert!(!w.contains(Day(11)));
+        assert_eq!(w.len(), 3);
+
+        let e = Day(10).lookback_exclusive(5);
+        assert!(e.contains(Day(9)));
+        assert!(!e.contains(Day(10)));
+        assert_eq!(e.len(), 5);
+
+        // Saturation at the epoch.
+        let s = Day(1).lookback(14);
+        assert_eq!(s.start(), Day(0));
+        assert_eq!(s.len(), 2);
+
+        assert!(Day(4).lookback(0).is_empty());
+    }
+
+    #[test]
+    fn window_iteration() {
+        let days: Vec<_> = DayWindow::new(Day(2), Day(5)).iter().collect();
+        assert_eq!(days, vec![Day(2), Day(3), Day(4)]);
+        let empty: Vec<_> = DayWindow::new(Day(5), Day(2)).iter().collect();
+        assert!(empty.is_empty());
+    }
+}

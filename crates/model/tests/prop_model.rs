@@ -1,0 +1,106 @@
+//! Property-based tests for the model crate's core data structures.
+
+use proptest::prelude::*;
+
+use segugio_model::{Blacklist, Day, DomainId, DomainName, DomainTable, Ipv4, Whitelist};
+
+/// Strategy: a syntactically valid lowercase label.
+fn label_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_filter("no leading/trailing hyphen", |s| {
+        !s.starts_with('-') && !s.ends_with('-')
+    })
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(label_strategy(), 1..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    /// Parsing is idempotent and case-insensitive; display round-trips.
+    #[test]
+    fn domain_parse_round_trip(name in name_strategy()) {
+        let parsed = DomainName::parse(&name).expect("strategy yields valid names");
+        let reparsed = DomainName::parse(parsed.as_str()).unwrap();
+        prop_assert_eq!(&parsed, &reparsed);
+        let upper = DomainName::parse(&name.to_ascii_uppercase()).unwrap();
+        prop_assert_eq!(&parsed, &upper);
+        prop_assert_eq!(parsed.to_string(), parsed.as_str().to_owned());
+    }
+
+    /// The e2LD is always a suffix of the name, is never empty, and the
+    /// e2LD of the e2LD is itself.
+    #[test]
+    fn e2ld_is_fixed_point(name in name_strategy()) {
+        let parsed = DomainName::parse(&name).unwrap();
+        let e2ld = parsed.e2ld().to_owned_string();
+        prop_assert!(parsed.as_str().ends_with(&e2ld));
+        prop_assert!(!e2ld.is_empty());
+        let e2ld_parsed = DomainName::parse(&e2ld).unwrap();
+        prop_assert_eq!(e2ld_parsed.e2ld().as_str(), e2ld.as_str());
+        prop_assert!(e2ld_parsed.is_e2ld());
+    }
+
+    /// Interning: same name ⇒ same id; ids are dense; e2LD grouping matches
+    /// string equality of e2LDs.
+    #[test]
+    fn interning_respects_identity(names in proptest::collection::vec(name_strategy(), 1..40)) {
+        let mut table = DomainTable::new();
+        let parsed: Vec<DomainName> = names.iter().map(|n| n.parse().unwrap()).collect();
+        let ids: Vec<DomainId> = parsed.iter().map(|n| table.intern(n)).collect();
+        for (a, (na, ia)) in parsed.iter().zip(&ids).enumerate() {
+            prop_assert_eq!(table.name(*ia), na);
+            for (nb, ib) in parsed.iter().zip(&ids).skip(a) {
+                prop_assert_eq!(na == nb, ia == ib);
+                let same_e2ld = na.e2ld().as_str() == nb.e2ld().as_str();
+                prop_assert_eq!(same_e2ld, table.e2ld_of(*ia) == table.e2ld_of(*ib));
+            }
+        }
+        prop_assert!(table.len() <= names.len());
+        prop_assert!(table.e2ld_count() <= table.len());
+    }
+
+    /// IPv4 round trips through octets and prefixes contain their hosts.
+    #[test]
+    fn ip_round_trips(a in any::<u8>(), b in any::<u8>(), c in any::<u8>(), d in any::<u8>()) {
+        let ip = Ipv4::from_octets(a, b, c, d);
+        prop_assert_eq!(ip.octets(), [a, b, c, d]);
+        let prefix = ip.prefix24();
+        prop_assert_eq!(prefix.host(d), ip);
+        // All hosts of the prefix share it.
+        prop_assert_eq!(prefix.host(0).prefix24(), prefix);
+        prop_assert_eq!(prefix.host(255).prefix24(), prefix);
+    }
+
+    /// Blacklist: `contains_as_of` is monotone in the day and consistent
+    /// with `known_as_of`.
+    #[test]
+    fn blacklist_monotone(entries in proptest::collection::vec((0u32..50, 0u32..100), 0..60)) {
+        let bl: Blacklist = entries
+            .iter()
+            .map(|&(d, day)| (DomainId(d), Day(day)))
+            .collect();
+        for &(d, _) in &entries {
+            let id = DomainId(d);
+            let added = bl.added_on(id).unwrap();
+            for probe in 0..100u32 {
+                let day = Day(probe);
+                prop_assert_eq!(bl.contains_as_of(id, day), added <= day);
+                prop_assert_eq!(bl.known_as_of(day).contains(&id), added <= day);
+            }
+        }
+    }
+
+    /// Whitelist `top_n` returns at most n entries, all from the original.
+    #[test]
+    fn whitelist_top_n_is_subset(
+        ids in proptest::collection::hash_set(0u32..1000, 0..50),
+        n in 0usize..60,
+    ) {
+        let wl: Whitelist = ids.iter().map(|&i| segugio_model::E2ldId(i)).collect();
+        let top = wl.top_n(n);
+        prop_assert!(top.len() <= n.min(wl.len()));
+        for e in top.iter() {
+            prop_assert!(wl.contains(e));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-day domain activity tracking (feature group F2 substrate).
+
+use std::collections::HashMap;
+
+use segugio_model::{Day, DayWindow, DomainId, E2ldId};
+
+/// A growable bitset over day indices.
+#[derive(Debug, Clone, Default)]
+struct DayBitmap {
+    words: Vec<u64>,
+}
+
+impl DayBitmap {
+    fn set(&mut self, day: Day) {
+        let (w, b) = (day.index() / 64, day.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    fn get(&self, day: Day) -> bool {
+        let (w, b) = (day.index() / 64, day.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    fn count_in(&self, window: DayWindow) -> u32 {
+        window.iter().filter(|&d| self.get(d)).count() as u32
+    }
+
+    /// Length of the run of consecutive active days ending at `day`,
+    /// looking back at most `n` days (so the result is in `0..=n`).
+    fn streak_ending(&self, day: Day, n: u32) -> u32 {
+        let mut streak = 0;
+        let mut d = day;
+        while streak < n && self.get(d) {
+            streak += 1;
+            if d == Day(0) {
+                break;
+            }
+            d = d.prev();
+        }
+        streak
+    }
+}
+
+/// Records which days each FQD and e2LD was actively queried.
+///
+/// # Example
+///
+/// ```
+/// use segugio_model::{Day, DomainId, E2ldId};
+/// use segugio_pdns::ActivityStore;
+///
+/// let mut store = ActivityStore::new();
+/// store.record(DomainId(1), E2ldId(0), Day(3));
+/// store.record(DomainId(1), E2ldId(0), Day(4));
+/// assert_eq!(store.fqd_active_days(DomainId(1), Day(4).lookback(14)), 2);
+/// assert_eq!(store.fqd_streak_ending(DomainId(1), Day(4), 14), 2);
+/// assert_eq!(store.fqd_streak_ending(DomainId(1), Day(5), 14), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ActivityStore {
+    fqd: HashMap<DomainId, DayBitmap>,
+    e2ld: HashMap<E2ldId, DayBitmap>,
+}
+
+impl ActivityStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `fqd` (whose e2LD is `e2ld`) was queried on `day`.
+    pub fn record(&mut self, fqd: DomainId, e2ld: E2ldId, day: Day) {
+        self.fqd.entry(fqd).or_default().set(day);
+        self.e2ld.entry(e2ld).or_default().set(day);
+    }
+
+    /// Whether `fqd` was seen active on `day`.
+    pub fn fqd_active_on(&self, fqd: DomainId, day: Day) -> bool {
+        self.fqd.get(&fqd).is_some_and(|b| b.get(day))
+    }
+
+    /// Number of days in `window` on which `fqd` was active.
+    pub fn fqd_active_days(&self, fqd: DomainId, window: DayWindow) -> u32 {
+        self.fqd.get(&fqd).map_or(0, |b| b.count_in(window))
+    }
+
+    /// Length of the consecutive-active-day run for `fqd` ending at `day`,
+    /// capped at `n`.
+    pub fn fqd_streak_ending(&self, fqd: DomainId, day: Day, n: u32) -> u32 {
+        self.fqd.get(&fqd).map_or(0, |b| b.streak_ending(day, n))
+    }
+
+    /// Number of days in `window` on which the e2LD was active.
+    pub fn e2ld_active_days(&self, e2ld: E2ldId, window: DayWindow) -> u32 {
+        self.e2ld.get(&e2ld).map_or(0, |b| b.count_in(window))
+    }
+
+    /// Length of the consecutive-active-day run for the e2LD ending at
+    /// `day`, capped at `n`.
+    pub fn e2ld_streak_ending(&self, e2ld: E2ldId, day: Day, n: u32) -> u32 {
+        self.e2ld.get(&e2ld).map_or(0, |b| b.streak_ending(day, n))
+    }
+
+    /// Estimates the first day `fqd` was ever seen, if any.
+    pub fn fqd_first_seen(&self, fqd: DomainId) -> Option<Day> {
+        let bitmap = self.fqd.get(&fqd)?;
+        for (w, &word) in bitmap.words.iter().enumerate() {
+            if word != 0 {
+                return Some(Day((w * 64 + word.trailing_zeros() as usize) as u32));
+            }
+        }
+        None
+    }
+
+    /// Number of FQDs with any recorded activity.
+    pub fn tracked_fqds(&self) -> usize {
+        self.fqd.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = DayBitmap::default();
+        b.set(Day(0));
+        b.set(Day(63));
+        b.set(Day(64));
+        assert!(b.get(Day(0)));
+        assert!(b.get(Day(63)));
+        assert!(b.get(Day(64)));
+        assert!(!b.get(Day(1)));
+        assert!(!b.get(Day(1000)));
+    }
+
+    #[test]
+    fn active_days_in_window() {
+        let mut s = ActivityStore::new();
+        for d in [1, 2, 5, 9] {
+            s.record(DomainId(0), E2ldId(0), Day(d));
+        }
+        assert_eq!(s.fqd_active_days(DomainId(0), Day(9).lookback(14)), 4);
+        assert_eq!(s.fqd_active_days(DomainId(0), Day(9).lookback(5)), 2);
+        assert_eq!(s.fqd_active_days(DomainId(1), Day(9).lookback(14)), 0);
+    }
+
+    #[test]
+    fn streaks() {
+        let mut s = ActivityStore::new();
+        for d in [3, 4, 5, 7, 8] {
+            s.record(DomainId(0), E2ldId(0), Day(d));
+        }
+        assert_eq!(s.fqd_streak_ending(DomainId(0), Day(5), 14), 3);
+        assert_eq!(s.fqd_streak_ending(DomainId(0), Day(8), 14), 2);
+        assert_eq!(s.fqd_streak_ending(DomainId(0), Day(6), 14), 0);
+        // Cap at n.
+        assert_eq!(s.fqd_streak_ending(DomainId(0), Day(5), 2), 2);
+    }
+
+    #[test]
+    fn streak_saturates_at_epoch() {
+        let mut s = ActivityStore::new();
+        s.record(DomainId(0), E2ldId(0), Day(0));
+        s.record(DomainId(0), E2ldId(0), Day(1));
+        assert_eq!(s.fqd_streak_ending(DomainId(0), Day(1), 14), 2);
+    }
+
+    #[test]
+    fn e2ld_aggregates_across_fqds() {
+        let mut s = ActivityStore::new();
+        s.record(DomainId(0), E2ldId(7), Day(1));
+        s.record(DomainId(1), E2ldId(7), Day(2));
+        assert_eq!(s.e2ld_active_days(E2ldId(7), Day(2).lookback(14)), 2);
+        assert_eq!(s.e2ld_streak_ending(E2ldId(7), Day(2), 14), 2);
+    }
+
+    #[test]
+    fn first_seen() {
+        let mut s = ActivityStore::new();
+        s.record(DomainId(0), E2ldId(0), Day(70));
+        s.record(DomainId(0), E2ldId(0), Day(65));
+        assert_eq!(s.fqd_first_seen(DomainId(0)), Some(Day(65)));
+        assert_eq!(s.fqd_first_seen(DomainId(9)), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! Passive-DNS history and domain-activity substrate.
+//!
+//! The paper's deployment leans on two historical data sources that are not
+//! part of the one-day behavior graph:
+//!
+//! 1. **Domain activity** (feature group F2): for each FQD and e2LD, the set
+//!    of days on which it was actively queried, looking back `n = 14` days.
+//!    [`ActivityStore`] records per-day activity as compact bitsets.
+//! 2. **A large passive-DNS database** (feature group F3): five months of
+//!    historical domain→IP resolutions, used to ask "was this IP (or its
+//!    /24) previously pointed to by known malware-control domains?".
+//!    [`PassiveDns`] stores the resolution history; [`AbuseIndex`] is the
+//!    window-scoped index built from it for a given labeling.
+//!
+//! In the paper these stores are fed by the live ISP traffic plus a
+//! commercial pDNS archive; in this reproduction they are fed by the
+//! synthetic traffic generator during a warm-up period preceding the
+//! evaluation days (see `segugio-traffic`).
+
+
+#![warn(missing_docs)]
+pub mod abuse;
+pub mod activity;
+pub mod store;
+
+pub use abuse::AbuseIndex;
+pub use activity::ActivityStore;
+pub use store::PassiveDns;

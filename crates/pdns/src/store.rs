@@ -1,0 +1,196 @@
+//! Historical domain-to-IP resolution store.
+
+use std::collections::HashMap;
+
+use segugio_model::{Day, DayWindow, DomainId, Ipv4};
+
+/// A passive-DNS database: the history of authoritative domain→IP
+/// resolutions observed over time.
+///
+/// The store is append-only and day-granular, mirroring how a pDNS archive
+/// accumulates. Per-domain records are kept sorted by day so window queries
+/// are range scans.
+///
+/// # Example
+///
+/// ```
+/// use segugio_model::{Day, DomainId, Ipv4};
+/// use segugio_pdns::PassiveDns;
+///
+/// let mut pdns = PassiveDns::new();
+/// let ip = Ipv4::from_octets(192, 0, 2, 1);
+/// pdns.record(DomainId(4), ip, Day(10));
+/// let ips = pdns.resolved_ips(DomainId(4), Day(12).lookback(5));
+/// assert_eq!(ips, vec![ip]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PassiveDns {
+    by_domain: HashMap<DomainId, Vec<(Day, Ipv4)>>,
+    records: usize,
+}
+
+impl PassiveDns {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `domain` resolved to `ip` on `day`.
+    ///
+    /// Duplicate `(domain, ip, day)` records are collapsed.
+    pub fn record(&mut self, domain: DomainId, ip: Ipv4, day: Day) {
+        let entries = self.by_domain.entry(domain).or_default();
+        // Fast path: appends arrive in day order from the generator.
+        match entries.last() {
+            Some(&last) if last == (day, ip) => return,
+            Some(&(last_day, _)) if last_day <= day => entries.push((day, ip)),
+            _ => {
+                let pos = entries.partition_point(|&(d, i)| (d, i) < (day, ip));
+                if entries.get(pos) == Some(&(day, ip)) {
+                    return;
+                }
+                entries.insert(pos, (day, ip));
+            }
+        }
+        self.records += 1;
+    }
+
+    /// All distinct IPs `domain` resolved to within `window`.
+    pub fn resolved_ips(&self, domain: DomainId, window: DayWindow) -> Vec<Ipv4> {
+        let Some(entries) = self.by_domain.get(&domain) else {
+            return Vec::new();
+        };
+        let mut ips: Vec<Ipv4> = entries
+            .iter()
+            .filter(|(d, _)| window.contains(*d))
+            .map(|&(_, ip)| ip)
+            .collect();
+        ips.sort_unstable();
+        ips.dedup();
+        ips
+    }
+
+    /// The earliest day `domain` resolved within `window`, if any.
+    ///
+    /// Per-domain records are kept day-sorted, so this is a scan of that
+    /// domain's entries only — reputation systems use it to implement
+    /// "history too young" reject rules cheaply.
+    pub fn first_seen_in(&self, domain: DomainId, window: DayWindow) -> Option<Day> {
+        self.by_domain
+            .get(&domain)?
+            .iter()
+            .map(|&(d, _)| d)
+            .find(|&d| window.contains(d))
+    }
+
+    /// Whether the store has any record for `domain`, in any window.
+    ///
+    /// Used by reputation baselines with a *reject option*: a domain with no
+    /// pDNS history cannot be scored.
+    pub fn has_history(&self, domain: DomainId) -> bool {
+        self.by_domain.contains_key(&domain)
+    }
+
+    /// Iterates over `(domain, day, ip)` records restricted to `window`.
+    pub fn records_in(
+        &self,
+        window: DayWindow,
+    ) -> impl Iterator<Item = (DomainId, Day, Ipv4)> + '_ {
+        self.by_domain.iter().flat_map(move |(&dom, entries)| {
+            entries
+                .iter()
+                .filter(move |(d, _)| window.contains(*d))
+                .map(move |&(d, ip)| (dom, d, ip))
+        })
+    }
+
+    /// Total number of stored records.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Number of distinct domains with history.
+    pub fn domain_count(&self) -> usize {
+        self.by_domain.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(n: u8) -> Ipv4 {
+        Ipv4::from_octets(10, 0, 0, n)
+    }
+
+    #[test]
+    fn record_and_query_window() {
+        let mut p = PassiveDns::new();
+        p.record(DomainId(1), ip(1), Day(1));
+        p.record(DomainId(1), ip(2), Day(5));
+        p.record(DomainId(1), ip(3), Day(20));
+        let ips = p.resolved_ips(DomainId(1), segugio_model::DayWindow::new(Day(0), Day(10)));
+        assert_eq!(ips, vec![ip(1), ip(2)]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut p = PassiveDns::new();
+        p.record(DomainId(1), ip(1), Day(3));
+        p.record(DomainId(1), ip(1), Day(3));
+        assert_eq!(p.len(), 1);
+        // Out-of-order duplicate also collapses.
+        p.record(DomainId(1), ip(9), Day(8));
+        p.record(DomainId(1), ip(1), Day(3));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_sorted() {
+        let mut p = PassiveDns::new();
+        p.record(DomainId(1), ip(5), Day(9));
+        p.record(DomainId(1), ip(1), Day(2));
+        let ips = p.resolved_ips(DomainId(1), Day(9).lookback(14));
+        assert_eq!(ips, vec![ip(1), ip(5)]);
+    }
+
+    #[test]
+    fn history_flag() {
+        let mut p = PassiveDns::new();
+        assert!(!p.has_history(DomainId(1)));
+        p.record(DomainId(1), ip(1), Day(0));
+        assert!(p.has_history(DomainId(1)));
+    }
+
+    #[test]
+    fn first_seen_respects_window() {
+        let mut p = PassiveDns::new();
+        p.record(DomainId(1), ip(1), Day(8));
+        p.record(DomainId(1), ip(2), Day(3));
+        p.record(DomainId(1), ip(3), Day(12));
+        let w = segugio_model::DayWindow::new(Day(5), Day(20));
+        assert_eq!(p.first_seen_in(DomainId(1), w), Some(Day(8)));
+        let all = segugio_model::DayWindow::new(Day(0), Day(20));
+        assert_eq!(p.first_seen_in(DomainId(1), all), Some(Day(3)));
+        assert_eq!(p.first_seen_in(DomainId(9), all), None);
+        let none = segugio_model::DayWindow::new(Day(15), Day(20));
+        assert_eq!(p.first_seen_in(DomainId(1), none), None);
+    }
+
+    #[test]
+    fn records_in_window() {
+        let mut p = PassiveDns::new();
+        p.record(DomainId(1), ip(1), Day(1));
+        p.record(DomainId(2), ip(2), Day(4));
+        p.record(DomainId(3), ip(3), Day(9));
+        let window = segugio_model::DayWindow::new(Day(0), Day(5));
+        let mut got: Vec<_> = p.records_in(window).collect();
+        got.sort();
+        assert_eq!(got, vec![(DomainId(1), Day(1), ip(1)), (DomainId(2), Day(4), ip(2))]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Generator configuration and the ISP presets used by the experiments.
+
+/// Tunable parameters of the synthetic ISP model.
+///
+/// The defaults (and the [`IspConfig::isp1`] / [`IspConfig::isp2`] presets)
+/// are scaled-down versions of the paper's deployment: the paper observed
+/// 1.6M–4M machines and ~10M domains per day; the presets use tens of
+/// thousands of machines so a full multi-day experiment runs in seconds,
+/// while keeping the *proportions* (infected fraction, popularity skew,
+/// blacklist coverage) that determine detector behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspConfig {
+    /// Network name used in reports.
+    pub name: String,
+    /// Master RNG seed; every run with the same config is identical.
+    pub seed: u64,
+    /// Number of client machines.
+    pub machines: usize,
+
+    // --- Benign universe ---
+    /// Number of benign e2LDs.
+    pub benign_e2lds: usize,
+    /// Maximum FQDs (subdomains) generated per benign e2LD.
+    pub max_fqds_per_e2ld: usize,
+    /// Zipf exponent of e2LD popularity.
+    pub zipf_exponent: f64,
+    /// Fraction of benign e2LDs (by popularity rank) that are "consistently
+    /// top-1M for a year", i.e. whitelisted.
+    pub whitelisted_fraction: f64,
+    /// Number of mega-popular e2LDs queried by most machines every day
+    /// (pruning rule R4 removes these).
+    pub mega_popular_e2lds: usize,
+    /// Number of "leaky" free-hosting e2LDs that are whitelisted but host
+    /// abused subdomains (bounded by the embedded list in `segugio_model::psl`).
+    pub free_hosting_e2lds: usize,
+    /// Size of the recycled pool of long-tail single-querier FQDs.
+    pub tail_pool: usize,
+    /// Mean number of unique-tail FQDs a machine queries per day.
+    pub tail_rate: f64,
+
+    // --- Machine behavior ---
+    /// Median number of benign domains a normal machine queries per day.
+    pub median_daily_domains: f64,
+    /// Log-normal sigma of daily query volume.
+    pub daily_volume_sigma: f64,
+    /// Fraction of machines that are nearly inactive (≤ 5 domains/day).
+    pub inactive_fraction: f64,
+    /// Fraction of machines that behave like proxies/forwarders (degree
+    /// an order of magnitude above normal).
+    pub proxy_fraction: f64,
+    /// Fraction of machines that "probe" blacklisted domains (security
+    /// scanners — Section VI noise; zero in the paper's filtered graphs).
+    pub scanner_fraction: f64,
+    /// Per-machine favorite-set size range.
+    pub favorites: (usize, usize),
+    /// Probability that a machine's identifier changes mid-day (DHCP lease
+    /// churn, Section VI): the machine's queries are split between its
+    /// stable id and a fresh ephemeral id, diluting the behavior signal.
+    pub dhcp_churn: f64,
+
+    // --- Infections ---
+    /// Number of malware families.
+    pub families: usize,
+    /// Fraction of machines infected with at least one family.
+    pub infected_fraction: f64,
+    /// Probability that an infected machine carries a second family, and a
+    /// third given a second (multi-infections, Section IV-C).
+    pub multi_infection: f64,
+    /// Initial number of active control domains per family.
+    pub domains_per_family: usize,
+    /// Per-day probability that a family activates new control domains
+    /// (network agility).
+    pub agility: f64,
+    /// Control-domain lifetime range in days (the short-lived majority).
+    pub cnc_lifetime: (u32, u32),
+    /// Probability a control domain is long-lived instead.
+    pub cnc_long_lived_prob: f64,
+    /// Lifetime range of long-lived control domains. The long tail matters:
+    /// it keeps *some* blacklisted domains active weeks later, so infected
+    /// machines remain identifiable across the train/test gap.
+    pub cnc_long_lifetime: (u32, u32),
+    /// Geometric parameter of the per-infection daily control-domain query
+    /// count: `count = 1 + Geom(p)` (capped). Smaller `p` ⇒ more domains
+    /// per day. Calibrated so ~70% of infected machines query more than one
+    /// control domain per day (Fig. 3).
+    pub cnc_query_geom_p: f64,
+    /// Cap on control domains queried per family per day.
+    pub cnc_query_cap: u32,
+    /// Probability an infection is dormant (queries nothing) on a day.
+    pub dormancy: f64,
+    /// Fraction of families that also operate abused free-hosting
+    /// subdomains.
+    pub abused_subdomain_families: f64,
+    /// Number of /24 bullet-proof prefixes per family.
+    pub prefixes_per_family: usize,
+    /// Probability a family draws a prefix from the *shared* bullet-proof
+    /// pool instead of allocating a private one (IP reuse across families).
+    pub shared_prefix_prob: f64,
+
+    // --- Ground-truth channels ---
+    /// Probability a control domain is ever added to the commercial
+    /// blacklist.
+    pub blacklist_coverage: f64,
+    /// Mean lag (days, exponential) between a control domain's activation
+    /// and its commercial-blacklist addition.
+    pub blacklist_lag_mean: f64,
+    /// Probability a commercially-blacklisted domain also reaches the
+    /// public blacklist.
+    pub public_coverage: f64,
+    /// Probability a control domain the commercial vendor *missed* is
+    /// nevertheless caught by the public lists (community-sourced lists
+    /// are not subsets of commercial ones — the cross-blacklist test of
+    /// Section IV-E depends on exactly these domains).
+    pub public_independent: f64,
+    /// Additional mean lag of public-blacklist additions.
+    pub public_extra_lag_mean: f64,
+    /// Number of benign domains wrongly present on the public blacklist
+    /// (the paper found e.g. `recsports.uga.edu` listed as C&C).
+    pub public_noise: usize,
+}
+
+impl IspConfig {
+    /// A tiny network for unit and doc tests (hundreds of machines; runs in
+    /// milliseconds).
+    pub fn tiny(seed: u64) -> Self {
+        IspConfig {
+            name: format!("tiny-{seed}"),
+            seed,
+            machines: 400,
+            benign_e2lds: 300,
+            max_fqds_per_e2ld: 4,
+            zipf_exponent: 0.95,
+            whitelisted_fraction: 0.6,
+            mega_popular_e2lds: 5,
+            free_hosting_e2lds: 4,
+            tail_pool: 4_000,
+            tail_rate: 1.5,
+            median_daily_domains: 18.0,
+            daily_volume_sigma: 0.5,
+            inactive_fraction: 0.12,
+            proxy_fraction: 0.005,
+            scanner_fraction: 0.0,
+            favorites: (8, 40),
+            dhcp_churn: 0.0,
+            families: 5,
+            infected_fraction: 0.08,
+            multi_infection: 0.3,
+            domains_per_family: 6,
+            agility: 0.5,
+            cnc_lifetime: (5, 20),
+            cnc_long_lived_prob: 0.3,
+            cnc_long_lifetime: (30, 90),
+            cnc_query_geom_p: 0.26,
+            cnc_query_cap: 10,
+            dormancy: 0.05,
+            abused_subdomain_families: 0.25,
+            prefixes_per_family: 2,
+            shared_prefix_prob: 0.5,
+            blacklist_coverage: 0.8,
+            blacklist_lag_mean: 6.0,
+            public_coverage: 0.5,
+            public_independent: 0.2,
+            public_extra_lag_mean: 4.0,
+            public_noise: 4,
+        }
+    }
+
+    /// A small-but-realistic network for integration tests (a few thousand
+    /// machines; a day simulates in well under a second).
+    pub fn small(seed: u64) -> Self {
+        IspConfig {
+            name: format!("small-{seed}"),
+            machines: 3_000,
+            benign_e2lds: 1_500,
+            tail_pool: 25_000,
+            tail_rate: 1.0,
+            families: 12,
+            infected_fraction: 0.05,
+            domains_per_family: 8,
+            mega_popular_e2lds: 8,
+            free_hosting_e2lds: 6,
+            median_daily_domains: 25.0,
+            public_noise: 8,
+            ..IspConfig::tiny(seed)
+        }
+    }
+
+    /// Scaled-down stand-in for the paper's `ISP_1` (North-West-Coast
+    /// regional ISP, ~1.6M machines/day scaled to 20k).
+    pub fn isp1(seed: u64) -> Self {
+        IspConfig {
+            name: "ISP1".to_owned(),
+            machines: 20_000,
+            benign_e2lds: 6_000,
+            max_fqds_per_e2ld: 5,
+            tail_pool: 28_000,
+            tail_rate: 0.9,
+            median_daily_domains: 35.0,
+            families: 50,
+            infected_fraction: 0.035,
+            domains_per_family: 9,
+            mega_popular_e2lds: 6,
+            free_hosting_e2lds: 8,
+            favorites: (10, 80),
+            public_noise: 12,
+            ..IspConfig::tiny(seed)
+        }
+    }
+
+    /// Scaled-down stand-in for the paper's `ISP_2` (West-US regional ISP,
+    /// ~4M machines/day — kept at 2.5× the `ISP_1` scale less absolute size).
+    pub fn isp2(seed: u64) -> Self {
+        IspConfig {
+            name: "ISP2".to_owned(),
+            machines: 30_000,
+            benign_e2lds: 7_500,
+            infected_fraction: 0.03,
+            families: 60,
+            ..IspConfig::isp1(seed)
+        }
+    }
+
+    /// Expected number of infected machines.
+    pub fn expected_infected(&self) -> usize {
+        (self.machines as f64 * self.infected_fraction).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_scale() {
+        let t = IspConfig::tiny(1);
+        let s = IspConfig::small(1);
+        let i1 = IspConfig::isp1(1);
+        let i2 = IspConfig::isp2(1);
+        assert!(t.machines < s.machines);
+        assert!(s.machines < i1.machines);
+        assert!(i1.machines < i2.machines);
+    }
+
+    #[test]
+    fn expected_infected_rounds() {
+        let c = IspConfig::tiny(1);
+        assert_eq!(c.expected_infected(), 32);
+    }
+
+    #[test]
+    fn names_distinguish_presets() {
+        assert_eq!(IspConfig::isp1(5).name, "ISP1");
+        assert_ne!(IspConfig::tiny(5).name, IspConfig::tiny(6).name);
+    }
+}

@@ -1,0 +1,31 @@
+//! One day of generated traffic.
+
+use segugio_model::{Day, DomainId, Ipv4, MachineId};
+
+/// The observable output of one simulated day: the query log and the
+/// authoritative resolutions seen at the resolver.
+///
+/// This is exactly what the paper's monitoring point provides — queries
+/// between clients and the local resolver plus the valid-IP answers — and
+/// is the only generator output the detector consumes.
+#[derive(Debug, Clone)]
+pub struct DayTraffic {
+    /// The simulated day.
+    pub day: Day,
+    /// `(machine, domain)` query observations; duplicates possible.
+    pub queries: Vec<(MachineId, DomainId)>,
+    /// Per-domain resolved IPs for every domain active this day.
+    pub resolutions: Vec<(DomainId, Vec<Ipv4>)>,
+}
+
+impl DayTraffic {
+    /// Number of query observations (with duplicates).
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of domains with resolutions.
+    pub fn resolved_domain_count(&self) -> usize {
+        self.resolutions.len()
+    }
+}

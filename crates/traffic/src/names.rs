@@ -1,0 +1,128 @@
+//! Deterministic domain-name synthesis.
+
+use rand::Rng;
+use segugio_model::DomainName;
+
+const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwz";
+const VOWELS: &[u8] = b"aeiou";
+
+/// Generates pronounceable random labels and full domain names.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NameGen;
+
+impl NameGen {
+    /// A pronounceable lowercase label of `syllables` consonant-vowel pairs.
+    pub fn label<R: Rng>(rng: &mut R, syllables: usize) -> String {
+        let mut s = String::with_capacity(syllables * 2);
+        for _ in 0..syllables {
+            s.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+            s.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+        }
+        s
+    }
+
+    /// A DGA-looking random alphanumeric label of length `len`.
+    pub fn dga_label<R: Rng>(rng: &mut R, len: usize) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+            .collect()
+    }
+
+    /// A benign e2LD such as `kodira.example` (rank used only for
+    /// uniqueness).
+    pub fn benign_e2ld<R: Rng>(rng: &mut R, rank: usize) -> DomainName {
+        let name = format!("{}{}.example", Self::label(rng, 3), rank);
+        DomainName::parse(&name).expect("generated name is valid")
+    }
+
+    /// A subdomain FQD under an existing e2LD.
+    pub fn subdomain<R: Rng>(rng: &mut R, e2ld: &str) -> DomainName {
+        let name = format!("{}.{e2ld}", Self::label(rng, 2));
+        DomainName::parse(&name).expect("generated name is valid")
+    }
+
+    /// A fresh control-domain e2LD. Half are DGA-flavored
+    /// (`q3x8v1kz0a.example`); half mimic ordinary registrations
+    /// (`mediaso42.example`), because lexical features alone must not give
+    /// control domains away.
+    pub fn cnc_e2ld<R: Rng>(rng: &mut R) -> DomainName {
+        let name = if rng.gen::<bool>() {
+            let len = 8 + rng.gen_range(0..6);
+            format!("{}.example", Self::dga_label(rng, len))
+        } else {
+            format!("{}{}.example", Self::label(rng, 3), rng.gen_range(0..100))
+        };
+        DomainName::parse(&name).expect("generated name is valid")
+    }
+
+    /// A control domain registered under a dynamic-DNS zone (the PSL
+    /// augmentation makes the whole name its own e2LD).
+    pub fn cnc_dyndns<R: Rng>(rng: &mut R) -> DomainName {
+        let zones = ["dyndns.example", "no-ip.example", "hopto.example"];
+        let zone = zones[rng.gen_range(0..zones.len())];
+        let name = format!("{}.{zone}", Self::dga_label(rng, 7));
+        DomainName::parse(&name).expect("generated name is valid")
+    }
+
+    /// An abused subdomain under a leaky free-hosting e2LD.
+    pub fn abused_subdomain<R: Rng>(rng: &mut R, free_hosting_e2ld: &str) -> DomainName {
+        let name = format!(
+            "{}{}.{free_hosting_e2ld}",
+            Self::label(rng, 2),
+            rng.gen_range(0..10_000)
+        );
+        DomainName::parse(&name).expect("generated name is valid")
+    }
+
+    /// A long-tail FQD (CDN-hash flavored) under a tail-provider e2LD.
+    pub fn tail_fqd<R: Rng>(rng: &mut R, provider_e2ld: &str) -> DomainName {
+        let name = format!("{}.{provider_e2ld}", Self::dga_label(rng, 12));
+        DomainName::parse(&name).expect("generated name is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_names_parse_and_vary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = NameGen::benign_e2ld(&mut rng, 0);
+        let b = NameGen::benign_e2ld(&mut rng, 1);
+        assert_ne!(a, b);
+        assert_eq!(a.e2ld().as_str(), a.as_str());
+    }
+
+    #[test]
+    fn subdomains_nest_under_e2ld() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sub = NameGen::subdomain(&mut rng, "kodira.example");
+        assert_eq!(sub.e2ld().as_str(), "kodira.example");
+    }
+
+    #[test]
+    fn dyndns_names_are_their_own_e2ld() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = NameGen::cnc_dyndns(&mut rng);
+        assert_eq!(d.e2ld().as_str(), d.as_str());
+        assert_eq!(d.label_count(), 3);
+    }
+
+    #[test]
+    fn abused_subdomain_inherits_free_hosting_e2ld() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = NameGen::abused_subdomain(&mut rng, "egloos.example");
+        assert_eq!(d.e2ld().as_str(), "egloos.example");
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(NameGen::cnc_e2ld(&mut a), NameGen::cnc_e2ld(&mut b));
+    }
+}

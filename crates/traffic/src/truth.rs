@@ -1,0 +1,209 @@
+//! Generator-side ground truth: what every domain and machine *really* is.
+//!
+//! The evaluation harness uses this oracle the way the paper uses its
+//! commercial blacklist, sandbox traces and manual analysis: to score
+//! detections after the fact. The detector itself never sees it — it only
+//! sees the (incomplete, lagged) blacklist and the whitelist.
+
+use segugio_model::{Day, DomainId};
+
+/// What a domain actually is, per the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainKind {
+    /// Ordinary benign domain.
+    #[default]
+    Benign,
+    /// Benign long-tail FQD (single-querier CDN-hash style).
+    BenignTail,
+    /// A malware-control domain operated by `family`.
+    Cnc {
+        /// Operating malware family.
+        family: u32,
+        /// Day the domain was activated.
+        activated: Day,
+    },
+    /// A malware-control subdomain abused under a whitelisted free-hosting
+    /// e2LD (the paper's Section IV-D false-positive noise).
+    AbusedSubdomain {
+        /// Operating malware family.
+        family: u32,
+        /// Day the subdomain was activated.
+        activated: Day,
+    },
+}
+
+impl DomainKind {
+    /// Whether the domain is malware-control (C&C or abused subdomain).
+    pub fn is_malicious(self) -> bool {
+        matches!(
+            self,
+            DomainKind::Cnc { .. } | DomainKind::AbusedSubdomain { .. }
+        )
+    }
+
+    /// The operating family, for malicious domains.
+    pub fn family(self) -> Option<u32> {
+        match self {
+            DomainKind::Cnc { family, .. } | DomainKind::AbusedSubdomain { family, .. } => {
+                Some(family)
+            }
+            _ => None,
+        }
+    }
+
+    /// Activation day, for malicious domains.
+    pub fn activated(self) -> Option<Day> {
+        match self {
+            DomainKind::Cnc { activated, .. }
+            | DomainKind::AbusedSubdomain { activated, .. } => Some(activated),
+            _ => None,
+        }
+    }
+}
+
+/// The full ground-truth oracle for one simulated network.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    kinds: Vec<DomainKind>,
+    /// Families infecting each machine (indexed by machine id).
+    infections: Vec<Vec<u32>>,
+}
+
+impl GroundTruth {
+    /// Creates an empty oracle for `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        GroundTruth {
+            kinds: Vec::new(),
+            infections: vec![Vec::new(); machines],
+        }
+    }
+
+    /// Records the kind of a newly interned domain.
+    pub fn set_kind(&mut self, domain: DomainId, kind: DomainKind) {
+        let idx = domain.index();
+        if idx >= self.kinds.len() {
+            self.kinds.resize(idx + 1, DomainKind::Benign);
+        }
+        self.kinds[idx] = kind;
+    }
+
+    /// The kind of `domain` (unknown ids default to benign).
+    pub fn kind(&self, domain: DomainId) -> DomainKind {
+        self.kinds.get(domain.index()).copied().unwrap_or_default()
+    }
+
+    /// Whether `domain` is truly malware-control.
+    pub fn is_malicious(&self, domain: DomainId) -> bool {
+        self.kind(domain).is_malicious()
+    }
+
+    /// Sandbox-evidence oracle: would executing the operating malware in a
+    /// sandbox have shown queries to this domain? True exactly for
+    /// malicious domains (the paper's Table III "Evidence of Malware
+    /// Communications" row).
+    pub fn sandbox_queried(&self, domain: DomainId) -> bool {
+        self.is_malicious(domain)
+    }
+
+    /// Marks `machine` as infected with `family`.
+    pub fn add_infection(&mut self, machine: usize, family: u32) {
+        let fams = &mut self.infections[machine];
+        if !fams.contains(&family) {
+            fams.push(family);
+        }
+    }
+
+    /// The families infecting `machine`.
+    pub fn infections(&self, machine: usize) -> &[u32] {
+        &self.infections[machine]
+    }
+
+    /// Whether `machine` is truly infected.
+    pub fn is_infected(&self, machine: usize) -> bool {
+        !self.infections[machine].is_empty()
+    }
+
+    /// Number of truly infected machines.
+    pub fn infected_count(&self) -> usize {
+        self.infections.iter().filter(|f| !f.is_empty()).count()
+    }
+
+    /// Iterates over all `(domain, kind)` pairs recorded so far.
+    pub fn kinds(&self) -> impl Iterator<Item = (DomainId, DomainKind)> + '_ {
+        self.kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (DomainId(i as u32), k))
+    }
+
+    /// All malicious domains with their families.
+    pub fn malicious_domains(&self) -> impl Iterator<Item = (DomainId, u32)> + '_ {
+        self.kinds().filter_map(|(d, k)| k.family().map(|f| (d, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_default_benign() {
+        let t = GroundTruth::new(2);
+        assert_eq!(t.kind(DomainId(5)), DomainKind::Benign);
+        assert!(!t.is_malicious(DomainId(5)));
+    }
+
+    #[test]
+    fn set_and_query_kind() {
+        let mut t = GroundTruth::new(2);
+        let k = DomainKind::Cnc {
+            family: 3,
+            activated: Day(7),
+        };
+        t.set_kind(DomainId(4), k);
+        assert_eq!(t.kind(DomainId(4)), k);
+        assert!(t.is_malicious(DomainId(4)));
+        assert!(t.sandbox_queried(DomainId(4)));
+        assert_eq!(t.kind(DomainId(4)).family(), Some(3));
+        assert_eq!(t.kind(DomainId(4)).activated(), Some(Day(7)));
+        // Gap ids stay benign.
+        assert_eq!(t.kind(DomainId(2)), DomainKind::Benign);
+    }
+
+    #[test]
+    fn abused_subdomains_are_malicious() {
+        let k = DomainKind::AbusedSubdomain {
+            family: 1,
+            activated: Day(0),
+        };
+        assert!(k.is_malicious());
+        assert_eq!(k.family(), Some(1));
+    }
+
+    #[test]
+    fn infections() {
+        let mut t = GroundTruth::new(3);
+        t.add_infection(0, 5);
+        t.add_infection(0, 5); // duplicate ignored
+        t.add_infection(0, 9);
+        assert_eq!(t.infections(0), &[5, 9]);
+        assert!(t.is_infected(0));
+        assert!(!t.is_infected(1));
+        assert_eq!(t.infected_count(), 1);
+    }
+
+    #[test]
+    fn malicious_domains_iterator() {
+        let mut t = GroundTruth::new(1);
+        t.set_kind(
+            DomainId(0),
+            DomainKind::Cnc {
+                family: 1,
+                activated: Day(0),
+            },
+        );
+        t.set_kind(DomainId(1), DomainKind::BenignTail);
+        let mal: Vec<_> = t.malicious_domains().collect();
+        assert_eq!(mal, vec![(DomainId(0), 1)]);
+    }
+}

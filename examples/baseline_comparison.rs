@@ -1,0 +1,24 @@
+//! Baseline shoot-out: Segugio versus loopy belief propagation, the
+//! co-occurrence heuristic, and the Notos-style reputation system, on the
+//! same synthetic ISP (the Fig. 12 / Section I comparisons at interactive
+//! scale).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use segugio_eval::experiments::{bp_comparison, notos_comparison, Scale};
+
+fn main() {
+    let scale = Scale::small();
+
+    println!("=== Loopy BP / co-occurrence comparison (one cross-day pair) ===");
+    let bp = bp_comparison::run(&scale);
+    println!("{bp}");
+
+    println!("=== Notos comparison (new domains blacklisted after training) ===");
+    let notos = notos_comparison::run(&scale, 14);
+    println!("{notos}");
+}

@@ -1,0 +1,23 @@
+//! Early warning: how many days of head start does Segugio buy over the
+//! blacklist? Reproduces the Fig. 11 experiment at interactive scale.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example early_warning
+//! ```
+
+use segugio_eval::experiments::{early_detection, Scale};
+
+fn main() {
+    let scale = Scale::small();
+    // Four monitored days per network, 35-day blacklist lookahead, 0.5% FP
+    // operating point.
+    let report = early_detection::run(&scale, 4, 35, 0.005);
+    println!("{report}");
+    println!(
+        "interpretation: each detection above was flagged by Segugio while \
+         still absent from the blacklist; the gap column is the number of \
+         days until the blacklist caught up."
+    );
+}

@@ -1,0 +1,15 @@
+//! Workspace-level integration suite for the Segugio reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. It re-exports the member crates
+//! for convenience.
+
+pub use segugio_baselines as baselines;
+pub use segugio_core as core;
+pub use segugio_eval as eval;
+pub use segugio_graph as graph;
+pub use segugio_ingest as ingest;
+pub use segugio_ml as ml;
+pub use segugio_model as model;
+pub use segugio_pdns as pdns;
+pub use segugio_traffic as traffic;

@@ -1,0 +1,41 @@
+//! Cross-network generalization: a model trained on one ISP's traffic must
+//! transfer to a different ISP (the paper's Fig. 6c headline).
+
+use segugio_core::{ClassifierKind, SegugioConfig};
+use segugio_eval::protocol::{select_test_split, train_and_eval};
+use segugio_eval::Scenario;
+use segugio_traffic::IspConfig;
+
+#[test]
+fn model_trained_on_isp1_detects_on_isp2() {
+    let w = 20;
+    let isp1 = Scenario::run(IspConfig::small(311), w, &[w]);
+    let isp2 = Scenario::run(
+        IspConfig {
+            name: "other-isp".to_owned(),
+            machines: 4_000,
+            ..IspConfig::small(622)
+        },
+        w,
+        &[w + 15],
+    );
+
+    let mut config = SegugioConfig::default();
+    if let ClassifierKind::Forest(f) = &mut config.classifier {
+        f.n_trees = 60;
+    }
+
+    let bl1 = isp1.isp().commercial_blacklist().clone();
+    let bl2 = isp2.isp().commercial_blacklist().clone();
+    let split = select_test_split(&isp2, w + 15, &bl2, 0.5, 0.5, 9);
+    let out = train_and_eval(&isp1, w, &isp2, w + 15, &split, &config, &bl1, &bl2);
+
+    assert!(out.tested_malware >= 30);
+    assert!(out.tested_benign >= 500);
+    let tpr = out.roc.tpr_at_fpr(0.01);
+    assert!(
+        tpr >= 0.55,
+        "cross-network TPR@1%FP = {tpr:.3}; the model must transfer"
+    );
+    assert!(out.roc.auc() > 0.9, "cross-network AUC {}", out.roc.auc());
+}

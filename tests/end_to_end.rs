@@ -1,0 +1,124 @@
+//! End-to-end integration: the full pipeline on a small-but-realistic ISP.
+//!
+//! These tests share one simulated scenario (built once) and assert the
+//! paper's qualitative claims at `small` scale: high TP at low FP on
+//! cross-day detection, determinism, and dominance over the co-occurrence
+//! heuristic.
+
+use std::sync::OnceLock;
+
+use segugio_core::{ClassifierKind, SegugioConfig};
+use segugio_eval::protocol::{eval_model, select_test_split, train_and_eval};
+use segugio_eval::Scenario;
+use segugio_ml::RocCurve;
+use segugio_traffic::IspConfig;
+
+const TRAIN_DAY: u32 = 20;
+const TEST_DAY: u32 = 33;
+
+fn scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        Scenario::run(IspConfig::small(901), TRAIN_DAY, &[TRAIN_DAY, TEST_DAY])
+    })
+}
+
+fn config() -> SegugioConfig {
+    let mut config = SegugioConfig::default();
+    if let ClassifierKind::Forest(f) = &mut config.classifier {
+        f.n_trees = 60;
+    }
+    config
+}
+
+#[test]
+fn cross_day_detection_reaches_high_tp_at_low_fp() {
+    let s = scenario();
+    let bl = s.isp().commercial_blacklist().clone();
+    let split = select_test_split(s, TEST_DAY, &bl, 0.5, 0.5, 41);
+    let out = train_and_eval(s, TRAIN_DAY, s, TEST_DAY, &split, &config(), &bl, &bl);
+    assert!(out.tested_malware >= 30, "need a meaningful test set");
+    assert!(out.tested_benign >= 500);
+    let tpr = out.roc.tpr_at_fpr(0.01);
+    assert!(
+        tpr >= 0.6,
+        "TPR@1%FP = {tpr:.3}, expected the paper-shaped high-detection regime"
+    );
+    assert!(out.roc.auc() > 0.9, "AUC {}", out.roc.auc());
+}
+
+#[test]
+fn detection_is_deterministic() {
+    let s = scenario();
+    let bl = s.isp().commercial_blacklist().clone();
+    let split = select_test_split(s, TEST_DAY, &bl, 0.3, 0.2, 42);
+    let a = train_and_eval(s, TRAIN_DAY, s, TEST_DAY, &split, &config(), &bl, &bl);
+    let b = train_and_eval(s, TRAIN_DAY, s, TEST_DAY, &split, &config(), &bl, &bl);
+    assert_eq!(a.scores.len(), b.scores.len());
+    for (x, y) in a.scores.iter().zip(&b.scores) {
+        assert_eq!(x, y, "same inputs must give identical scores");
+    }
+}
+
+#[test]
+fn segugio_beats_cooccurrence_at_low_fp() {
+    let s = scenario();
+    let bl = s.isp().commercial_blacklist().clone();
+    let split = select_test_split(s, TEST_DAY, &bl, 0.5, 0.5, 43);
+    let out = train_and_eval(s, TRAIN_DAY, s, TEST_DAY, &split, &config(), &bl, &bl);
+
+    // Co-occurrence scores on the same hidden test graph.
+    let hidden = split.hidden();
+    let snap = s.snapshot(TEST_DAY, &config(), &bl, Some(&hidden));
+    let co: std::collections::HashMap<_, _> =
+        segugio_baselines::cooccurrence_scores(&snap.graph)
+            .into_iter()
+            .collect();
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    for &(d, _, is_mal) in &out.scores {
+        if let Some(&score) = co.get(&d) {
+            scores.push(score);
+            labels.push(is_mal);
+        }
+    }
+    let co_roc = RocCurve::from_scores(&scores, &labels);
+    let seg = out.roc.partial_auc(0.01);
+    let coo = co_roc.partial_auc(0.01);
+    assert!(
+        seg > coo,
+        "segugio pAUC(1%) {seg:.3} must beat co-occurrence {coo:.3}"
+    );
+}
+
+#[test]
+fn logistic_backend_is_competitive() {
+    let s = scenario();
+    let bl = s.isp().commercial_blacklist().clone();
+    let split = select_test_split(s, TEST_DAY, &bl, 0.5, 0.5, 44);
+    let mut cfg = config();
+    cfg.classifier = ClassifierKind::Logistic(Default::default());
+    let out = train_and_eval(s, TRAIN_DAY, s, TEST_DAY, &split, &cfg, &bl, &bl);
+    assert!(
+        out.roc.auc() > 0.85,
+        "logistic regression AUC {} should be solid on this data",
+        out.roc.auc()
+    );
+}
+
+#[test]
+fn model_transfers_to_later_day_with_same_split_protocol() {
+    // Train once, evaluate with eval_model (deployment path) — results must
+    // match the combined train_and_eval output.
+    let s = scenario();
+    let bl = s.isp().commercial_blacklist().clone();
+    let split = select_test_split(s, TEST_DAY, &bl, 0.4, 0.3, 45);
+    let cfg = config();
+    let combined = train_and_eval(s, TRAIN_DAY, s, TEST_DAY, &split, &cfg, &bl, &bl);
+
+    let hidden = split.hidden();
+    let train_snap = s.snapshot(TRAIN_DAY, &cfg, &bl, Some(&hidden));
+    let model = segugio_core::Segugio::train(&train_snap, s.isp().activity(), &cfg);
+    let replay = eval_model(&model, s, TEST_DAY, &split, &cfg, &bl);
+    assert_eq!(combined.scores, replay.scores);
+}
