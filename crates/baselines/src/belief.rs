@@ -184,8 +184,16 @@ fn normalize(v: [f64; 2]) -> [f64; 2] {
 }
 
 fn divide(prod: [f64; 2], msg: [f64; 2]) -> [f64; 2] {
-    let a = if msg[0] > 1e-12 { prod[0] / msg[0] } else { prod[0] };
-    let b = if msg[1] > 1e-12 { prod[1] / msg[1] } else { prod[1] };
+    let a = if msg[0] > 1e-12 {
+        prod[0] / msg[0]
+    } else {
+        prod[0]
+    };
+    let b = if msg[1] > 1e-12 {
+        prod[1] / msg[1]
+    } else {
+        prod[1]
+    };
     normalize([a, b])
 }
 
@@ -223,7 +231,11 @@ mod tests {
         let bp = BeliefPropagation::new(BeliefConfig::default());
         let scores = bp.score_unknown(&g);
         assert_eq!(scores.len(), 2);
-        assert_eq!(scores[0].0, DomainId(10), "domain of infected cluster first");
+        assert_eq!(
+            scores[0].0,
+            DomainId(10),
+            "domain of infected cluster first"
+        );
         assert!(scores[0].1 > scores[1].1);
     }
 

@@ -14,7 +14,6 @@
 //!   al. [21]: score a domain by the fraction of its queriers that also
 //!   query known-malicious domains.
 
-
 #![warn(missing_docs)]
 pub mod belief;
 pub mod cooccurrence;

@@ -123,7 +123,11 @@ impl Notos {
             mal_ips as f32 / ips.len() as f32,
             mal_pfx as f32 / prefixes.len() as f32,
             unk_ips as f32,
-            if s.bytes().any(|b| b == b'-') { 1.0 } else { 0.0 },
+            if s.bytes().any(|b| b == b'-') {
+                1.0
+            } else {
+                0.0
+            },
         ])
     }
 
@@ -223,8 +227,7 @@ mod tests {
         }
         // 10 blacklisted domains in a shared dirty prefix.
         for i in 0..10 {
-            let d = table
-                .intern(&DomainName::parse(&format!("x{i}z9qkpw3.example")).unwrap());
+            let d = table.intern(&DomainName::parse(&format!("x{i}z9qkpw3.example")).unwrap());
             blacklist.insert(d, Day(1));
             for day in 0..30 {
                 pdns.record(d, Ipv4::from_octets(45, 0, 0, i as u8), Day(day));
@@ -255,8 +258,7 @@ mod tests {
         // A *new* malicious domain in the dirty prefix gets a high score.
         let mut table2 = table.clone();
         let mut pdns2 = pdns.clone();
-        let fresh = table2
-            .intern(&DomainName::parse("q8k2n5m1.example").unwrap());
+        let fresh = table2.intern(&DomainName::parse("q8k2n5m1.example").unwrap());
         // Old enough to have a reputation (the reject option needs
         // min_history_age_days of evidence), but in the dirty prefix.
         for day in 15..30 {

@@ -38,8 +38,14 @@ fn bench(c: &mut Criterion) {
     // --- Classifier backend comparison ---
     println!("\nABLATION: classifier backend vs TPR@1%FP");
     let backends: Vec<(&str, ClassifierKind)> = vec![
-        ("random forest", ClassifierKind::Forest(ForestConfig::default())),
-        ("logistic regression", ClassifierKind::Logistic(Default::default())),
+        (
+            "random forest",
+            ClassifierKind::Forest(ForestConfig::default()),
+        ),
+        (
+            "logistic regression",
+            ClassifierKind::Logistic(Default::default()),
+        ),
         (
             "gradient boosting",
             ClassifierKind::Boosting(segugio_ml::BoostingConfig::default()),

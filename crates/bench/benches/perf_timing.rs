@@ -1,17 +1,89 @@
 //! E11: regenerates the Section IV-G performance table and benchmarks the
-//! pipeline phases across network scales (throughput ablation).
+//! pipeline phases across network scales (throughput ablation), plus the
+//! serial-vs-parallel comparison behind `BENCH_parallel.json`.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use segugio_bench::bench_scale;
-use segugio_core::Segugio;
+use segugio_core::{Segugio, SegugioConfig};
 use segugio_eval::experiments::performance;
 use segugio_eval::Scenario;
 use segugio_traffic::IspConfig;
+
+/// Median wall-clock seconds over `n` runs of `f`.
+fn median_secs<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times snapshot build, training, and scoring of one day at the given
+/// pipeline parallelism. Returns `(build, train, score)` median seconds.
+fn phase_times(scenario: &Scenario, config: &SegugioConfig, runs: usize) -> (f64, f64, f64) {
+    let activity = scenario.isp().activity();
+    let build = median_secs(runs, || {
+        std::hint::black_box(scenario.snapshot_commercial(20, config));
+    });
+    let snap = scenario.snapshot_commercial(20, config);
+    let train = median_secs(runs, || {
+        std::hint::black_box(Segugio::train(&snap, activity, config));
+    });
+    let model = Segugio::train(&snap, activity, config);
+    let score = median_secs(runs, || {
+        std::hint::black_box(model.score_unknown(&snap, activity));
+    });
+    (build, train, score)
+}
+
+/// Serial (`Some(1)`) vs auto (`None`) pipeline comparison; prints the
+/// JSON recorded in `BENCH_parallel.json`.
+fn bench_parallel(scale_config: &SegugioConfig) {
+    let machines = 10_000usize;
+    let cfg = IspConfig {
+        name: format!("parallel-{machines}"),
+        machines,
+        ..IspConfig::small(77)
+    };
+    let scenario = Scenario::run(cfg, 20, &[20]);
+    let serial_cfg = SegugioConfig {
+        parallelism: Some(1),
+        ..scale_config.clone()
+    };
+    let auto_cfg = SegugioConfig {
+        parallelism: None,
+        ..scale_config.clone()
+    };
+    let runs = 5;
+    let (sb, st, ss) = phase_times(&scenario, &serial_cfg, runs);
+    let (pb, pt, ps) = phase_times(&scenario, &auto_cfg, runs);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "{{\n  \"host_threads\": {threads},\n  \"machines\": {machines},\n  \
+         \"runs\": {runs},\n  \
+         \"serial_s\": {{\"snapshot_build\": {sb:.4}, \"train\": {st:.4}, \"score\": {ss:.4}}},\n  \
+         \"parallel_s\": {{\"snapshot_build\": {pb:.4}, \"train\": {pt:.4}, \"score\": {ps:.4}}},\n  \
+         \"speedup\": {{\"snapshot_build\": {:.2}, \"train\": {:.2}, \"score\": {:.2}, \
+         \"pipeline\": {:.2}}}\n}}",
+        sb / pb,
+        st / pt,
+        ss / ps,
+        (sb + st + ss) / (pb + pt + ps),
+    );
+}
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();
     let report = performance::run(&scale, 4);
     println!("\n{report}\n");
+
+    bench_parallel(&scale.config);
 
     // Scale sweep: how the learning and classification phases grow with the
     // machine population.

@@ -40,6 +40,11 @@ pub struct SegugioConfig {
     /// security scanners that probe blacklisted names. `None` disables the
     /// filter (the paper's default deployments did not need it).
     pub probe_filter: Option<u32>,
+    /// Worker threads for the per-day hot path (graph building, training-set
+    /// extraction, forest training, and unknown-domain scoring). `None`
+    /// uses every available core; `Some(1)` forces the exact serial path.
+    /// Output is bit-for-bit identical at every setting.
+    pub parallelism: Option<usize>,
 }
 
 impl SegugioConfig {
@@ -50,6 +55,12 @@ impl SegugioConfig {
             feature_columns: Some(group.complement_columns()),
             ..SegugioConfig::default()
         }
+    }
+
+    /// The concrete worker count the [`parallelism`](Self::parallelism)
+    /// knob resolves to on this machine.
+    pub fn effective_parallelism(&self) -> usize {
+        crate::parallel::resolve_parallelism(self.parallelism)
     }
 }
 

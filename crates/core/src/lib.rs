@@ -60,11 +60,11 @@
 //! assert!(!detections.is_empty());
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod config;
 pub mod features;
 pub mod model;
+pub mod parallel;
 pub mod snapshot;
 pub mod tracker;
 pub mod trainer;

@@ -47,19 +47,31 @@ pub struct SegugioModel {
     backend: ModelBackend,
     columns: Vec<usize>,
     features: FeatureConfig,
+    /// Worker threads for bulk scoring; not persisted — a deployment
+    /// property of this process, not of the trained model.
+    parallelism: Option<usize>,
 }
 
 impl SegugioModel {
-    pub(crate) fn new(
-        backend: ModelBackend,
-        columns: Vec<usize>,
-        features: FeatureConfig,
-    ) -> Self {
+    pub(crate) fn new(backend: ModelBackend, columns: Vec<usize>, features: FeatureConfig) -> Self {
         SegugioModel {
             backend,
             columns,
             features,
+            parallelism: None,
         }
+    }
+
+    /// Sets the worker-thread count used by the bulk scoring entry points
+    /// ([`score_unknown`](Self::score_unknown) /
+    /// [`score_where`](Self::score_where)): `None` uses every available
+    /// core, `Some(1)` forces the serial path. Scores are bit-for-bit
+    /// identical at every setting. Models from
+    /// [`load_from_str`](Self::load_from_str) default to `None`.
+    #[must_use]
+    pub fn with_parallelism(mut self, knob: Option<usize>) -> Self {
+        self.parallelism = knob;
+        self
     }
 
     /// The feature windows the model was trained with.
@@ -161,6 +173,7 @@ impl SegugioModel {
                 activity_days,
                 abuse_window_days,
             },
+            parallelism: None,
         })
     }
 
@@ -195,19 +208,26 @@ impl SegugioModel {
     where
         F: Fn(Label) -> bool,
     {
-        let extractor = FeatureExtractor::new(
-            &snapshot.graph,
-            activity,
-            &snapshot.abuse,
-            self.features,
-        );
-        let mut out: Vec<Detection> = snapshot
+        let extractor =
+            FeatureExtractor::new(&snapshot.graph, activity, &snapshot.abuse, self.features);
+        let candidates: Vec<_> = snapshot
             .graph
             .domain_indices()
             .filter(|&d| pred(snapshot.graph.domain_label(d)))
-            .map(|d| Detection {
+            .collect();
+        // Each candidate is measured and scored independently; chunk over
+        // workers and merge in index order, then apply the usual stable
+        // sort — the result is identical at any parallelism.
+        let threads = crate::parallel::resolve_parallelism(self.parallelism);
+        let scores = crate::parallel::parallel_map_indexed(candidates.len(), threads, |i| {
+            self.score_features(&extractor.measure(candidates[i]))
+        });
+        let mut out: Vec<Detection> = candidates
+            .iter()
+            .zip(scores)
+            .map(|(&d, score)| Detection {
                 domain: snapshot.graph.domain_id(d),
-                score: self.score_features(&extractor.measure(d)),
+                score,
             })
             .collect();
         out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
@@ -269,7 +289,12 @@ impl Detector {
         let mut machines = Vec::new();
         for det in detections {
             if let Some(d) = snapshot.graph.domain_idx(det.domain) {
-                machines.extend(snapshot.graph.machines_of(d).map(|m| snapshot.graph.machine_id(m)));
+                machines.extend(
+                    snapshot
+                        .graph
+                        .machines_of(d)
+                        .map(|m| snapshot.graph.machine_id(m)),
+                );
             }
         }
         machines.sort_unstable();
@@ -297,8 +322,7 @@ mod tests {
         let known_mal: Vec<DomainId> = (0..2)
             .map(|i| table.intern(&DomainName::parse(&format!("c2x{i}.example")).unwrap()))
             .collect();
-        let unknown_mal =
-            table.intern(&DomainName::parse("freshc2.example").unwrap());
+        let unknown_mal = table.intern(&DomainName::parse("freshc2.example").unwrap());
 
         let mut whitelist = Whitelist::new();
         for &b in &benign {
@@ -421,10 +445,13 @@ mod tests {
         // Rejects garbage.
         assert!(SegugioModel::load_from_str("").is_err());
         assert!(SegugioModel::load_from_str("segugio-model v99").is_err());
-        assert!(SegugioModel::load_from_str("segugio-model v1
+        assert!(SegugioModel::load_from_str(
+            "segugio-model v1
 features 14 150
 columns 0 1
-bogus").is_err());
+bogus"
+        )
+        .is_err());
     }
 
     #[test]

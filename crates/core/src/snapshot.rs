@@ -4,9 +4,7 @@ use std::collections::HashSet;
 
 use segugio_graph::labeling::apply_labels_with;
 use segugio_graph::{BehaviorGraph, GraphBuilder, PruneStats};
-use segugio_model::{
-    Blacklist, Day, DomainId, DomainTable, Ipv4, Label, MachineId, Whitelist,
-};
+use segugio_model::{Blacklist, Day, DomainId, DomainTable, Ipv4, Label, MachineId, Whitelist};
 use segugio_pdns::{AbuseIndex, PassiveDns};
 
 use crate::config::SegugioConfig;
@@ -85,6 +83,7 @@ impl DaySnapshot {
     pub fn build(input: &SnapshotInput<'_>, config: &SegugioConfig) -> Self {
         // 1. Graph construction + annotations.
         let mut builder = GraphBuilder::new(input.day);
+        builder.set_parallelism(config.effective_parallelism());
         builder.add_queries(input.queries.iter().copied());
         for (d, ips) in input.resolutions {
             builder.set_e2ld(*d, input.table.e2ld_of(*d));
@@ -111,7 +110,11 @@ impl DaySnapshot {
                 Label::Unknown
             }
         });
-        let unpruned_counts = (graph.machine_count(), graph.domain_count(), graph.edge_count());
+        let unpruned_counts = (
+            graph.machine_count(),
+            graph.domain_count(),
+            graph.edge_count(),
+        );
         let unpruned_domain_labels = graph.domain_label_counts();
         let unpruned_machine_labels = graph.machine_label_counts();
 
@@ -126,7 +129,9 @@ impl DaySnapshot {
 
         // 4. IP-abuse index over the W days preceding the snapshot day,
         //    labeled with the same (hidden-aware) seed labels.
-        let window = input.day.lookback_exclusive(config.features.abuse_window_days);
+        let window = input
+            .day
+            .lookback_exclusive(config.features.abuse_window_days);
         let abuse = AbuseIndex::build(input.pdns, window, |d| input.seed_label(d));
 
         DaySnapshot {
@@ -233,7 +238,10 @@ mod tests {
             hidden: None,
         };
         let snap = DaySnapshot::build(&input, &config);
-        assert!(snap.graph.machine_idx(MachineId(0)).is_none(), "prober removed");
+        assert!(
+            snap.graph.machine_idx(MachineId(0)).is_none(),
+            "prober removed"
+        );
         assert!(snap.graph.machine_idx(MachineId(1)).is_some());
     }
 
@@ -251,15 +259,12 @@ mod tests {
         whitelist.insert(table.e2ld_of(ids[1]));
         let pdns = PassiveDns::new();
 
-        // 8 machines querying enough domains to survive R1.
+        // 8 machines, each querying all 4 domains; the config below relaxes
+        // R1's degree threshold so they survive pruning.
         let mut queries = Vec::new();
         for m in 0..8u32 {
             for d in &ids {
                 queries.push((MachineId(m), *d));
-            }
-            // pad degree past the R1 threshold with distinct fillers
-            for (k, extra) in ids.iter().enumerate() {
-                let _ = (k, extra);
             }
         }
         let resolutions: Vec<(DomainId, Vec<Ipv4>)> = ids

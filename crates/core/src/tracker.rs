@@ -87,9 +87,7 @@ impl Tracker {
 
     /// Confirmed detections: `(domain, flagged_day, confirmed_day)`.
     pub fn confirmations(&self) -> impl Iterator<Item = (DomainId, Day, Day)> + '_ {
-        self.confirmed
-            .iter()
-            .map(|(&d, &(f, c))| (d, f, c))
+        self.confirmed.iter().map(|(&d, &(f, c))| (d, f, c))
     }
 
     /// Processes one day of traffic.
@@ -120,10 +118,12 @@ impl Tracker {
         confirmed_today.sort_by_key(|&(d, _)| d);
 
         // 2. Train on today's knowledge and calibrate the threshold on the
-        //    known domains' hidden-label scores.
+        //    known domains' hidden-label scores. The training set is
+        //    extracted once and used for both training and calibration —
+        //    feature measurement is the expensive half of the day.
         let snapshot = DaySnapshot::build(input, &config.segugio);
-        let model = Segugio::train(&snapshot, activity, &config.segugio);
         let (train_set, _) = build_training_set(&snapshot, activity, &config.segugio);
+        let model = Segugio::train_prepared(&train_set, &config.segugio);
         let scores: Vec<f32> = (0..train_set.len())
             .map(|i| model.score_features(train_set.row(i)))
             .collect();

@@ -1,13 +1,14 @@
 //! Training-set preparation and model training (paper Section II-A3).
 
 use segugio_graph::HiddenLabelView;
-use segugio_ml::{Dataset, GradientBoosting, LogisticRegression, RandomForest};
+use segugio_ml::{Dataset, ForestConfig, GradientBoosting, LogisticRegression, RandomForest};
 use segugio_model::{DomainId, Label};
 use segugio_pdns::ActivityStore;
 
 use crate::config::{ClassifierKind, SegugioConfig};
 use crate::features::{FeatureExtractor, FEATURE_COUNT};
 use crate::model::{ModelBackend, SegugioModel};
+use crate::parallel::parallel_map_indexed;
 use crate::snapshot::{DaySnapshot, SnapshotInput};
 
 /// Builds the labeled training set from a day snapshot.
@@ -22,22 +23,27 @@ pub fn build_training_set(
     activity: &ActivityStore,
     config: &SegugioConfig,
 ) -> (Dataset, Vec<DomainId>) {
-    let extractor = FeatureExtractor::new(
-        &snapshot.graph,
-        activity,
-        &snapshot.abuse,
-        config.features,
-    );
+    let extractor =
+        FeatureExtractor::new(&snapshot.graph, activity, &snapshot.abuse, config.features);
+    let known: Vec<_> = snapshot
+        .graph
+        .domain_indices()
+        .filter_map(|d| {
+            let label = snapshot.graph.domain_label(d);
+            (label != Label::Unknown).then_some((d, label))
+        })
+        .collect();
+    // Feature measurement per known domain is independent of every other
+    // domain; fan out over workers and merge rows back in domain-index
+    // order so the dataset is identical at any parallelism.
+    let rows = parallel_map_indexed(known.len(), config.effective_parallelism(), |i| {
+        let view = HiddenLabelView::new(&snapshot.graph, known[i].0);
+        extractor.measure_hidden(&view)
+    });
     let mut data = Dataset::new(FEATURE_COUNT);
-    let mut ids = Vec::new();
-    for d in snapshot.graph.domain_indices() {
-        let label = snapshot.graph.domain_label(d);
-        if label == Label::Unknown {
-            continue;
-        }
-        let view = HiddenLabelView::new(&snapshot.graph, d);
-        let features = extractor.measure_hidden(&view);
-        data.push(&features, label == Label::Malware);
+    let mut ids = Vec::with_capacity(known.len());
+    for (&(d, label), features) in known.iter().zip(&rows) {
+        data.push(features, label == Label::Malware);
         ids.push(snapshot.graph.domain_id(d));
     }
     (data, ids)
@@ -67,6 +73,18 @@ impl Segugio {
         config: &SegugioConfig,
     ) -> SegugioModel {
         let (full, _ids) = build_training_set(snapshot, activity, config);
+        Self::train_prepared(&full, config)
+    }
+
+    /// Trains on an already-extracted training set, with the same panics as
+    /// [`Segugio::train`]. Callers that also need the training set (e.g. for
+    /// threshold calibration) extract it once and pass it here instead of
+    /// paying the feature measurement twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` has no positive or no negative rows.
+    pub fn train_prepared(full: &Dataset, config: &SegugioConfig) -> SegugioModel {
         assert!(
             full.positive_count() > 0,
             "training snapshot has no known malware domains"
@@ -75,7 +93,7 @@ impl Segugio {
             full.negative_count() > 0,
             "training snapshot has no known benign domains"
         );
-        Self::train_on(&full, config)
+        Self::train_on(full, config)
     }
 
     /// Trains a model directly on a prepared training set (used by the
@@ -92,6 +110,20 @@ impl Segugio {
         };
         let backend = match &config.classifier {
             ClassifierKind::Forest(cfg) => {
+                // The pipeline-wide knob overrides the forest's own thread
+                // heuristic so one setting governs the whole hot path; a
+                // forest config with explicit threads still wins when the
+                // pipeline knob is unset.
+                let fit_cfg;
+                let cfg = if let Some(n) = config.parallelism {
+                    fit_cfg = ForestConfig {
+                        threads: n.max(1),
+                        ..cfg.clone()
+                    };
+                    &fit_cfg
+                } else {
+                    cfg
+                };
                 ModelBackend::Forest(RandomForest::fit(&projected, cfg))
             }
             ClassifierKind::Logistic(cfg) => {
@@ -101,16 +133,14 @@ impl Segugio {
                 ModelBackend::Boosting(GradientBoosting::fit(&projected, cfg))
             }
         };
-        SegugioModel::new(backend, columns, config.features)
+        SegugioModel::new(backend, columns, config.features).with_parallelism(config.parallelism)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use segugio_model::{
-        Blacklist, Day, DomainName, DomainTable, Ipv4, MachineId, Whitelist,
-    };
+    use segugio_model::{Blacklist, Day, DomainName, DomainTable, Ipv4, MachineId, Whitelist};
     use segugio_pdns::PassiveDns;
 
     /// A minimal but learnable world: 30 machines, 6 benign domains queried
@@ -119,9 +149,7 @@ mod tests {
     fn fixture() -> (DaySnapshot, ActivityStore, SegugioConfig) {
         let mut table = DomainTable::new();
         let benign: Vec<DomainId> = (0..6)
-            .map(|i| {
-                table.intern(&DomainName::parse(&format!("site{i}.example")).unwrap())
-            })
+            .map(|i| table.intern(&DomainName::parse(&format!("site{i}.example")).unwrap()))
             .collect();
         let mal: Vec<DomainId> = (0..2)
             .map(|i| table.intern(&DomainName::parse(&format!("c2x{i}.example")).unwrap()))
@@ -271,7 +299,10 @@ mod tests {
         // And it persists.
         let text = model.save_to_string();
         let loaded = crate::model::SegugioModel::load_from_str(&text).unwrap();
-        assert_eq!(loaded.score_features(data.row(0)), model.score_features(data.row(0)));
+        assert_eq!(
+            loaded.score_features(data.row(0)),
+            model.score_features(data.row(0))
+        );
     }
 
     #[test]

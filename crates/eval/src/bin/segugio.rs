@@ -74,10 +74,7 @@ Experiments: dataset crossday ablation crossfamily fp-analysis
 ";
 
 /// Parses `--key value` flags into a map, rejecting unknown keys.
-fn parse_flags(
-    args: &[String],
-    allowed: &[&str],
-) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -140,7 +137,10 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
             "bp" => println!("{}", bp_comparison::run(scale)),
             "robustness" => println!("{}", robustness::run(scale)),
             "seed-sensitivity" => {
-                println!("{}", seed_sensitivity::run(scale, &[0.1, 0.25, 0.5, 0.75, 1.0]));
+                println!(
+                    "{}",
+                    seed_sensitivity::run(scale, &[0.1, 0.25, 0.5, 0.75, 1.0])
+                );
             }
             other => return Err(format!("unknown experiment `{other}`\n\n{USAGE}")),
         }
@@ -261,8 +261,7 @@ fn load_inputs(
             .unwrap_or("0")
             .parse()
             .map_err(|_| format!("{bl_path}:{}: bad day index", i + 1))?;
-        let parsed =
-            DomainName::parse(name).map_err(|e| format!("{bl_path}:{}: {e}", i + 1))?;
+        let parsed = DomainName::parse(name).map_err(|e| format!("{bl_path}:{}: {e}", i + 1))?;
         if let Some(id) = collector.table().get(&parsed) {
             blacklist.insert(id, Day(added));
         }
@@ -325,7 +324,15 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 fn cmd_detect(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["logs", "blacklist", "whitelist", "model", "train-day", "test-day", "top"],
+        &[
+            "logs",
+            "blacklist",
+            "whitelist",
+            "model",
+            "train-day",
+            "test-day",
+            "top",
+        ],
     )?;
     let top: usize = parse_or(&flags, "top", 20)?;
     let (collector, blacklist, whitelist) = load_inputs(&flags)?;
@@ -342,10 +349,9 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let model = match flags.get("model") {
         Some(path) => {
             // Deploy a previously trained (possibly cross-network) model.
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let model = segugio_core::SegugioModel::load_from_str(&text)
-                .map_err(|e| e.to_string())?;
+            let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let model =
+                segugio_core::SegugioModel::load_from_str(&text).map_err(|e| e.to_string())?;
             eprintln!("loaded model from {path}; testing on {test_day}");
             model
         }

@@ -157,7 +157,12 @@ mod tests {
     fn tiny_ablation_orders_cases() {
         let report = run(&Scale::tiny());
         assert_eq!(report.cases.len(), 4);
-        let all = report.case("All features").unwrap().outcome.roc.partial_auc(0.05);
+        let all = report
+            .case("All features")
+            .unwrap()
+            .outcome
+            .roc
+            .partial_auc(0.05);
         for case in &report.cases {
             let p = case.outcome.roc.partial_auc(0.05);
             // All-features should never be dramatically worse than any

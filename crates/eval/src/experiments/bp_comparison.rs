@@ -101,16 +101,17 @@ pub fn run(scale: &Scale) -> BpReport {
     let t = Instant::now();
     let detections = model.score_where(&test_snap, activity, |l| l == Label::Unknown);
     let seg_ms = t.elapsed().as_secs_f64() * 1e3;
-    let seg: HashMap<DomainId, f32> = detections.into_iter().map(|d| (d.domain, d.score)).collect();
+    let seg: HashMap<DomainId, f32> = detections
+        .into_iter()
+        .map(|d| (d.domain, d.score))
+        .collect();
     cases.push(case_from("Segugio", &seg, &split, seg_ms));
 
     // --- Loopy BP ---
     let bp = BeliefPropagation::new(BeliefConfig::default());
     let t = Instant::now();
-    let bp_scores: HashMap<DomainId, f32> = bp
-        .score_unknown(&test_snap.graph)
-        .into_iter()
-        .collect();
+    let bp_scores: HashMap<DomainId, f32> =
+        bp.score_unknown(&test_snap.graph).into_iter().collect();
     let bp_ms = t.elapsed().as_secs_f64() * 1e3;
     cases.push(case_from("Loopy BP", &bp_scores, &split, bp_ms));
 

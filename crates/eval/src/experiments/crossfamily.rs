@@ -47,8 +47,10 @@ impl fmt::Display for CrossFamilyReport {
         )?;
         let grid = low_fpr_grid();
         let mut rows = Vec::new();
-        for (name, roc) in [("All features", &self.roc_all), ("No machine", &self.roc_no_machine)]
-        {
+        for (name, roc) in [
+            ("All features", &self.roc_all),
+            ("No machine", &self.roc_no_machine),
+        ] {
             let mut row = vec![name.to_owned()];
             row.extend(grid.iter().map(|&g| pct(roc.tpr_at_fpr(g))));
             row.push(format!("{:.4}", roc.partial_auc(0.01)));

@@ -185,7 +185,12 @@ mod tests {
     #[test]
     fn tiny_dataset_report_has_paper_shapes() {
         let s = Scale::tiny();
-        let report = run(std::slice::from_ref(&s.isp1), s.warmup, &[s.warmup], &s.config);
+        let report = run(
+            std::slice::from_ref(&s.isp1),
+            s.warmup,
+            &[s.warmup],
+            &s.config,
+        );
         assert_eq!(report.rows.len(), 1);
         let row = &report.rows[0];
         assert!(row.domains_total > 100);

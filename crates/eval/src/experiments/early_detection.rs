@@ -53,12 +53,7 @@ impl EarlyDetectionReport {
     /// Histogram over the gap in days: `hist[g]` = detections blacklisted
     /// `g` days after Segugio flagged them.
     pub fn gap_histogram(&self) -> Vec<usize> {
-        let max = self
-            .hits
-            .iter()
-            .map(|h| h.gap())
-            .max()
-            .unwrap_or(0) as usize;
+        let max = self.hits.iter().map(|h| h.gap()).max().unwrap_or(0) as usize;
         let mut hist = vec![0usize; max + 1];
         for h in &self.hits {
             hist[h.gap() as usize] += 1;
@@ -98,7 +93,12 @@ impl fmt::Display for EarlyDetectionReport {
 
 /// Runs early detection over `days_per_isp` consecutive days on both
 /// networks.
-pub fn run(scale: &Scale, days_per_isp: u32, lookahead: u32, target_fpr: f64) -> EarlyDetectionReport {
+pub fn run(
+    scale: &Scale,
+    days_per_isp: u32,
+    lookahead: u32,
+    target_fpr: f64,
+) -> EarlyDetectionReport {
     let mut hits = Vec::new();
     let mut monitored = 0usize;
     for isp_cfg in [scale.isp1.clone(), scale.isp2.clone()] {

@@ -110,8 +110,24 @@ pub fn run(scale: &Scale, target_fpr: f64) -> FpAnalysisReport {
     let isp1 = Scenario::run(scale.isp1.clone(), w, &[w, w + 13]);
     let isp2 = Scenario::run(scale.isp2.clone(), w, &[w, w + 15]);
     let cases = vec![
-        analyze_case("(a) ISP1 cross-day", &isp1, w, &isp1, w + 13, scale, target_fpr),
-        analyze_case("(b) ISP2 cross-day", &isp2, w, &isp2, w + 15, scale, target_fpr),
+        analyze_case(
+            "(a) ISP1 cross-day",
+            &isp1,
+            w,
+            &isp1,
+            w + 13,
+            scale,
+            target_fpr,
+        ),
+        analyze_case(
+            "(b) ISP2 cross-day",
+            &isp2,
+            w,
+            &isp2,
+            w + 15,
+            scale,
+            target_fpr,
+        ),
         analyze_case(
             "(c) ISP1-ISP2 cross-network",
             &isp1,
@@ -176,7 +192,10 @@ pub fn analyze_case(
         .filter(|&&(_, s, m)| !m && s >= threshold)
         .map(|&(d, _, _)| d)
         .collect();
-    let tp = scored.iter().filter(|&&(_, s, m)| m && s >= threshold).count();
+    let tp = scored
+        .iter()
+        .filter(|&&(_, s, m)| m && s >= threshold)
+        .count();
     let n_mal = labels.iter().filter(|&&l| l).count();
     let n_ben = labels.len() - n_mal;
 
@@ -224,7 +243,11 @@ pub fn analyze_case(
     FpBreakdown {
         name: name.to_owned(),
         threshold,
-        tpr: if n_mal == 0 { 0.0 } else { tp as f64 / n_mal as f64 },
+        tpr: if n_mal == 0 {
+            0.0
+        } else {
+            tp as f64 / n_mal as f64
+        },
         fpr: if n_ben == 0 {
             0.0
         } else {

@@ -90,13 +90,7 @@ impl fmt::Display for NotosReport {
             })
             .collect();
         f.write_str(&render_table(
-            &[
-                "system",
-                "new domains",
-                "TPR@lo",
-                "TPR@mid",
-                "TPR@hi",
-            ],
+            &["system", "new domains", "TPR@lo", "TPR@mid", "TPR@hi"],
             &rows,
         ))?;
         writeln!(f)?;

@@ -76,7 +76,14 @@ impl fmt::Display for PerformanceReport {
             })
             .collect();
         f.write_str(&render_table(
-            &["day", "snapshot ms", "train ms", "classify ms", "unknown", "edges"],
+            &[
+                "day",
+                "snapshot ms",
+                "train ms",
+                "classify ms",
+                "unknown",
+                "edges",
+            ],
             &rows,
         ))?;
         let (s, t, c) = self.means();

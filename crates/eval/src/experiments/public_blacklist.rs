@@ -38,7 +38,10 @@ impl fmt::Display for PublicBlacklistReport {
         writeln!(f, "FIG 10: Cross-day results using only public blacklists")?;
         let grid = low_fpr_grid();
         let mut row = vec!["public-blacklist cross-day".to_owned()];
-        row.extend(grid.iter().map(|&g| pct(self.public_crossday.tpr_at_fpr(g))));
+        row.extend(
+            grid.iter()
+                .map(|&g| pct(self.public_crossday.tpr_at_fpr(g))),
+        );
         let mut headers: Vec<String> = vec!["case".to_owned()];
         headers.extend(grid.iter().map(|&g| format!("TPR@{}", pct2(g))));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -59,7 +62,10 @@ impl fmt::Display for PublicBlacklistReport {
                 )?;
             }
         } else {
-            writeln!(f, "  (no novel public-only domains observed in test traffic)")?;
+            writeln!(
+                f,
+                "  (no novel public-only domains observed in test traffic)"
+            )?;
         }
         Ok(())
     }
@@ -105,9 +111,7 @@ pub fn run(scale: &Scale) -> PublicBlacklistReport {
     seen.dedup();
     let novel: HashSet<DomainId> = seen
         .iter()
-        .filter(|&&d| {
-            public.contains_as_of(d, Day(test_day)) && !commercial.contains(d)
-        })
+        .filter(|&&d| public.contains_as_of(d, Day(test_day)) && !commercial.contains(d))
         .copied()
         .collect();
 
@@ -126,11 +130,9 @@ pub fn run(scale: &Scale) -> PublicBlacklistReport {
         .benign;
         let hidden: HashSet<DomainId> = novel.union(&benign).copied().collect();
 
-        let train_snap =
-            scenario.snapshot(w, &scale.config, &commercial, Some(&hidden));
+        let train_snap = scenario.snapshot(w, &scale.config, &commercial, Some(&hidden));
         let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config);
-        let test_snap =
-            scenario.snapshot(test_day, &scale.config, &commercial, Some(&hidden));
+        let test_snap = scenario.snapshot(test_day, &scale.config, &commercial, Some(&hidden));
         let detections = model.score_unknown(&test_snap, scenario.isp().activity());
 
         let mut scores = Vec::new();

@@ -142,8 +142,16 @@ pub fn churn_sweep(scale: &Scale, rates: &[f64]) -> Vec<SweepPoint> {
                 scale.frac_test_benign,
                 scale.seed + 90,
             );
-            let out =
-                train_and_eval(&scenario, w, &scenario, w + 13, &split, &scale.config, &bl, &bl);
+            let out = train_and_eval(
+                &scenario,
+                w,
+                &scenario,
+                w + 13,
+                &split,
+                &scale.config,
+                &bl,
+                &bl,
+            );
             SweepPoint {
                 condition: format!("DHCP churn {}", pct(rate)),
                 tpr_at_1pct: out.tpr_at_fpr(0.01),
@@ -175,7 +183,10 @@ pub fn scanner_sweep(scale: &Scale, scanner_fraction: f64) -> Vec<SweepPoint> {
     let mut out = Vec::new();
     // The threshold sits above anything a real (even triple-) infection
     // queries per day — Fig. 3 caps around twenty per family.
-    for (name, filter) in [("scanners, no filter", None), ("scanners, probe filter", Some(40))] {
+    for (name, filter) in [
+        ("scanners, no filter", None),
+        ("scanners, probe filter", Some(40)),
+    ] {
         let config = SegugioConfig {
             probe_filter: filter,
             ..scale.config.clone()

@@ -83,10 +83,7 @@ pub fn run(scale: &Scale, fractions: &[f64]) -> SeedSensitivityReport {
     // Entries eligible for degradation: everything not in the test set
     // (test domains are hidden regardless; removing them twice would be a
     // no-op and would couple the sweep to the split).
-    let mut pool: Vec<_> = full
-        .iter()
-        .filter(|(d, _)| !split.contains(*d))
-        .collect();
+    let mut pool: Vec<_> = full.iter().filter(|(d, _)| !split.contains(*d)).collect();
     pool.sort_by_key(|&(d, _)| d);
     let mut rng = StdRng::seed_from_u64(scale.seed + 71);
     pool.shuffle(&mut rng);

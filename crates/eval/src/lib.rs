@@ -21,7 +21,6 @@
 //! | [`experiments::robustness`] | Section VI: DHCP churn, scanner noise, infection enumeration |
 //! | [`experiments::seed_sensitivity`] | extension: blacklist-coverage sweep |
 
-
 #![warn(missing_docs)]
 pub mod experiments;
 pub mod protocol;

@@ -76,9 +76,7 @@ pub fn ascii_roc(
     let mut grid = vec![vec![' '; width]; height];
     for (k, (_, curve)) in curves.iter().enumerate() {
         let glyph = GLYPHS[k % GLYPHS.len()];
-        for (col, fpr) in (0..width)
-            .map(|c| (c, max_fpr * c as f64 / (width - 1) as f64))
-        {
+        for (col, fpr) in (0..width).map(|c| (c, max_fpr * c as f64 / (width - 1) as f64)) {
             let tpr = curve.tpr_at_fpr(fpr);
             let row = (((1.0 - tpr) * (height - 1) as f64).round() as usize).min(height - 1);
             grid[row][col] = glyph;
@@ -129,14 +127,10 @@ mod tests {
 
     #[test]
     fn ascii_roc_draws_curves() {
-        let good = segugio_ml::RocCurve::from_scores(
-            &[0.9, 0.8, 0.2, 0.1],
-            &[true, true, false, false],
-        );
-        let bad = segugio_ml::RocCurve::from_scores(
-            &[0.1, 0.2, 0.8, 0.9],
-            &[true, true, false, false],
-        );
+        let good =
+            segugio_ml::RocCurve::from_scores(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+        let bad =
+            segugio_ml::RocCurve::from_scores(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]);
         let plot = ascii_roc(&[("good", &good), ("bad", &bad)], 1.0, 30, 10);
         assert!(plot.contains('*'), "first curve glyph present");
         assert!(plot.contains('o'), "second curve glyph present");

@@ -33,7 +33,13 @@ pub struct GraphBuilder {
     edges: Vec<(MachineId, DomainId)>,
     e2ld: HashMap<DomainId, E2ldId>,
     ips: HashMap<DomainId, Vec<Ipv4>>,
+    parallelism: usize,
 }
+
+/// Below this many edges the scoped-thread fan-out costs more than it
+/// saves; build serially. Parallel and serial paths produce identical
+/// graphs, so the cutover is invisible to callers.
+const PARALLEL_EDGE_THRESHOLD: usize = 2048;
 
 impl GraphBuilder {
     /// Starts a builder for the given observation day.
@@ -43,7 +49,15 @@ impl GraphBuilder {
             edges: Vec::new(),
             e2ld: HashMap::new(),
             ips: HashMap::new(),
+            parallelism: 1,
         }
+    }
+
+    /// Sets the worker-thread count for [`build`](Self::build) (clamped to
+    /// at least 1; the default is 1). The built graph is bit-for-bit
+    /// identical at every setting.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
     }
 
     /// Records that `machine` queried `domain`.
@@ -98,8 +112,16 @@ impl GraphBuilder {
             .map(|(i, &d)| (d, i as u32))
             .collect();
 
+        let threads = if self.edges.len() >= PARALLEL_EDGE_THRESHOLD {
+            self.parallelism
+        } else {
+            1
+        };
+
         // Machine -> domain CSR. Edges are sorted by (machine, domain) and
-        // machines/domains are sorted, so adjacency lists come out sorted.
+        // machines/domains are sorted, so the machine adjacency is exactly
+        // the edge list's domain column in edge order — each worker fills a
+        // disjoint slice of it.
         let mut m_off = vec![0u32; machines.len() + 1];
         for &(m, _) in &self.edges {
             m_off[m_index[&m] as usize + 1] += 1;
@@ -108,13 +130,23 @@ impl GraphBuilder {
             m_off[i] += m_off[i - 1];
         }
         let mut m_adj = vec![0u32; self.edges.len()];
-        {
-            let mut cursor = m_off.clone();
-            for &(m, d) in &self.edges {
-                let mi = m_index[&m] as usize;
-                m_adj[cursor[mi] as usize] = d_index[&d];
-                cursor[mi] += 1;
+        if threads <= 1 {
+            for (slot, &(_, d)) in m_adj.iter_mut().zip(&self.edges) {
+                *slot = d_index[&d];
             }
+        } else {
+            let chunk = self.edges.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for (out, es) in m_adj.chunks_mut(chunk).zip(self.edges.chunks(chunk)) {
+                    let d_index = &d_index;
+                    scope.spawn(move |_| {
+                        for (slot, &(_, d)) in out.iter_mut().zip(es) {
+                            *slot = d_index[&d];
+                        }
+                    });
+                }
+            })
+            .expect("machine CSR fill worker panicked");
         }
 
         // Domain -> machine CSR.
@@ -126,19 +158,84 @@ impl GraphBuilder {
             d_off[i] += d_off[i - 1];
         }
         let mut d_adj = vec![0u32; self.edges.len()];
-        {
+        if threads <= 1 {
             let mut cursor = d_off.clone();
             for &(m, d) in &self.edges {
                 let di = d_index[&d] as usize;
                 d_adj[cursor[di] as usize] = m_index[&m];
                 cursor[di] += 1;
             }
-        }
-        // Sort each domain's machine list for determinism.
-        for di in 0..domains.len() {
-            let lo = d_off[di] as usize;
-            let hi = d_off[di + 1] as usize;
-            d_adj[lo..hi].sort_unstable();
+            // Sort each domain's machine list for determinism.
+            for di in 0..domains.len() {
+                let lo = d_off[di] as usize;
+                let hi = d_off[di + 1] as usize;
+                d_adj[lo..hi].sort_unstable();
+            }
+        } else {
+            // Scatter with per-domain atomic cursors: workers claim slots in
+            // whatever order they run, then each domain's list is sorted, so
+            // the result equals the serial scatter+sort exactly (machine
+            // indices within a domain are unique after edge dedup).
+            use std::sync::atomic::{AtomicU32, Ordering};
+            let cursors: Vec<AtomicU32> = d_off[..domains.len()]
+                .iter()
+                .map(|&o| AtomicU32::new(o))
+                .collect();
+            let slots: Vec<AtomicU32> = (0..self.edges.len()).map(|_| AtomicU32::new(0)).collect();
+            let chunk = self.edges.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for es in self.edges.chunks(chunk) {
+                    let (cursors, slots) = (&cursors, &slots);
+                    let (m_index, d_index) = (&m_index, &d_index);
+                    scope.spawn(move |_| {
+                        for &(m, d) in es {
+                            let di = d_index[&d] as usize;
+                            let pos = cursors[di].fetch_add(1, Ordering::Relaxed);
+                            slots[pos as usize].store(m_index[&m], Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+            .expect("domain CSR scatter worker panicked");
+            for (slot, filled) in d_adj.iter_mut().zip(&slots) {
+                *slot = filled.load(Ordering::Relaxed);
+            }
+
+            // Per-domain sort, parallelized over contiguous domain ranges of
+            // roughly equal edge mass; each range is a disjoint slice.
+            let target = self.edges.len().div_ceil(threads);
+            let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(threads);
+            let mut start = 0usize;
+            while start < domains.len() {
+                let mut end = start;
+                while end < domains.len() && (d_off[end + 1] - d_off[start]) as usize <= target {
+                    end += 1;
+                }
+                // A single domain heavier than the target gets its own range.
+                let end = end.max(start + 1);
+                ranges.push((start, end));
+                start = end;
+            }
+            crossbeam::thread::scope(|scope| {
+                let mut remaining = &mut d_adj[..];
+                let mut consumed = 0usize;
+                for &(s, e) in &ranges {
+                    let hi = d_off[e] as usize;
+                    let (head, rest) = std::mem::take(&mut remaining).split_at_mut(hi - consumed);
+                    remaining = rest;
+                    let base = consumed;
+                    consumed = hi;
+                    let d_off = &d_off;
+                    scope.spawn(move |_| {
+                        for di in s..e {
+                            let lo = d_off[di] as usize - base;
+                            let hi = d_off[di + 1] as usize - base;
+                            head[lo..hi].sort_unstable();
+                        }
+                    });
+                }
+            })
+            .expect("domain adjacency sort worker panicked");
         }
 
         let domain_e2ld: Vec<E2ldId> = domains

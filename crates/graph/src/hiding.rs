@@ -113,7 +113,9 @@ impl<'g> HiddenLabelView<'g> {
         // Adjacency lists are sorted by internal domain index.
         let lo = self.graph.m_off[m.index()] as usize;
         let hi = self.graph.m_off[m.index() + 1] as usize;
-        self.graph.m_adj[lo..hi].binary_search(&self.hidden.0).is_ok()
+        self.graph.m_adj[lo..hi]
+            .binary_search(&self.hidden.0)
+            .is_ok()
     }
 }
 

@@ -108,26 +108,50 @@ mod tests {
     #[test]
     fn domain_labels() {
         let g = sample();
-        assert_eq!(g.domain_label(g.domain_idx(DomainId(10)).unwrap()), Label::Malware);
-        assert_eq!(g.domain_label(g.domain_idx(DomainId(20)).unwrap()), Label::Benign);
-        assert_eq!(g.domain_label(g.domain_idx(DomainId(30)).unwrap()), Label::Unknown);
+        assert_eq!(
+            g.domain_label(g.domain_idx(DomainId(10)).unwrap()),
+            Label::Malware
+        );
+        assert_eq!(
+            g.domain_label(g.domain_idx(DomainId(20)).unwrap()),
+            Label::Benign
+        );
+        assert_eq!(
+            g.domain_label(g.domain_idx(DomainId(30)).unwrap()),
+            Label::Unknown
+        );
         assert_eq!(g.domain_label_counts(), (1, 1, 1));
     }
 
     #[test]
     fn machine_labels_propagate() {
         let g = sample();
-        assert_eq!(g.machine_label(g.machine_idx(MachineId(1)).unwrap()), Label::Malware);
-        assert_eq!(g.machine_label(g.machine_idx(MachineId(2)).unwrap()), Label::Benign);
-        assert_eq!(g.machine_label(g.machine_idx(MachineId(3)).unwrap()), Label::Unknown);
+        assert_eq!(
+            g.machine_label(g.machine_idx(MachineId(1)).unwrap()),
+            Label::Malware
+        );
+        assert_eq!(
+            g.machine_label(g.machine_idx(MachineId(2)).unwrap()),
+            Label::Benign
+        );
+        assert_eq!(
+            g.machine_label(g.machine_idx(MachineId(3)).unwrap()),
+            Label::Unknown
+        );
         assert_eq!(g.machine_label_counts(), (1, 1, 1));
     }
 
     #[test]
     fn malware_degree_counts() {
         let g = sample();
-        assert_eq!(g.machine_malware_degree(g.machine_idx(MachineId(1)).unwrap()), 1);
-        assert_eq!(g.machine_malware_degree(g.machine_idx(MachineId(2)).unwrap()), 0);
+        assert_eq!(
+            g.machine_malware_degree(g.machine_idx(MachineId(1)).unwrap()),
+            1
+        );
+        assert_eq!(
+            g.machine_malware_degree(g.machine_idx(MachineId(2)).unwrap()),
+            0
+        );
     }
 
     #[test]
@@ -138,6 +162,9 @@ mod tests {
         let mut g = b.build();
         // Domain 10 is blacklisted AND its e2LD is whitelisted.
         apply_seed_labels(&mut g, |d| d == DomainId(10), |e| e == E2ldId(20));
-        assert_eq!(g.domain_label(g.domain_idx(DomainId(10)).unwrap()), Label::Malware);
+        assert_eq!(
+            g.domain_label(g.domain_idx(DomainId(10)).unwrap()),
+            Label::Malware
+        );
     }
 }

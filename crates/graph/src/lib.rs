@@ -18,7 +18,6 @@
 //! - [`hiding`] — the label-hiding view used when measuring features for
 //!   known (training) domains without leaking their own ground truth.
 
-
 #![warn(missing_docs)]
 pub mod builder;
 pub mod graph;

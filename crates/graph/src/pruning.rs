@@ -124,8 +124,7 @@ impl BehaviorGraph {
             if deg > theta_d && theta_d > config.min_machine_degree {
                 *keep = false;
                 stats.r2_proxy_machines += 1;
-            } else if deg <= config.min_machine_degree
-                && self.machine_labels[mi] != Label::Malware
+            } else if deg <= config.min_machine_degree && self.machine_labels[mi] != Label::Malware
             {
                 *keep = false;
                 stats.r1_inactive_machines += 1;
@@ -145,18 +144,18 @@ impl BehaviorGraph {
             .collect();
 
         // R4: distinct kept machines per e2LD.
-        let theta_m =
-            ((self.machine_count() as f64) * config.popular_fraction).ceil() as usize;
+        let theta_m = ((self.machine_count() as f64) * config.popular_fraction).ceil() as usize;
         stats.theta_m = theta_m;
         let mut e2ld_machines: HashMap<u32, Vec<u32>> = HashMap::new();
         for di in 0..self.domain_count() {
             let e = self.domain_e2ld[di].0;
             let lo = self.d_off[di] as usize;
             let hi = self.d_off[di + 1] as usize;
-            e2ld_machines
-                .entry(e)
-                .or_default()
-                .extend(self.d_adj[lo..hi].iter().filter(|&&m| keep_machine[m as usize]));
+            e2ld_machines.entry(e).or_default().extend(
+                self.d_adj[lo..hi]
+                    .iter()
+                    .filter(|&&m| keep_machine[m as usize]),
+            );
         }
         let popular_e2ld: std::collections::HashSet<u32> = e2ld_machines
             .into_iter()
@@ -351,8 +350,14 @@ mod tests {
     fn r1_drops_inactive_benign_but_keeps_infected() {
         let g = sample();
         let (p, stats) = g.prune(&config());
-        assert!(p.machine_idx(MachineId(90)).is_none(), "inactive benign dropped");
-        assert!(p.machine_idx(MachineId(91)).is_some(), "infected low-degree kept");
+        assert!(
+            p.machine_idx(MachineId(90)).is_none(),
+            "inactive benign dropped"
+        );
+        assert!(
+            p.machine_idx(MachineId(91)).is_some(),
+            "infected low-degree kept"
+        );
         assert!(stats.r1_inactive_machines >= 1);
     }
 
@@ -369,7 +374,10 @@ mod tests {
     fn r3_drops_single_querier_domains_but_keeps_malware() {
         let g = sample();
         let (p, stats) = g.prune(&config());
-        assert!(p.domain_idx(DomainId(600)).is_none(), "single-querier dropped");
+        assert!(
+            p.domain_idx(DomainId(600)).is_none(),
+            "single-querier dropped"
+        );
         assert!(p.domain_idx(DomainId(500)).is_some(), "malware domain kept");
         assert!(stats.r3_single_machine_domains >= 1);
     }
@@ -378,7 +386,10 @@ mod tests {
     fn r4_drops_popular_e2lds() {
         let g = sample();
         let (p, stats) = g.prune(&config());
-        assert!(p.domain_idx(DomainId(700)).is_none(), "popular domain dropped");
+        assert!(
+            p.domain_idx(DomainId(700)).is_none(),
+            "popular domain dropped"
+        );
         assert!(stats.r4_popular_domains >= 1);
     }
 

@@ -1,0 +1,104 @@
+//! Property tests for `GraphBuilder::build`: under duplicate-heavy random
+//! edge streams the CSR must be valid (sorted offsets, sorted unique
+//! adjacency, both directions consistent with the deduplicated edge set)
+//! and identical at every parallelism setting.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use segugio_graph::{BehaviorGraph, GraphBuilder};
+use segugio_model::{Day, DomainId, MachineId};
+
+/// Builds a graph from raw `(machine, domain)` pairs at a given thread
+/// count.
+fn build(edges: &[(u32, u32)], threads: usize) -> BehaviorGraph {
+    let mut b = GraphBuilder::new(Day(3));
+    b.set_parallelism(threads);
+    for &(m, d) in edges {
+        b.add_query(MachineId(m), DomainId(d));
+    }
+    b.build()
+}
+
+/// Flattens a graph's full adjacency (both CSR directions) into comparable
+/// vectors of external ids.
+fn adjacency(g: &BehaviorGraph) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let by_domain = g
+        .domain_indices()
+        .map(|d| g.machines_of(d).map(|m| g.machine_id(m).0).collect())
+        .collect();
+    let by_machine = g
+        .machine_indices()
+        .map(|m| g.domains_of(m).map(|d| g.domain_id(d).0).collect())
+        .collect();
+    (by_domain, by_machine)
+}
+
+proptest! {
+    /// Duplicate-heavy streams (few distinct machines/domains, many raw
+    /// pairs — sized past the builder's parallel cutover) produce a valid
+    /// sorted CSR that matches a set-based reference in both directions.
+    #[test]
+    fn csr_is_valid_under_duplicate_heavy_streams(
+        edges in proptest::collection::vec((0u32..40, 0u32..60), 0..3000)
+    ) {
+        let g = build(&edges, 1);
+        let reference: BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        prop_assert_eq!(g.edge_count(), reference.len());
+
+        let distinct_machines: BTreeSet<u32> = reference.iter().map(|&(m, _)| m).collect();
+        let distinct_domains: BTreeSet<u32> = reference.iter().map(|&(_, d)| d).collect();
+        prop_assert_eq!(g.machine_count(), distinct_machines.len());
+        prop_assert_eq!(g.domain_count(), distinct_domains.len());
+
+        let mut edges_from_domain_side = 0usize;
+        for d in g.domain_indices() {
+            let did = g.domain_id(d).0;
+            let ms: Vec<u32> = g.machines_of(d).map(|m| g.machine_id(m).0).collect();
+            prop_assert!(
+                ms.windows(2).all(|w| w[0] < w[1]),
+                "domain {} adjacency not sorted-unique: {:?}", did, ms
+            );
+            let expect: Vec<u32> = reference
+                .iter()
+                .filter(|&&(_, dd)| dd == did)
+                .map(|&(m, _)| m)
+                .collect();
+            prop_assert_eq!(ms.clone(), expect, "domain {} adjacency wrong", did);
+            edges_from_domain_side += ms.len();
+        }
+        prop_assert_eq!(edges_from_domain_side, g.edge_count());
+
+        let mut edges_from_machine_side = 0usize;
+        for m in g.machine_indices() {
+            let mid = g.machine_id(m).0;
+            let ds: Vec<u32> = g.domains_of(m).map(|d| g.domain_id(d).0).collect();
+            prop_assert!(
+                ds.windows(2).all(|w| w[0] < w[1]),
+                "machine {} adjacency not sorted-unique: {:?}", mid, ds
+            );
+            let expect: Vec<u32> = reference
+                .iter()
+                .filter(|&&(mm, _)| mm == mid)
+                .map(|&(_, d)| d)
+                .collect();
+            prop_assert_eq!(ds.clone(), expect, "machine {} adjacency wrong", mid);
+            edges_from_machine_side += ds.len();
+        }
+        prop_assert_eq!(edges_from_machine_side, g.edge_count());
+    }
+
+    /// The built graph is identical at every parallelism setting.
+    #[test]
+    fn build_is_identical_at_any_parallelism(
+        edges in proptest::collection::vec((0u32..30, 0u32..50), 0..3000)
+    ) {
+        let serial = build(&edges, 1);
+        let serial_adj = adjacency(&serial);
+        for threads in [2usize, 4, 8] {
+            let parallel = build(&edges, threads);
+            prop_assert_eq!(parallel.edge_count(), serial.edge_count());
+            prop_assert_eq!(adjacency(&parallel), serial_adj.clone(), "threads = {}", threads);
+        }
+    }
+}

@@ -228,8 +228,7 @@ mod tests {
         assert!(c.activity().fqd_active_on(www, Day(0)));
         assert!(!c.activity().fqd_active_on(www, Day(1)));
         assert_eq!(
-            c.pdns()
-                .resolved_ips(www, Day(1).lookback(5)),
+            c.pdns().resolved_ips(www, Day(1).lookback(5)),
             vec![Ipv4::from_octets(93, 184, 216, 34)]
         );
     }

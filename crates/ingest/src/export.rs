@@ -50,14 +50,13 @@ mod tests {
         let mut table = DomainTable::new();
         let a = table.intern(&DomainName::parse("a.example.com").unwrap());
         let b = table.intern(&DomainName::parse("b.example.org").unwrap());
-        let queries = vec![
-            (MachineId(0), a),
-            (MachineId(1), a),
-            (MachineId(0), b),
-        ];
+        let queries = vec![(MachineId(0), a), (MachineId(1), a), (MachineId(0), b)];
         let resolutions = vec![
             (a, vec![Ipv4::from_octets(1, 1, 1, 1)]),
-            (b, vec![Ipv4::from_octets(2, 2, 2, 2), Ipv4::from_octets(3, 3, 3, 3)]),
+            (
+                b,
+                vec![Ipv4::from_octets(2, 2, 2, 2), Ipv4::from_octets(3, 3, 3, 3)],
+            ),
         ];
         let text = export_day(&table, 4, &queries, &resolutions);
         assert_eq!(text.lines().count(), 3);

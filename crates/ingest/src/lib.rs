@@ -55,7 +55,7 @@ pub mod parser;
 pub mod zeek;
 
 pub use collector::{IngestedDay, LogCollector};
-pub use export::export_day;
 pub use error::ParseLogError;
+pub use export::export_day;
 pub use parser::LogRecord;
 pub use zeek::{ZeekReader, ZeekStats};

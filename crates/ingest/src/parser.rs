@@ -35,9 +35,7 @@ impl LogRecord {
             .map_err(|_| ParseLogError::new(line_no, ParseLogErrorKind::BadDay(day.to_owned())))?;
         let client = fields
             .next()
-            .ok_or_else(|| {
-                ParseLogError::new(line_no, ParseLogErrorKind::MissingField("client"))
-            })?
+            .ok_or_else(|| ParseLogError::new(line_no, ParseLogErrorKind::MissingField("client")))?
             .trim();
         if client.is_empty() {
             return Err(ParseLogError::new(line_no, ParseLogErrorKind::EmptyClient));
@@ -106,28 +104,41 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         assert!(matches!(
-            LogRecord::parse("x\tc\texample.com\t1.2.3.4", 9).unwrap_err().kind(),
+            LogRecord::parse("x\tc\texample.com\t1.2.3.4", 9)
+                .unwrap_err()
+                .kind(),
             ParseLogErrorKind::BadDay(_)
         ));
         assert!(matches!(
-            LogRecord::parse("1\t\texample.com\t1.2.3.4", 9).unwrap_err().kind(),
+            LogRecord::parse("1\t\texample.com\t1.2.3.4", 9)
+                .unwrap_err()
+                .kind(),
             ParseLogErrorKind::EmptyClient
         ));
         assert!(matches!(
-            LogRecord::parse("1\tc\tnot a domain\t1.2.3.4", 9).unwrap_err().kind(),
+            LogRecord::parse("1\tc\tnot a domain\t1.2.3.4", 9)
+                .unwrap_err()
+                .kind(),
             ParseLogErrorKind::BadDomain(_)
         ));
         assert!(matches!(
-            LogRecord::parse("1\tc\texample.com\t999.1.1.1", 9).unwrap_err().kind(),
+            LogRecord::parse("1\tc\texample.com\t999.1.1.1", 9)
+                .unwrap_err()
+                .kind(),
             ParseLogErrorKind::BadIp(_)
         ));
         assert!(matches!(
-            LogRecord::parse("1\tc\texample.com\t1.2.3.4.5", 9).unwrap_err().kind(),
+            LogRecord::parse("1\tc\texample.com\t1.2.3.4.5", 9)
+                .unwrap_err()
+                .kind(),
             ParseLogErrorKind::BadIp(_)
         ));
         let err = LogRecord::parse("1\tc", 9).unwrap_err();
         assert_eq!(err.line(), 9);
-        assert!(matches!(err.kind(), ParseLogErrorKind::MissingField("qname")));
+        assert!(matches!(
+            err.kind(),
+            ParseLogErrorKind::MissingField("qname")
+        ));
     }
 
     #[test]

@@ -135,10 +135,7 @@ impl ZeekReader {
         }
         let qname = DomainName::parse(get(cols.query)).ok()?;
         let ips: Vec<Ipv4> = match cols.answers {
-            Some(a) => get(a)
-                .split(',')
-                .filter_map(parse_ipv4)
-                .collect(),
+            Some(a) => get(a).split(',').filter_map(parse_ipv4).collect(),
             None => Vec::new(),
         };
         Some(LogRecord {
@@ -163,8 +160,7 @@ struct Columns {
 impl Columns {
     fn from_header(rest: &str) -> Result<Self, String> {
         let names: Vec<&str> = rest.split('\t').filter(|s| !s.is_empty()).collect();
-        let index: HashMap<&str, usize> =
-            names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let need = |name: &str| -> Result<usize, String> {
             index
                 .get(name)
@@ -198,7 +194,8 @@ fn parse_ipv4(s: &str) -> Option<Ipv4> {
 mod tests {
     use super::*;
 
-    const HEADER: &str = "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tquery\tqtype_name\trcode_name\tanswers";
+    const HEADER: &str =
+        "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tquery\tqtype_name\trcode_name\tanswers";
 
     fn log(lines: &[&str]) -> String {
         let mut s = String::from("#separator \\x09\n");
@@ -231,9 +228,8 @@ mod tests {
 
     #[test]
     fn epoch_offsets_days() {
-        let text = log(&[
-            "1000086400.0\tC1\t10.0.0.1\t1\t8.8.8.8\ta.example.com\tA\tNOERROR\t1.1.1.1",
-        ]);
+        let text =
+            log(&["1000086400.0\tC1\t10.0.0.1\t1\t8.8.8.8\ta.example.com\tA\tNOERROR\t1.1.1.1"]);
         let mut c = LogCollector::new();
         ZeekReader::with_epoch(1_000_000_000.0)
             .ingest(text.as_bytes(), &mut c)

@@ -47,8 +47,15 @@ impl Default for BoostingConfig {
 /// A regression tree node (arena storage, like the classification CART).
 #[derive(Debug, Clone)]
 enum RNode {
-    Leaf { value: f64 },
-    Split { feature: u16, threshold: f32, left: u32, right: u32 },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: u16,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -62,8 +69,17 @@ impl RegressionTree {
         loop {
             match self.nodes[i as usize] {
                 RNode::Leaf { value } => return value,
-                RNode::Split { feature, threshold, left, right } => {
-                    i = if x[feature as usize] <= threshold { left } else { right };
+                RNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[feature as usize] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -162,7 +178,13 @@ impl GradientBoosting {
     /// Serializes the model into the line-oriented persistence format.
     pub fn write_text(&self, out: &mut String) {
         use std::fmt::Write as _;
-        let _ = writeln!(out, "boosting {} {} {}", self.trees.len(), self.base, self.learning_rate);
+        let _ = writeln!(
+            out,
+            "boosting {} {} {}",
+            self.trees.len(),
+            self.base,
+            self.learning_rate
+        );
         for tree in &self.trees {
             let _ = writeln!(out, "rtree {}", tree.nodes.len());
             for node in &tree.nodes {
@@ -170,7 +192,12 @@ impl GradientBoosting {
                     RNode::Leaf { value } => {
                         let _ = writeln!(out, "L {value}");
                     }
-                    RNode::Split { feature, threshold, left, right } => {
+                    RNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
                         let _ = writeln!(out, "S {feature} {threshold} {left} {right}");
                     }
                 }
@@ -293,11 +320,14 @@ fn grow(
             let right_sum = sum - left_sum;
             // SSE reduction is equivalent to maximizing
             // left_sum²/left_n + right_sum²/right_n.
-            let gain = left_sum * left_sum / left_n as f64
-                + right_sum * right_sum / right_n as f64;
+            let gain = left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64;
             if best.is_none_or(|(_, _, g)| gain > g) {
                 let mid = column[j].0 + (column[j + 1].0 - column[j].0) * 0.5;
-                let threshold = if mid >= column[j + 1].0 { column[j].0 } else { mid };
+                let threshold = if mid >= column[j + 1].0 {
+                    column[j].0
+                } else {
+                    mid
+                };
                 best = Some((f as u16, threshold, gain));
             }
         }
@@ -307,7 +337,9 @@ fn grow(
         return (tree.nodes.len() - 1) as u32;
     };
 
-    let mid = partition(rows, |&i| data.row(i as usize)[feature as usize] <= threshold);
+    let mid = partition(rows, |&i| {
+        data.row(i as usize)[feature as usize] <= threshold
+    });
     debug_assert!(mid > 0 && mid < n);
     let node_idx = tree.nodes.len() as u32;
     tree.nodes.push(RNode::Leaf { value: 0.0 });

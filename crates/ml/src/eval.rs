@@ -119,10 +119,7 @@ impl RocCurve {
     ///
     /// Panics if `max_fpr` is not in `(0, 1]`.
     pub fn partial_auc(&self, max_fpr: f64) -> f64 {
-        assert!(
-            max_fpr > 0.0 && max_fpr <= 1.0,
-            "max_fpr must be in (0, 1]"
-        );
+        assert!(max_fpr > 0.0 && max_fpr <= 1.0, "max_fpr must be in (0, 1]");
         let mut area = 0.0;
         for w in self.points.windows(2) {
             let (x0, y0, _) = w[0];
@@ -145,10 +142,7 @@ impl RocCurve {
     /// Samples the curve at the given FPR grid, returning `(fpr, tpr)`
     /// pairs — convenient for printing figure series.
     pub fn sample_at(&self, fpr_grid: &[f64]) -> Vec<(f64, f64)> {
-        fpr_grid
-            .iter()
-            .map(|&f| (f, self.tpr_at_fpr(f)))
-            .collect()
+        fpr_grid.iter().map(|&f| (f, self.tpr_at_fpr(f))).collect()
     }
 }
 

@@ -107,7 +107,10 @@ impl RandomForest {
         } else {
             let mut slots: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
             crossbeam::thread::scope(|scope| {
-                for (worker, chunk) in slots.chunks_mut(config.n_trees.div_ceil(n_threads)).enumerate() {
+                for (worker, chunk) in slots
+                    .chunks_mut(config.n_trees.div_ceil(n_threads))
+                    .enumerate()
+                {
                     let tree_config = &tree_config;
                     scope.spawn(move |_| {
                         let base = worker * config.n_trees.div_ceil(n_threads);
@@ -118,7 +121,10 @@ impl RandomForest {
                 }
             })
             .expect("forest training worker panicked");
-            slots.into_iter().map(|t| t.expect("all trees trained")).collect()
+            slots
+                .into_iter()
+                .map(|t| t.expect("all trees trained"))
+                .collect()
         };
         RandomForest { trees }
     }
@@ -438,7 +444,10 @@ mod tests {
         assert_eq!(forest.tree_count(), 25);
         assert!(oob.coverage() > 0.9, "coverage {}", oob.coverage());
         let auc = oob.auc().expect("both classes covered");
-        assert!(auc > 0.95, "separable data must have high OOB AUC, got {auc}");
+        assert!(
+            auc > 0.95,
+            "separable data must have high OOB AUC, got {auc}"
+        );
         // OOB scores track the labels.
         for (i, score) in oob.scores().iter().enumerate() {
             if let Some(s) = score {

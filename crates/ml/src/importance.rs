@@ -44,12 +44,7 @@ pub fn permutation_importance<C: Classifier>(model: &C, data: &Dataset, seed: u6
 /// # Panics
 ///
 /// Panics if `data` is empty or contains only one class.
-pub fn permutation_importance_by<C, M>(
-    model: &C,
-    data: &Dataset,
-    seed: u64,
-    metric: M,
-) -> Vec<f64>
+pub fn permutation_importance_by<C, M>(model: &C, data: &Dataset, seed: u64, metric: M) -> Vec<f64>
 where
     C: Classifier,
     M: Fn(&RocCurve) -> f64,

@@ -18,7 +18,6 @@
 //!
 //! Everything is deterministic given a seed.
 
-
 #![warn(missing_docs)]
 pub mod boosting;
 pub mod dataset;

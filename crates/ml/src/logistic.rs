@@ -154,9 +154,7 @@ impl LogisticRegression {
     pub fn write_text(&self, out: &mut String) {
         use std::fmt::Write as _;
         let _ = writeln!(out, "logistic {}", self.weights.len());
-        let join = |v: &[f64]| {
-            v.iter().map(f64::to_string).collect::<Vec<_>>().join(" ")
-        };
+        let join = |v: &[f64]| v.iter().map(f64::to_string).collect::<Vec<_>>().join(" ");
         let _ = writeln!(out, "weights {}", join(&self.weights));
         let _ = writeln!(out, "bias {}", self.bias);
         let _ = writeln!(out, "mean {}", join(&self.mean));
@@ -301,10 +299,12 @@ mod tests {
             assert_eq!(m.score(d.row(i)), m2.score(d.row(i)));
         }
         assert!(LogisticRegression::read_text(&mut "bogus".lines()).is_err());
-        assert!(
-            LogisticRegression::read_text(&mut "logistic 2
-weights 1".lines()).is_err()
-        );
+        assert!(LogisticRegression::read_text(
+            &mut "logistic 2
+weights 1"
+                .lines()
+        )
+        .is_err());
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub(crate) fn next_line<'a>(
         .next()
         .map(str::trim)
         .filter(|l| !l.is_empty())
-        .ok_or_else(|| ParseModelError::new(format!("unexpected end of input, expected {expected}")))
+        .ok_or_else(|| {
+            ParseModelError::new(format!("unexpected end of input, expected {expected}"))
+        })
 }
 
 /// Parses a whitespace-separated field.

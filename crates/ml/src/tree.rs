@@ -158,13 +158,23 @@ impl DecisionTree {
                     left: persist::field(parts.next(), "split left child")?,
                     right: persist::field(parts.next(), "split right child")?,
                 }),
-                _ => return Err(ParseModelError::new("expected node line `L ...` or `S ...`")),
+                _ => {
+                    return Err(ParseModelError::new(
+                        "expected node line `L ...` or `S ...`",
+                    ))
+                }
             }
         }
         // Validate child references so scoring can never index out of
         // bounds.
         for node in &nodes {
-            if let Node::Split { left, right, feature, .. } = *node {
+            if let Node::Split {
+                left,
+                right,
+                feature,
+                ..
+            } = *node
+            {
                 if left as usize >= nodes.len() || right as usize >= nodes.len() {
                     return Err(ParseModelError::new("node child index out of range"));
                 }
@@ -216,11 +226,7 @@ impl DecisionTree {
             (nodes.len() - 1) as u32
         };
 
-        if depth >= config.max_depth
-            || n < config.min_samples_split
-            || pos == 0
-            || pos == n
-        {
+        if depth >= config.max_depth || n < config.min_samples_split || pos == 0 || pos == n {
             return make_leaf(&mut self.nodes);
         }
 
@@ -272,9 +278,11 @@ impl DecisionTree {
         let mut column: Vec<(f32, bool)> = Vec::with_capacity(n);
         for &f in &features {
             column.clear();
-            column.extend(indices.iter().map(|&i| {
-                (data.row(i as usize)[f], data.label(i as usize))
-            }));
+            column.extend(
+                indices
+                    .iter()
+                    .map(|&i| (data.row(i as usize)[f], data.label(i as usize))),
+            );
             column.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
             let mut left_pos = 0usize;
@@ -488,15 +496,31 @@ mod tests {
     #[test]
     fn read_text_rejects_garbage() {
         assert!(DecisionTree::read_text(&mut "nope".lines()).is_err());
-        assert!(DecisionTree::read_text(&mut "tree 2 1
-X 1".lines()).is_err());
-        assert!(DecisionTree::read_text(&mut "tree 2 1
-S 0 1.0 5 6".lines()).is_err());
-        assert!(DecisionTree::read_text(&mut "tree 2 2
+        assert!(DecisionTree::read_text(
+            &mut "tree 2 1
+X 1"
+            .lines()
+        )
+        .is_err());
+        assert!(DecisionTree::read_text(
+            &mut "tree 2 1
+S 0 1.0 5 6"
+                .lines()
+        )
+        .is_err());
+        assert!(DecisionTree::read_text(
+            &mut "tree 2 2
 S 9 1.0 1 1
-L 0.5".lines()).is_err());
-        assert!(DecisionTree::read_text(&mut "tree 2 2
-L 0.5".lines()).is_err());
+L 0.5"
+                .lines()
+        )
+        .is_err());
+        assert!(DecisionTree::read_text(
+            &mut "tree 2 2
+L 0.5"
+                .lines()
+        )
+        .is_err());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use segugio_ml::folds::{fold_split, grouped_kfold, stratified_kfold};
-use segugio_ml::{Classifier, Dataset, DecisionTree, ForestConfig, RandomForest, RocCurve, TreeConfig};
+use segugio_ml::{
+    Classifier, Dataset, DecisionTree, ForestConfig, RandomForest, RocCurve, TreeConfig,
+};
 
 fn labeled_scores() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
     proptest::collection::vec((0.0f32..1.0, any::<bool>()), 2..200).prop_filter_map(
@@ -11,8 +13,7 @@ fn labeled_scores() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
         |pairs| {
             let scores: Vec<f32> = pairs.iter().map(|&(s, _)| s).collect();
             let labels: Vec<bool> = pairs.iter().map(|&(_, l)| l).collect();
-            (labels.iter().any(|&l| l) && labels.iter().any(|&l| !l))
-                .then_some((scores, labels))
+            (labels.iter().any(|&l| l) && labels.iter().any(|&l| !l)).then_some((scores, labels))
         },
     )
 }

@@ -57,7 +57,9 @@ impl DomainName {
                 .bytes()
                 .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
             {
-                return Err(ParseDomainError::new(ParseDomainErrorKind::InvalidCharacter));
+                return Err(ParseDomainError::new(
+                    ParseDomainErrorKind::InvalidCharacter,
+                ));
             }
         }
         let offset = psl::e2ld_offset(&lower);

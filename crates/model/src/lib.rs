@@ -25,7 +25,6 @@
 //! assert!(psl::is_public_suffix("co.uk"));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod domain;
 pub mod error;

@@ -27,30 +27,15 @@
 /// Single-label TLDs are handled structurally (the last label is always a
 /// suffix), so only multi-label suffixes need listing.
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
-    "com.br", "net.br", "org.br", "gov.br",
-    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
-    "com.au", "net.au", "org.au", "edu.au", "gov.au",
-    "co.kr", "or.kr", "re.kr", "go.kr",
-    "com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn",
-    "co.in", "net.in", "org.in", "gen.in", "firm.in",
-    "com.ru", "net.ru", "org.ru", "msk.ru", "spb.ru",
-    "com.tr", "net.tr", "org.tr",
-    "com.mx", "net.mx", "org.mx",
-    "co.za", "net.za", "org.za",
-    "com.ar", "net.ar", "org.ar",
-    "co.nz", "net.nz", "org.nz",
-    "com.tw", "net.tw", "org.tw",
-    "com.ua", "net.ua", "org.ua",
-    "com.pl", "net.pl", "org.pl",
-    "com.sg", "com.my", "com.hk", "com.eg", "com.sa",
-    "co.il", "org.il", "ac.il",
-    "com.vn", "net.vn",
-    "co.th", "or.th", "ac.th",
-    "com.ph", "net.ph",
-    "com.pk", "net.pk",
-    "com.ng", "org.ng",
-    "co.ke", "or.ke",
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk", "com.br", "net.br", "org.br",
+    "gov.br", "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp", "com.au", "net.au", "org.au", "edu.au",
+    "gov.au", "co.kr", "or.kr", "re.kr", "go.kr", "com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn",
+    "co.in", "net.in", "org.in", "gen.in", "firm.in", "com.ru", "net.ru", "org.ru", "msk.ru",
+    "spb.ru", "com.tr", "net.tr", "org.tr", "com.mx", "net.mx", "org.mx", "co.za", "net.za",
+    "org.za", "com.ar", "net.ar", "org.ar", "co.nz", "net.nz", "org.nz", "com.tw", "net.tw",
+    "org.tw", "com.ua", "net.ua", "org.ua", "com.pl", "net.pl", "org.pl", "com.sg", "com.my",
+    "com.hk", "com.eg", "com.sa", "co.il", "org.il", "ac.il", "com.vn", "net.vn", "co.th", "or.th",
+    "ac.th", "com.ph", "net.ph", "com.pk", "net.pk", "com.ng", "org.ng", "co.ke", "or.ke",
 ];
 
 /// Wildcard PSL rules (`*.ck` and friends): *every* direct child label of
@@ -67,9 +52,17 @@ const WILDCARD_EXCEPTIONS: &[&str] = &["www.ck", "city.kawasaki.jp"];
 /// these zones are independently registrable, so the e2LD boundary moves one
 /// label deeper.
 const DYNAMIC_DNS_ZONES: &[&str] = &[
-    "dyndns.org", "dyndns.example", "no-ip.example", "duckdns.example",
-    "dynalias.example", "hopto.example", "zapto.example", "ddns.example",
-    "wordpress.example", "blogspot.example", "tumblr.example",
+    "dyndns.org",
+    "dyndns.example",
+    "no-ip.example",
+    "duckdns.example",
+    "dynalias.example",
+    "hopto.example",
+    "zapto.example",
+    "ddns.example",
+    "wordpress.example",
+    "blogspot.example",
+    "tumblr.example",
     "dyn.example",
 ];
 
@@ -78,9 +71,14 @@ const DYNAMIC_DNS_ZONES: &[&str] = &[
 /// public suffixes: their subdomains share the (whitelisted) e2LD, which is
 /// what makes abused subdomains count as false positives.
 const LEAKY_FREE_HOSTING_E2LDS: &[&str] = &[
-    "egloos.example", "freehostia.example", "uol.example.br",
-    "interfree.example", "narod.example", "xtgem.example",
-    "luxup.example", "sites-free.example",
+    "egloos.example",
+    "freehostia.example",
+    "uol.example.br",
+    "interfree.example",
+    "narod.example",
+    "xtgem.example",
+    "luxup.example",
+    "sites-free.example",
 ];
 
 /// Returns `true` if `suffix` (a dot-separated name with no leading dot) is a
@@ -245,9 +243,15 @@ mod tests {
 
     #[test]
     fn e2ld_offsets() {
-        assert_eq!(&"www.bbc.co.uk"[e2ld_offset("www.bbc.co.uk")..], "bbc.co.uk");
+        assert_eq!(
+            &"www.bbc.co.uk"[e2ld_offset("www.bbc.co.uk")..],
+            "bbc.co.uk"
+        );
         assert_eq!(&"bbc.co.uk"[e2ld_offset("bbc.co.uk")..], "bbc.co.uk");
-        assert_eq!(&"a.b.example.com"[e2ld_offset("a.b.example.com")..], "example.com");
+        assert_eq!(
+            &"a.b.example.com"[e2ld_offset("a.b.example.com")..],
+            "example.com"
+        );
         assert_eq!(&"example.com"[e2ld_offset("example.com")..], "example.com");
         assert_eq!(&"com"[e2ld_offset("com")..], "com");
         // Dynamic DNS: the registrable name is one label under the zone.

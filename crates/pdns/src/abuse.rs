@@ -84,7 +84,10 @@ impl AbuseIndex {
 
     /// Number of distinct unknown-domain/IP pairs inside `prefix`.
     pub fn unknown_domains_on_prefix(&self, prefix: Prefix24) -> u32 {
-        self.unknown_prefix_domains.get(&prefix).copied().unwrap_or(0)
+        self.unknown_prefix_domains
+            .get(&prefix)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of IPs with malware history in the window.

@@ -17,7 +17,6 @@
 //! synthetic traffic generator during a warm-up period preceding the
 //! evaluation days (see `segugio-traffic`).
 
-
 #![warn(missing_docs)]
 pub mod abuse;
 pub mod activity;

@@ -191,6 +191,9 @@ mod tests {
         let window = segugio_model::DayWindow::new(Day(0), Day(5));
         let mut got: Vec<_> = p.records_in(window).collect();
         got.sort();
-        assert_eq!(got, vec![(DomainId(1), Day(1), ip(1)), (DomainId(2), Day(4), ip(2))]);
+        assert_eq!(
+            got,
+            vec![(DomainId(1), Day(1), ip(1)), (DomainId(2), Day(4), ip(2))]
+        );
     }
 }

@@ -40,7 +40,6 @@
 //! assert!(!day.queries.is_empty());
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod config;
 pub mod day;

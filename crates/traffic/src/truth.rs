@@ -54,8 +54,9 @@ impl DomainKind {
     /// Activation day, for malicious domains.
     pub fn activated(self) -> Option<Day> {
         match self {
-            DomainKind::Cnc { activated, .. }
-            | DomainKind::AbusedSubdomain { activated, .. } => Some(activated),
+            DomainKind::Cnc { activated, .. } | DomainKind::AbusedSubdomain { activated, .. } => {
+                Some(activated)
+            }
             _ => None,
         }
     }

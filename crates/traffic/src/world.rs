@@ -5,8 +5,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use segugio_model::{
-    Blacklist, Day, DomainId, DomainName, DomainTable, E2ldId, Ipv4, MachineId, Prefix24,
-    Whitelist,
+    Blacklist, Day, DomainId, DomainName, DomainTable, E2ldId, Ipv4, MachineId, Prefix24, Whitelist,
 };
 use segugio_pdns::{ActivityStore, PassiveDns};
 
@@ -219,11 +218,7 @@ impl IspNetwork {
         for r in roles.iter_mut().skip(n_inactive).take(n_proxy) {
             *r = Role::Proxy;
         }
-        for r in roles
-            .iter_mut()
-            .skip(n_inactive + n_proxy)
-            .take(n_scanner)
-        {
+        for r in roles.iter_mut().skip(n_inactive + n_proxy).take(n_scanner) {
             *r = Role::Scanner;
         }
         roles.shuffle(&mut rng);
@@ -314,8 +309,7 @@ impl IspNetwork {
             }
         }
         for f in 0..world.cfg.families {
-            let uses_free_hosting =
-                world.rng.gen::<f64>() < world.cfg.abused_subdomain_families;
+            let uses_free_hosting = world.rng.gen::<f64>() < world.cfg.abused_subdomain_families;
             let mut prefixes = Vec::with_capacity(world.cfg.prefixes_per_family);
             for _ in 0..world.cfg.prefixes_per_family {
                 if world.rng.gen::<f64>() < world.cfg.shared_prefix_prob {
@@ -382,8 +376,7 @@ impl IspNetwork {
         // --- Public-blacklist noise (benign domains mislabeled as C&C) ---
         for _ in 0..world.cfg.public_noise {
             let site = world.rng.gen_range(0..world.sites.len());
-            let fqd = world.sites[site].fqds
-                [world.rng.gen_range(0..world.sites[site].fqds.len())];
+            let fqd = world.sites[site].fqds[world.rng.gen_range(0..world.sites[site].fqds.len())];
             world.public.insert(fqd, Day(0));
         }
 
@@ -508,22 +501,28 @@ impl IspNetwork {
     // Per-machine daily traffic
     // ---------------------------------------------------------------
 
-    fn machine_day(
-        &mut self,
-        m: usize,
-        day: Day,
-        queries: &mut Vec<(MachineId, DomainId)>,
-    ) {
+    fn machine_day(&mut self, m: usize, day: Day, queries: &mut Vec<(MachineId, DomainId)>) {
         let mid = MachineId(m as u32);
         let role = self.machines[m].role;
         let volume = self.machines[m].daily_volume;
 
         // DHCP churn: the machine may change identifier mid-day, splitting
-        // its query log across two ids.
+        // its query log across two ids. The split point is derived from
+        // (machine, day) rather than drawn from `self.rng` so the shared
+        // stream advances identically at every churn rate — churn sweeps
+        // then compare the same simulated world, differing only in how
+        // identifiers are split.
         let alias = if self.rng.gen::<f64>() < self.cfg.dhcp_churn {
             let id = MachineId((self.cfg.machines + self.ephemeral_owners.len()) as u32);
             self.ephemeral_owners.push(m);
-            Some((id, self.rng.gen::<f64>()))
+            let mut h = (m as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((day.0 as u64) << 17 | 0xC4E5);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            let cut = (h >> 11) as f64 / (1u64 << 53) as f64;
+            Some((id, cut))
         } else {
             None
         };
@@ -626,7 +625,6 @@ impl IspNetwork {
                 push(queries, self.families[fam as usize].active[i].id);
             }
         }
-
     }
 
     // ---------------------------------------------------------------
@@ -638,8 +636,7 @@ impl IspNetwork {
             // Retire expired domains (keep at least two alive).
             let mut k = 0;
             while k < self.families[f].active.len() {
-                if self.families[f].active.len() > 2
-                    && self.families[f].active[k].retire_on <= day
+                if self.families[f].active.len() > 2 && self.families[f].active[k].retire_on <= day
                 {
                     self.families[f].active.swap_remove(k);
                 } else {
@@ -733,11 +730,10 @@ impl IspNetwork {
         } else if self.rng.gen::<f64>() < self.cfg.public_independent {
             // The commercial vendor missed it; the community lists caught
             // it anyway.
-            let lag = 1
-                + exponential(
-                    &mut self.rng,
-                    self.cfg.blacklist_lag_mean + self.cfg.public_extra_lag_mean,
-                ) as u32;
+            let lag = 1 + exponential(
+                &mut self.rng,
+                self.cfg.blacklist_lag_mean + self.cfg.public_extra_lag_mean,
+            ) as u32;
             self.public.insert(id, day + lag);
         }
     }
@@ -815,8 +811,7 @@ impl IspNetwork {
             }
         }
         // Expected tail volume without per-machine loops.
-        let expected_tails =
-            (self.machines.len() as f64 * self.cfg.tail_rate) as usize;
+        let expected_tails = (self.machines.len() as f64 * self.cfg.tail_rate) as usize;
         for _ in 0..expected_tails {
             let d = self.tail_domain();
             let e2ld = self.table.e2ld_of(d);
@@ -963,7 +958,11 @@ mod tests {
         let mut lag_sum = 0u32;
         let mut n = 0u32;
         for (d, added) in w.commercial_blacklist().iter() {
-            let activated = w.truth().kind(d).activated().expect("blacklisted ⇒ malicious");
+            let activated = w
+                .truth()
+                .kind(d)
+                .activated()
+                .expect("blacklisted ⇒ malicious");
             assert!(added > activated, "blacklist addition must lag activation");
             lag_sum += added.days_since(activated);
             n += 1;
@@ -1063,8 +1062,10 @@ mod tests {
     fn helper_distributions() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(poisson(&mut rng, 0.0), 0);
-        let mean: f64 =
-            (0..2000).map(|_| poisson(&mut rng, 3.0) as f64).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000)
+            .map(|_| poisson(&mut rng, 3.0) as f64)
+            .sum::<f64>()
+            / 2000.0;
         assert!((mean - 3.0).abs() < 0.3);
         let e: f64 = (0..2000).map(|_| exponential(&mut rng, 5.0)).sum::<f64>() / 2000.0;
         assert!((e - 5.0).abs() < 0.8);

@@ -19,7 +19,13 @@ use segugio_traffic::{IspConfig, IspNetwork};
 fn main() {
     let mut isp = IspNetwork::new(IspConfig::small(17));
     isp.warm_up(20);
-    let config = SegugioConfig::default();
+    // `parallelism: None` fans the daily pipeline (graph build, feature
+    // measurement, forest training, scoring) over every available core;
+    // detections are identical to a `Some(1)` serial run.
+    let config = SegugioConfig {
+        parallelism: None,
+        ..SegugioConfig::default()
+    };
 
     for _ in 0..4 {
         let traffic = isp.next_day();
@@ -35,12 +41,13 @@ fn main() {
             hidden: None,
         };
         let snapshot = Segugio::build_snapshot(&input, &config);
-        let model = Segugio::train(&snapshot, isp.activity(), &config);
 
         // Calibrate an operating threshold on the training scores: rank the
         // known domains through the label-hiding path and pick the score
-        // that keeps known-benign mistakes below 0.5%.
+        // that keeps known-benign mistakes below 0.5%. The training set is
+        // extracted once and shared between training and calibration.
         let (train_set, _) = segugio_core::build_training_set(&snapshot, isp.activity(), &config);
+        let model = Segugio::train_prepared(&train_set, &config);
         let scores: Vec<f32> = (0..train_set.len())
             .map(|i| model.score_features(train_set.row(i)))
             .collect();

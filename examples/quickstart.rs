@@ -56,7 +56,10 @@ fn main() {
     let snapshot = Segugio::build_snapshot(&input, &config);
     let detections = model.score_unknown(&snapshot, isp.activity());
 
-    println!("\ntop 15 unknown domains by malware score (day {}):", test_day.day.0);
+    println!(
+        "\ntop 15 unknown domains by malware score (day {}):",
+        test_day.day.0
+    );
     println!("{:<40} {:>7}  ground truth", "domain", "score");
     for det in detections.iter().take(15) {
         let name = isp.table().name(det.domain);

@@ -18,9 +18,7 @@ const TEST_DAY: u32 = 33;
 
 fn scenario() -> &'static Scenario {
     static SCENARIO: OnceLock<Scenario> = OnceLock::new();
-    SCENARIO.get_or_init(|| {
-        Scenario::run(IspConfig::small(901), TRAIN_DAY, &[TRAIN_DAY, TEST_DAY])
-    })
+    SCENARIO.get_or_init(|| Scenario::run(IspConfig::small(901), TRAIN_DAY, &[TRAIN_DAY, TEST_DAY]))
 }
 
 fn config() -> SegugioConfig {
@@ -70,10 +68,9 @@ fn segugio_beats_cooccurrence_at_low_fp() {
     // Co-occurrence scores on the same hidden test graph.
     let hidden = split.hidden();
     let snap = s.snapshot(TEST_DAY, &config(), &bl, Some(&hidden));
-    let co: std::collections::HashMap<_, _> =
-        segugio_baselines::cooccurrence_scores(&snap.graph)
-            .into_iter()
-            .collect();
+    let co: std::collections::HashMap<_, _> = segugio_baselines::cooccurrence_scores(&snap.graph)
+        .into_iter()
+        .collect();
     let mut scores = Vec::new();
     let mut labels = Vec::new();
     for &(d, _, is_mal) in &out.scores {

@@ -63,8 +63,14 @@ fn exported_logs_reproduce_in_memory_detections() {
         snapshot2.unpruned_domain_labels,
         snapshot.unpruned_domain_labels
     );
-    assert_eq!(snapshot2.graph.machine_count(), snapshot.graph.machine_count());
-    assert_eq!(snapshot2.graph.domain_count(), snapshot.graph.domain_count());
+    assert_eq!(
+        snapshot2.graph.machine_count(),
+        snapshot.graph.machine_count()
+    );
+    assert_eq!(
+        snapshot2.graph.domain_count(),
+        snapshot.graph.domain_count()
+    );
     assert_eq!(snapshot2.graph.edge_count(), snapshot.graph.edge_count());
 
     // Same detections by *name* (the ingested side only has the one day of

@@ -1,0 +1,118 @@
+//! The parallel pipeline's contract: output is bit-for-bit identical at
+//! every `parallelism` setting — serial `Some(1)`, pinned `Some(2)` /
+//! `Some(4)`, and the auto default — across snapshot building, training,
+//! and scoring.
+
+use segugio_core::{build_training_set, Segugio, SegugioConfig, SnapshotInput};
+use segugio_traffic::{IspConfig, IspNetwork};
+
+/// One full day: snapshot → training set → model → detections, at a given
+/// parallelism. Returns the serialized model and every scored detection.
+fn run_day(parallelism: Option<usize>) -> (String, Vec<(u32, f32)>, usize, Vec<f32>) {
+    let mut isp = IspNetwork::new(IspConfig::tiny(77));
+    isp.warm_up(16);
+    let traffic = isp.next_day();
+    let config = SegugioConfig {
+        parallelism,
+        ..SegugioConfig::default()
+    };
+    let input = SnapshotInput {
+        day: traffic.day,
+        queries: &traffic.queries,
+        resolutions: &traffic.resolutions,
+        table: isp.table(),
+        pdns: isp.pdns(),
+        blacklist: isp.commercial_blacklist(),
+        whitelist: isp.whitelist(),
+        hidden: None,
+    };
+    let snapshot = Segugio::build_snapshot(&input, &config);
+    let (train_set, ids) = build_training_set(&snapshot, isp.activity(), &config);
+    let model = Segugio::train_prepared(&train_set, &config);
+    let detections = model
+        .score_unknown(&snapshot, isp.activity())
+        .into_iter()
+        .map(|d| (d.domain.0, d.score))
+        .collect();
+    let train_scores: Vec<f32> = (0..train_set.len())
+        .map(|i| model.score_features(train_set.row(i)))
+        .collect();
+    (model.save_to_string(), detections, ids.len(), train_scores)
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_to_serial() {
+    let (serial_model, serial_detections, serial_rows, serial_scores) = run_day(Some(1));
+    assert!(
+        !serial_detections.is_empty(),
+        "fixture must score something"
+    );
+    assert!(serial_rows > 0, "fixture must have known training domains");
+
+    for knob in [Some(2), Some(4), None] {
+        let (model, detections, rows, scores) = run_day(knob);
+        assert_eq!(rows, serial_rows, "training rows differ at {knob:?}");
+        assert_eq!(
+            model, serial_model,
+            "trained model differs from serial at {knob:?}"
+        );
+        assert_eq!(
+            scores, serial_scores,
+            "trained-model scores differ from serial at {knob:?}"
+        );
+        assert_eq!(
+            detections, serial_detections,
+            "detections differ from serial at {knob:?}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_build_is_identical_at_any_parallelism() {
+    let mut isp = IspNetwork::new(IspConfig::tiny(78));
+    isp.warm_up(12);
+    let traffic = isp.next_day();
+    let input = SnapshotInput {
+        day: traffic.day,
+        queries: &traffic.queries,
+        resolutions: &traffic.resolutions,
+        table: isp.table(),
+        pdns: isp.pdns(),
+        blacklist: isp.commercial_blacklist(),
+        whitelist: isp.whitelist(),
+        hidden: None,
+    };
+    let serial = Segugio::build_snapshot(
+        &input,
+        &SegugioConfig {
+            parallelism: Some(1),
+            ..SegugioConfig::default()
+        },
+    );
+    for threads in [2usize, 4, 8] {
+        let parallel = Segugio::build_snapshot(
+            &input,
+            &SegugioConfig {
+                parallelism: Some(threads),
+                ..SegugioConfig::default()
+            },
+        );
+        assert_eq!(parallel.graph.machine_count(), serial.graph.machine_count());
+        assert_eq!(parallel.graph.domain_count(), serial.graph.domain_count());
+        assert_eq!(parallel.graph.edge_count(), serial.graph.edge_count());
+        for d in serial.graph.domain_indices() {
+            assert_eq!(
+                parallel.graph.machines_of(d).collect::<Vec<_>>(),
+                serial.graph.machines_of(d).collect::<Vec<_>>(),
+                "domain adjacency differs at {threads} threads"
+            );
+        }
+        for m in serial.graph.machine_indices() {
+            assert_eq!(
+                parallel.graph.domains_of(m).collect::<Vec<_>>(),
+                serial.graph.domains_of(m).collect::<Vec<_>>(),
+                "machine adjacency differs at {threads} threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline shim of the `crossbeam` API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so `crossbeam::thread`
+//! is provided as a thin wrapper over `std::thread::scope` (stable since
+//! Rust 1.63). Semantics match what the workspace relies on: scoped
+//! spawning that may borrow from the enclosing stack, automatic join at
+//! scope exit, and panic propagation.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// The error type of [`scope`]: the payload of a panicked child thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; closures passed to [`Scope::spawn`] receive a copy,
+    /// matching the crossbeam signature `FnOnce(&Scope) -> T`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> stdthread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which borrowed scoped threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    ///
+    /// `std::thread::scope` already resumes unwinding in the parent when a
+    /// child panics, so the `Err` variant is never produced; it exists for
+    /// signature compatibility with `crossbeam::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u32, 2, 3, 4];
+        let mut results = vec![0u32; 4];
+        thread::scope(|s| {
+            for (slot, &v) in results.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *slot = v * 10;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let out = thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

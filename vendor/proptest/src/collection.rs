@@ -1,0 +1,122 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// The size argument of collection strategies (a `usize` range or an
+/// exact count).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Strategy for vectors whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// How often a rejecting element strategy is retried before the whole
+/// collection draw is counted as one rejection.
+const ELEMENT_RETRIES: usize = 50;
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = (0..ELEMENT_RETRIES).find_map(|_| self.element.try_generate(rng))?;
+            out.push(v);
+        }
+        Some(out)
+    }
+}
+
+/// Strategy for hash sets whose elements come from `element`. The set size
+/// lands in `size`; if the element domain is too small to reach the drawn
+/// size, the draw counts as a rejection.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+#[derive(Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<HashSet<S::Value>> {
+        let target = rng.gen_range(self.size.min..=self.size.max);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target {
+            attempts += 1;
+            if attempts > target * ELEMENT_RETRIES + ELEMENT_RETRIES {
+                return None;
+            }
+            if let Some(v) = self.element.try_generate(rng) {
+                out.insert(v);
+            }
+        }
+        Some(out)
+    }
+}

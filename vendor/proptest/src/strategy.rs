@@ -1,0 +1,238 @@
+//! The [`Strategy`] trait and primitive strategies.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::distributions::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of test values.
+///
+/// Unlike upstream proptest there is no shrinking: `try_generate` either
+/// produces a value or reports a rejection (`None`, e.g. a filter miss).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug + Clone;
+
+    /// Attempts to generate one value.
+    fn try_generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug + Clone,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values for which `f` returns false. `whence` labels the
+    /// filter in rejection reports.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            _whence: whence,
+            f,
+        }
+    }
+
+    /// Combined map + filter: `f` returning `None` rejects the value.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: Debug + Clone,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            _whence: whence,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug + Clone,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.try_generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.try_generate(rng).filter(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    _whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: Debug + Clone,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.try_generate(rng).and_then(&self.f)
+    }
+}
+
+// --- primitive strategies ---
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + Debug + Clone,
+    std::ops::Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + Debug + Clone,
+    std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+/// Regex-literal strategies: `"[a-z]{1,8}"` generates matching strings.
+/// Only the character-class + quantifier subset the workspace tests use
+/// is supported (see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<String> {
+        Some(crate::string::generate_matching(self, rng))
+    }
+}
+
+/// A strategy producing any value of a primitive type; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// The `proptest::prelude::any::<T>()` entry point for primitive types.
+pub fn any<T: ArbitraryPrimitive>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryPrimitive> Strategy for Any<T> {
+    type Value = T;
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// Primitive types [`any`] can generate.
+pub trait ArbitraryPrimitive: Debug + Clone {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrimitive for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::RngCore as _;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryPrimitive for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl ArbitraryPrimitive for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f32>()
+    }
+}
+
+impl ArbitraryPrimitive for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+// --- tuple strategies ---
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn try_generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                $(let $v = $s.try_generate(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);

@@ -1,0 +1,145 @@
+//! Tiny regex-subset generator behind `&str` strategies.
+//!
+//! Supports exactly the shape the workspace tests use: a sequence of
+//! atoms, where an atom is a character class `[...]` (literal characters
+//! and `a-z` style ranges; `-` last in the class is literal) or a single
+//! literal character, optionally followed by a `{m}` or `{m,n}`
+//! quantifier. Anything else panics with a clear message so a future test
+//! author knows to extend the subset.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (expanded from the class or the literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in regex strategy {pattern:?}"))
+                    + i;
+                let set = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let lit = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in regex strategy {pattern:?}"));
+                i += 2;
+                vec![lit]
+            }
+            c if c.is_alphanumeric() || c == '-' || c == '.' || c == '_' => {
+                i += 1;
+                vec![c]
+            }
+            c => panic!("unsupported regex construct {c:?} in strategy {pattern:?}"),
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in regex strategy {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "empty quantifier in regex strategy {pattern:?}");
+        atoms.push(Atom {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        !body.is_empty(),
+        "empty class in regex strategy {pattern:?}"
+    );
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in regex strategy {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_matching_strings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = generate_matching("[a-z][a-z0-9-]{0,14}[a-z0-9]", &mut rng);
+            assert!((2..=16).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(!s.ends_with('-'));
+        }
+    }
+
+    #[test]
+    fn literal_and_fixed_quantifier() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = generate_matching("a[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('a'));
+        assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,104 @@
+//! The case-running harness behind the [`crate::proptest!`] macro.
+
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+fn cases_from_env() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `body` over `cases` generated inputs; panics on the first failing
+/// case with the generated value attached (no shrinking).
+pub fn run_cases<S, F>(test_name: &str, strategy: &S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = cases_from_env();
+    // Deterministic per-test seed, independent of declaration order.
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    let mut rng = StdRng::seed_from_u64(hasher.finish() ^ 0x5EED_CA5E_5EED_CA5E);
+
+    let max_rejects = cases * 100;
+    let mut rejects = 0usize;
+    let mut ran = 0usize;
+    while ran < cases {
+        let Some(value) = strategy.try_generate(&mut rng) else {
+            rejects += 1;
+            assert!(
+                rejects <= max_rejects,
+                "{test_name}: too many strategy rejections ({rejects}) — filter too strict?"
+            );
+            continue;
+        };
+        let shown = format!("{value:?}");
+        match body(value) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{test_name}: too many prop_assume rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property falsified after {ran} passing case(s)\n\
+                     {msg}\ninput: {shown}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn harness_runs_and_holds(x in 0u32..100, y in 0u32..100) {
+            prop_assert!(x < 100 && y < 100);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property falsified")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases("fail", &(0u32..10), |x| {
+            prop_assert!(x > 100_000);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,95 @@
+//! Sequence helpers: shuffling, choosing, and distinct index sampling.
+
+use crate::Rng;
+
+/// Unbiased uniform index in `[low, ubound)` for possibly-unsized rngs.
+fn gen_index<R: Rng + ?Sized>(rng: &mut R, low: usize, ubound: usize) -> usize {
+    debug_assert!(low < ubound);
+    let span = (ubound - low) as u64;
+    if span == 1 {
+        return low;
+    }
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return low + (v % span) as usize;
+        }
+    }
+}
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, 0, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, 0, self.len())])
+        }
+    }
+}
+
+pub mod index {
+    use crate::Rng;
+
+    /// A set of sampled indices (`rand::seq::index::IndexVec` subset).
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Converts into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length` (partial
+    /// Fisher–Yates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from {length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = super::gen_index(rng, i, length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}
