@@ -6,7 +6,7 @@
 //! confirms them. [`Tracker`] packages that loop (the `isp_deployment`
 //! example and the Fig. 11 experiment are both instances of it).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use segugio_ml::RocCurve;
 use segugio_model::{Day, DomainId, MachineId};
@@ -62,9 +62,10 @@ pub struct DayReport {
 #[derive(Debug, Clone, Default)]
 pub struct Tracker {
     /// Day each still-unconfirmed flagged domain was first detected.
-    flagged: HashMap<DomainId, Day>,
+    /// Ordered so [`Tracker::pending`] iterates deterministically.
+    flagged: BTreeMap<DomainId, Day>,
     /// Confirmed detections: domain → (flagged day, confirmed day).
-    confirmed: HashMap<DomainId, (Day, Day)>,
+    confirmed: BTreeMap<DomainId, (Day, Day)>,
     days_processed: usize,
 }
 

@@ -9,7 +9,7 @@
 //! FPs, and that removing the machine-behavior features (F1) hurts most —
 //! multi-infected machines are what bridge unseen families to known ones.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 use segugio_core::{FeatureGroup, SegugioConfig};
@@ -105,7 +105,7 @@ pub fn run(scale: &Scale, k_folds: usize) -> CrossFamilyReport {
     let mut pooled_all: Vec<(DomainId, f32, bool)> = Vec::new();
     let mut pooled_nm: Vec<(DomainId, f32, bool)> = Vec::new();
     for fold in 0..k_folds {
-        let test_malware: HashSet<DomainId> = labeled
+        let test_malware: BTreeSet<DomainId> = labeled
             .iter()
             .zip(&fold_of)
             .filter(|&(_, &ff)| ff == fold)
@@ -114,7 +114,7 @@ pub fn run(scale: &Scale, k_folds: usize) -> CrossFamilyReport {
         if test_malware.is_empty() {
             continue;
         }
-        let test_benign: HashSet<DomainId> = benign_pool
+        let test_benign: BTreeSet<DomainId> = benign_pool
             .iter()
             .enumerate()
             .filter(|(i, _)| i % k_folds == fold)

@@ -7,7 +7,7 @@
 //! day) shows how many days of head start Segugio buys (paper: 38 domains
 //! over 8 days of monitoring, many blacklisted weeks later).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 use segugio_core::{Detector, Segugio};
@@ -161,7 +161,8 @@ pub fn detect_day(
     // Keep detections that the blacklist later confirms.
     let mut seen: HashSet<DomainId> = HashSet::new();
     let mut hits = Vec::new();
-    let mut dedup: HashMap<DomainId, Day> = HashMap::new();
+    // Ordered map: the loop below iterates it into `hits`.
+    let mut dedup: BTreeMap<DomainId, Day> = BTreeMap::new();
     for det in detected {
         if !seen.insert(det.domain) {
             continue;

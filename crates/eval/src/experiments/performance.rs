@@ -98,6 +98,7 @@ impl fmt::Display for PerformanceReport {
 }
 
 /// Times the pipeline across `n_days` consecutive days of ISP1.
+#[allow(clippy::disallowed_methods)] // reporting wall-clock timings is this experiment's purpose
 pub fn run(scale: &Scale, n_days: u32) -> PerformanceReport {
     let w = scale.warmup;
     let days: Vec<u32> = (w..w + n_days).collect();
@@ -105,14 +106,17 @@ pub fn run(scale: &Scale, n_days: u32) -> PerformanceReport {
     let bl = scenario.isp().commercial_blacklist();
     let mut out = Vec::new();
     for &day in &days {
+        // segugio-lint: allow(D2, this experiment reports wall-clock timings; they never feed the detector)
         let t0 = Instant::now();
         let snap = scenario.snapshot(day, &scale.config, bl, None);
         let snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+        // segugio-lint: allow(D2, this experiment reports wall-clock timings; they never feed the detector)
         let t1 = Instant::now();
         let model = Segugio::train(&snap, scenario.isp().activity(), &scale.config);
         let train_ms = t1.elapsed().as_secs_f64() * 1e3;
 
+        // segugio-lint: allow(D2, this experiment reports wall-clock timings; they never feed the detector)
         let t2 = Instant::now();
         let detections = model.score_unknown(&snap, scenario.isp().activity());
         let classify_ms = t2.elapsed().as_secs_f64() * 1e3;

@@ -128,7 +128,7 @@ pub fn run(scale: &Scale) -> PublicBlacklistReport {
             scale.seed + 6,
         )
         .benign;
-        let hidden: HashSet<DomainId> = novel.union(&benign).copied().collect();
+        let hidden: HashSet<DomainId> = novel.iter().chain(benign.iter()).copied().collect();
 
         let train_snap = scenario.snapshot(w, &scale.config, &commercial, Some(&hidden));
         let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config);

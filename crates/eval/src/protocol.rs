@@ -7,7 +7,7 @@
 //! "known infected" or "known benign", and (c) are measured and scored
 //! through the exact path a truly-unknown domain takes.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -22,10 +22,11 @@ use crate::scenario::Scenario;
 /// A held-out test set of known domains.
 #[derive(Debug, Clone, Default)]
 pub struct TestSplit {
-    /// Held-out known malware-control domains.
-    pub malware: HashSet<DomainId>,
+    /// Held-out known malware-control domains (ordered for deterministic
+    /// iteration wherever callers walk the split).
+    pub malware: BTreeSet<DomainId>,
     /// Held-out known benign domains.
-    pub benign: HashSet<DomainId>,
+    pub benign: BTreeSet<DomainId>,
 }
 
 impl TestSplit {

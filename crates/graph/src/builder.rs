@@ -254,7 +254,7 @@ impl GraphBuilder {
 
         let n_m = machines.len();
         let n_d = domains.len();
-        BehaviorGraph {
+        let graph = BehaviorGraph {
             day: self.day,
             machines,
             domains,
@@ -267,7 +267,14 @@ impl GraphBuilder {
             domain_labels: vec![Label::Unknown; n_d],
             machine_labels: vec![Label::Unknown; n_m],
             machine_malware_degree: vec![0; n_m],
+        };
+        // Every structural invariant is checked on debug builds (tests,
+        // proptests); release builds skip the O(edges) pass.
+        #[cfg(debug_assertions)]
+        if let Err(violation) = graph.validate() {
+            unreachable!("builder produced an invalid graph: {violation}");
         }
+        graph
     }
 }
 

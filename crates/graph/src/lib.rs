@@ -25,6 +25,7 @@ pub mod hiding;
 pub mod labeling;
 pub mod pruning;
 pub mod stats;
+pub mod validate;
 
 pub use builder::GraphBuilder;
 pub use graph::{BehaviorGraph, DomainIdx, MachineIdx};

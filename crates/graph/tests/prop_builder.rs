@@ -88,6 +88,20 @@ proptest! {
         prop_assert_eq!(edges_from_machine_side, g.edge_count());
     }
 
+    /// `BehaviorGraph::validate` accepts every graph the builder produces,
+    /// at every parallelism setting (structural invariants hold end to end:
+    /// sorted ids, CSR offsets, in-bounds sorted adjacency, edge symmetry,
+    /// malware-degree cache).
+    #[test]
+    fn built_graphs_pass_structural_validation(
+        edges in proptest::collection::vec((0u32..40, 0u32..60), 0..3000)
+    ) {
+        for threads in [1usize, 4] {
+            let g = build(&edges, threads);
+            prop_assert_eq!(g.validate(), Ok(()), "threads = {}", threads);
+        }
+    }
+
     /// The built graph is identical at every parallelism setting.
     #[test]
     fn build_is_identical_at_any_parallelism(

@@ -38,7 +38,8 @@ pub struct LogCollector {
 #[derive(Debug, Clone, Default)]
 struct DayAccumulator {
     queries: Vec<(MachineId, DomainId)>,
-    resolutions: HashMap<DomainId, Vec<Ipv4>>,
+    // Ordered so `LogCollector::day` emits resolutions deterministically.
+    resolutions: BTreeMap<DomainId, Vec<Ipv4>>,
 }
 
 impl LogCollector {
@@ -78,7 +79,7 @@ impl LogCollector {
     pub fn ingest_reader<R: Read>(&mut self, reader: R) -> Result<usize, IngestError> {
         let mut ingested = 0usize;
         for (idx, line) in BufReader::new(reader).lines().enumerate() {
-            let line_no = idx as u64 + 1;
+            let line_no = u64::try_from(idx).map_or(u64::MAX, |n| n.saturating_add(1));
             let line = line.map_err(|e| IngestError::Io(line_no, e.to_string()))?;
             if line.trim().is_empty() || line.trim_start().starts_with('#') {
                 continue;
@@ -96,7 +97,9 @@ impl LogCollector {
         if let Some(&id) = self.machine_ids.get(client) {
             return id;
         }
-        let id = MachineId(self.machines.len() as u32);
+        let next = u32::try_from(self.machines.len());
+        // segugio-lint: allow(C1, exhausting the 32-bit machine-id space cannot be recovered mid-ingest)
+        let id = MachineId(next.expect("more than u32::MAX client machines"));
         self.machines.push(client.to_owned());
         self.machine_ids.insert(client.to_owned(), id);
         id

@@ -126,7 +126,9 @@ impl ZeekReader {
         }
         let ts: f64 = get(cols.ts).parse().ok()?;
         let days = (ts - self.epoch) / 86_400.0;
-        if days < 0.0 {
+        // Reject records before the epoch or past the day-index range, so
+        // the float-to-int truncation below cannot wrap or saturate.
+        if !(0.0..f64::from(u32::MAX)).contains(&days) {
             return None;
         }
         let client = get(cols.orig_h);
@@ -139,6 +141,7 @@ impl ZeekReader {
             None => Vec::new(),
         };
         Some(LogRecord {
+            // segugio-lint: allow(C2, truncation toward zero is the intended day bucketing and the range is checked above)
             day: Day(days as u32),
             client: client.to_owned(),
             qname,

@@ -6,8 +6,7 @@
 //! carry the day they were added, which drives both the "known as of day t"
 //! labeling protocol and the early-detection experiment (Fig. 11).
 
-use std::collections::HashMap;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use crate::ids::{DomainId, E2ldId};
 use crate::time::Day;
@@ -27,7 +26,8 @@ use crate::time::Day;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Blacklist {
-    added: HashMap<DomainId, Day>,
+    // Ordered so `iter` and `known_as_of` are deterministic.
+    added: BTreeMap<DomainId, Day>,
 }
 
 impl Blacklist {
@@ -70,7 +70,7 @@ impl Blacklist {
         self.added.is_empty()
     }
 
-    /// Iterates over `(domain, added_day)` entries in arbitrary order.
+    /// Iterates over `(domain, added_day)` entries in ascending domain order.
     pub fn iter(&self) -> impl Iterator<Item = (DomainId, Day)> + '_ {
         self.added.iter().map(|(&d, &day)| (d, day))
     }
@@ -108,7 +108,8 @@ impl Extend<(DomainId, Day)> for Blacklist {
 /// A fully-qualified domain is labeled benign when its e2LD is whitelisted.
 #[derive(Debug, Clone, Default)]
 pub struct Whitelist {
-    e2lds: HashSet<E2ldId>,
+    // Ordered so `iter` is deterministic.
+    e2lds: BTreeSet<E2ldId>,
 }
 
 impl Whitelist {
@@ -143,7 +144,7 @@ impl Whitelist {
         self.e2lds.is_empty()
     }
 
-    /// Iterates over the whitelisted e2LDs in arbitrary order.
+    /// Iterates over the whitelisted e2LDs in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = E2ldId> + '_ {
         self.e2lds.iter().copied()
     }

@@ -1,6 +1,6 @@
 //! Historical domain-to-IP resolution store.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use segugio_model::{Day, DayWindow, DomainId, Ipv4};
 
@@ -25,7 +25,8 @@ use segugio_model::{Day, DayWindow, DomainId, Ipv4};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PassiveDns {
-    by_domain: HashMap<DomainId, Vec<(Day, Ipv4)>>,
+    // Ordered so `records_in` yields domains deterministically.
+    by_domain: BTreeMap<DomainId, Vec<(Day, Ipv4)>>,
     records: usize,
 }
 

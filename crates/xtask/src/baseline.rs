@@ -1,0 +1,182 @@
+//! The ratchet baseline: grandfathered violation counts per (rule, file).
+//!
+//! `lint-baseline.toml` freezes the violation counts that existed when a
+//! rule was introduced. The linter fails when any `(rule, file)` count
+//! *grows* past its baselined value; counts may only shrink, and
+//! `--update-baseline` rewrites the file so the ratchet tightens as
+//! violations are fixed. The file is a deliberately tiny TOML subset —
+//! `[RULE]` sections holding `"path" = count` entries — parsed here without
+//! any external dependency.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// Violation counts keyed by `(rule, file)`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates raw violations into baseline-comparable counts.
+pub fn count_violations(violations: &[Violation]) -> Counts {
+    let mut counts = Counts::new();
+    for v in violations {
+        *counts
+            .entry((v.rule.to_owned(), v.file.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Parses the baseline file format.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    let mut rule = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            rule = section.trim().to_owned();
+            if rule.is_empty() {
+                return Err(format!("line {}: empty section name", idx + 1));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `\"path\" = count`", idx + 1));
+        };
+        if rule.is_empty() {
+            return Err(format!("line {}: entry before any [RULE] section", idx + 1));
+        }
+        let path = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: path must be double-quoted", idx + 1))?;
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: count is not a number", idx + 1))?;
+        counts.insert((rule.clone(), path.to_owned()), count);
+    }
+    Ok(counts)
+}
+
+/// Serializes counts back into the baseline file format (deterministic:
+/// rules then paths in sorted order, zero counts dropped).
+pub fn serialize(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# segugio-lint ratchet baseline: grandfathered violation counts per (rule, file).\n\
+         # Counts may only shrink. Regenerate with:\n\
+         #     cargo run -p xtask -- lint --update-baseline\n",
+    );
+    let mut by_rule: BTreeMap<&str, Vec<(&str, usize)>> = BTreeMap::new();
+    for ((rule, file), &n) in counts {
+        if n > 0 {
+            by_rule.entry(rule).or_default().push((file, n));
+        }
+    }
+    for (rule, entries) in by_rule {
+        out.push_str(&format!("\n[{rule}]\n"));
+        for (file, n) in entries {
+            out.push_str(&format!("\"{file}\" = {n}\n"));
+        }
+    }
+    out
+}
+
+/// A ratchet comparison outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ratchet {
+    /// `(rule, file, baselined, current)` where current > baselined.
+    pub grown: Vec<(String, String, usize, usize)>,
+    /// `(rule, file, baselined, current)` where current < baselined —
+    /// stale entries the baseline should shed.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl Ratchet {
+    /// Whether the current tree introduces violations beyond the baseline.
+    pub fn is_clean(&self) -> bool {
+        self.grown.is_empty()
+    }
+}
+
+/// Compares current counts against the baseline.
+pub fn compare(baseline: &Counts, current: &Counts) -> Ratchet {
+    let mut r = Ratchet::default();
+    for (key, &cur) in current {
+        let base = baseline.get(key).copied().unwrap_or(0);
+        if cur > base {
+            r.grown.push((key.0.clone(), key.1.clone(), base, cur));
+        }
+    }
+    for (key, &base) in baseline {
+        let cur = current.get(key).copied().unwrap_or(0);
+        if cur < base {
+            r.stale.push((key.0.clone(), key.1.clone(), base, cur));
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        entries
+            .iter()
+            .map(|&(r, f, n)| ((r.to_owned(), f.to_owned()), n))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = counts(&[
+            ("C1", "crates/ml/src/tree.rs", 3),
+            ("D1", "suite/lib.rs", 1),
+        ]);
+        let text = serialize(&c);
+        assert_eq!(parse(&text).unwrap(), c);
+    }
+
+    #[test]
+    fn zero_counts_are_dropped_on_serialize() {
+        let c = counts(&[("C1", "a.rs", 0), ("C1", "b.rs", 2)]);
+        let text = serialize(&c);
+        assert!(!text.contains("a.rs"));
+        assert!(text.contains("\"b.rs\" = 2"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("\"x.rs\" = 1").is_err(), "entry before section");
+        assert!(parse("[C1]\nx.rs = 1").is_err(), "unquoted path");
+        assert!(parse("[C1]\n\"x.rs\" = lots").is_err(), "non-numeric count");
+        assert!(parse("[]\n").is_err(), "empty section");
+    }
+
+    #[test]
+    fn ratchet_detects_growth_and_staleness() {
+        let base = counts(&[("C1", "a.rs", 2), ("C1", "gone.rs", 1)]);
+        let cur = counts(&[("C1", "a.rs", 3), ("D1", "new.rs", 1)]);
+        let r = compare(&base, &cur);
+        assert!(!r.is_clean());
+        assert_eq!(r.grown.len(), 2, "{r:?}"); // a.rs grew, new.rs is unbaselined
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].1, "gone.rs");
+    }
+
+    #[test]
+    fn equal_counts_are_clean_with_no_staleness() {
+        let base = counts(&[("C1", "a.rs", 2)]);
+        let r = compare(&base, &base.clone());
+        assert!(r.is_clean());
+        assert!(r.stale.is_empty());
+    }
+}

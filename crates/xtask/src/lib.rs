@@ -1,0 +1,287 @@
+//! `xtask` — workspace automation for the Segugio repo.
+//!
+//! The only task so far is `lint`: a custom static-analysis pass enforcing
+//! the repo's determinism and correctness invariants (see [`rules`]) with a
+//! checked-in ratchet baseline (see [`baseline`]). Run it with:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--list] [--strict] [--update-baseline]
+//!                            [--rules D1,D2,C1,C2] [--root DIR] [--baseline FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations beyond the baseline (or stale
+//! baseline entries under `--strict`), `2` usage or I/O errors.
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::Counts;
+use rules::Violation;
+
+/// Parsed `lint` subcommand options.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Baseline file path (relative to `root` unless absolute).
+    pub baseline: PathBuf,
+    /// Enabled rules.
+    pub rules: BTreeSet<String>,
+    /// Rewrite the baseline instead of checking against it.
+    pub update_baseline: bool,
+    /// Treat stale baseline entries as errors.
+    pub strict: bool,
+    /// Print every violation, not just the ones beyond the baseline.
+    pub list: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            root: workspace::workspace_root(),
+            baseline: PathBuf::from("lint-baseline.toml"),
+            rules: rules::ALL_RULES.iter().map(|s| s.to_string()).collect(),
+            update_baseline: false,
+            strict: false,
+            list: false,
+        }
+    }
+}
+
+impl LintOptions {
+    /// Parses `lint` subcommand arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse(args: &[String]) -> Result<LintOptions, String> {
+        let mut opts = LintOptions::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--update-baseline" => opts.update_baseline = true,
+                "--strict" => opts.strict = true,
+                "--list" => opts.list = true,
+                "--root" => {
+                    opts.root =
+                        PathBuf::from(it.next().ok_or_else(|| "--root needs a value".to_owned())?);
+                }
+                "--baseline" => {
+                    opts.baseline = PathBuf::from(
+                        it.next()
+                            .ok_or_else(|| "--baseline needs a value".to_owned())?,
+                    );
+                }
+                "--rules" => {
+                    let list = it
+                        .next()
+                        .ok_or_else(|| "--rules needs a value".to_owned())?;
+                    let mut selected = BTreeSet::new();
+                    for rule in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        if !rules::ALL_RULES.contains(&rule) {
+                            return Err(format!(
+                                "unknown rule `{rule}` (known: {})",
+                                rules::ALL_RULES.join(", ")
+                            ));
+                        }
+                        selected.insert(rule.to_owned());
+                    }
+                    if selected.is_empty() {
+                        return Err("--rules selected no rules".to_owned());
+                    }
+                    opts.rules = selected;
+                }
+                other => return Err(format!("unknown lint flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn baseline_path(&self) -> PathBuf {
+        if self.baseline.is_absolute() {
+            self.baseline.clone()
+        } else {
+            self.root.join(&self.baseline)
+        }
+    }
+}
+
+/// The full result of a lint pass over a tree.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Every (unsuppressed) violation found, sorted.
+    pub violations: Vec<Violation>,
+    /// Aggregated counts per (rule, file).
+    pub counts: Counts,
+}
+
+/// Lints every workspace source file under `root` with the given rules.
+///
+/// # Errors
+///
+/// Returns an I/O error message if the tree cannot be read.
+pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, String> {
+    let files = workspace::rust_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let class = rules::classify(rel);
+        let scanned = scan::scan(&src);
+        violations.extend(rules::lint_file(&class, &scanned, enabled));
+    }
+    violations.sort();
+    let counts = baseline::count_violations(&violations);
+    Ok(LintReport {
+        files_scanned: files.len(),
+        violations,
+        counts,
+    })
+}
+
+/// Runs the `lint` subcommand end to end, printing to stdout.
+/// Returns the process exit code.
+pub fn run_lint(opts: &LintOptions) -> i32 {
+    let report = match lint_tree(&opts.root, &opts.rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let baseline_path = opts.baseline_path();
+
+    if opts.update_baseline {
+        let text = baseline::serialize(&report.counts);
+        if let Err(e) = fs::write(&baseline_path, text) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        println!(
+            "wrote {} ({} grandfathered violations)",
+            baseline_path.display(),
+            report.violations.len()
+        );
+        print_summary(&report, None, &opts.rules);
+        return 0;
+    }
+
+    let base = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return 2;
+            }
+        },
+        Err(_) => {
+            // No baseline yet: everything current is "new".
+            Counts::new()
+        }
+    };
+    let ratchet = baseline::compare(&base, &report.counts);
+    print_summary(&report, Some(&base), &opts.rules);
+
+    if opts.list {
+        for v in &report.violations {
+            println!("{}:{}: {} {}", v.file, v.line, v.rule, v.message);
+        }
+    }
+
+    let mut failed = false;
+    if !ratchet.is_clean() {
+        failed = true;
+        println!("\nviolations beyond the baseline:");
+        for (rule, file, base_n, cur) in &ratchet.grown {
+            println!("  {rule} {file}: {cur} violations (baseline {base_n})");
+            for v in report
+                .violations
+                .iter()
+                .filter(|v| v.rule == rule && &v.file == file)
+            {
+                println!("    {}:{}: {}", v.file, v.line, v.message);
+            }
+        }
+        println!(
+            "\nfix the sites above, add `// segugio-lint: allow(RULE, reason)` where the\n\
+             pattern is genuinely safe, or (for pre-existing debt only) re-baseline with\n\
+             `cargo run -p xtask -- lint --update-baseline`."
+        );
+    }
+    if !ratchet.stale.is_empty() {
+        println!("\nstale baseline entries (violations fixed — tighten the ratchet):");
+        for (rule, file, base_n, cur) in &ratchet.stale {
+            println!("  {rule} {file}: baseline {base_n}, now {cur}");
+        }
+        println!("run `cargo run -p xtask -- lint --update-baseline` to shrink the baseline.");
+        if opts.strict {
+            failed = true;
+        }
+    }
+    if failed {
+        1
+    } else {
+        println!("\nOK: no violations beyond {}", baseline_path.display());
+        0
+    }
+}
+
+/// Prints the per-rule violation summary table.
+fn print_summary(report: &LintReport, base: Option<&Counts>, enabled: &BTreeSet<String>) {
+    println!("segugio-lint: scanned {} files", report.files_scanned);
+    println!(
+        "  {:<6} {:>10} {:>10} {:>6}",
+        "rule", "violations", "baselined", "new"
+    );
+    for rule in rules::ALL_RULES {
+        if !enabled.contains(*rule) {
+            continue;
+        }
+        let cur: usize = report
+            .counts
+            .iter()
+            .filter(|((r, _), _)| r == rule)
+            .map(|(_, &n)| n)
+            .sum();
+        let baselined: usize = base
+            .map(|b| {
+                b.iter()
+                    .filter(|((r, _), _)| r == rule)
+                    .map(|(_, &n)| n)
+                    .sum()
+            })
+            .unwrap_or(0);
+        let new = cur.saturating_sub(baselined);
+        println!("  {:<6} {:>10} {:>10} {:>6}", rule, cur, baselined, new);
+    }
+}
+
+/// Top-level CLI entry: dispatches subcommands. Returns the exit code.
+pub fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("lint") => match LintOptions::parse(&args[1..]) {
+            Ok(opts) => run_lint(&opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: cargo run -p xtask -- lint [--list] [--strict] [--update-baseline] [--rules D1,D2,C1,C2] [--root DIR] [--baseline FILE]");
+                2
+            }
+        },
+        Some(other) => {
+            eprintln!("error: unknown task `{other}` (available: lint)");
+            2
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [options]");
+            2
+        }
+    }
+}

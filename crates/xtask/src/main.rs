@@ -1,0 +1,8 @@
+//! CLI entry point for `cargo run -p xtask -- <task>`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(u8::try_from(xtask::run(&args)).unwrap_or(2))
+}

@@ -1,0 +1,624 @@
+//! The lint rules.
+//!
+//! | Rule | Scope                         | What it catches                          |
+//! |------|-------------------------------|------------------------------------------|
+//! | D1   | all non-test code             | `HashMap`/`HashSet` iteration order escaping into ordered output |
+//! | D2   | all non-test, non-bench code  | entropy / wall-clock sources (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`) |
+//! | C1   | ingest/graph/core/ml lib code | `unwrap()` / `expect()` / `panic!`       |
+//! | C2   | `crates/ingest/src` parsers   | lossy `as` numeric casts (use `try_from`) |
+//!
+//! Each rule can be suppressed at a site with
+//! `// segugio-lint: allow(RULE, reason)` on the violating line or the line
+//! above it. Pre-existing violations are grandfathered by the ratchet
+//! baseline (see [`crate::baseline`]).
+
+use std::collections::BTreeSet;
+
+use crate::scan::{ScannedFile, Token};
+
+/// All known rule ids, in report order.
+pub const ALL_RULES: &[&str] = &["D1", "D2", "C1", "C2"];
+
+/// How a file participates in linting, derived from its workspace-relative
+/// path (see [`classify`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileClass {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Test/bench/example code: D1/D2/C1 do not apply at all.
+    pub is_test: bool,
+    /// `crates/bench`: exempt from D2 (timing is its purpose).
+    pub is_bench_crate: bool,
+    /// Library code of ingest/graph/core/ml: C1 applies.
+    pub c1_scope: bool,
+    /// `crates/ingest/src`: C2 applies.
+    pub c2_scope: bool,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(path: &str) -> FileClass {
+    let is_test = path
+        .split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"));
+    FileClass {
+        path: path.to_owned(),
+        is_test,
+        is_bench_crate: path.starts_with("crates/bench/"),
+        c1_scope: ["ingest", "graph", "core", "ml"]
+            .iter()
+            .any(|c| path.starts_with(&format!("crates/{c}/src/"))),
+        c2_scope: path.starts_with("crates/ingest/src/"),
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D1`, `D2`, `C1`, `C2`).
+    pub rule: &'static str,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+/// Methods whose results expose a hash container's iteration order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Tokens that make a statement order-insensitive: an explicit sort, a
+/// collect into an unordered or self-sorting container, or a commutative
+/// terminal.
+const ORDER_INSENSITIVE: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "sum",
+    "product",
+    "count",
+    "len",
+    "min",
+    "max",
+    "all",
+    "any",
+    "is_empty",
+];
+
+/// Numeric types whose `as` casts C2 flags.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Runs every enabled rule over one scanned file.
+pub fn lint_file(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    rules: &BTreeSet<String>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if rules.contains("D1") {
+        rule_d1(class, scanned, &mut out);
+    }
+    if rules.contains("D2") {
+        rule_d2(class, scanned, &mut out);
+    }
+    if rules.contains("C1") {
+        rule_c1(class, scanned, &mut out);
+    }
+    if rules.contains("C2") {
+        rule_c2(class, scanned, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Shared per-site filter: test code and allow comments.
+fn suppressed(class: &FileClass, scanned: &ScannedFile, rule: &str, line: u32) -> bool {
+    class.is_test || scanned.is_test_line(line) || scanned.is_allowed(rule, line)
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    class: &FileClass,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    out.push(Violation {
+        file: class.path.clone(),
+        line,
+        rule,
+        message,
+    });
+}
+
+// --- D1: hash-order iteration flowing into ordered output ----------------
+
+/// Identifiers declared (let binding, field, or parameter) with a
+/// `HashMap`/`HashSet` type, collected file-wide.
+fn hash_typed_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for i in 0..tokens.len() {
+        let t = &tokens[i].text;
+        // `name: [&] [mut] [std::collections::] [Option<&] HashMap<…>` —
+        // covers struct fields, fn parameters, and typed let bindings.
+        if is_ident(t) && text(i + 1) == Some(":") {
+            let window = tokens[i + 2..].iter().take(8);
+            if window
+                .take_while(|t| !matches!(t.text.as_str(), "," | ";" | ")" | "=" | "{"))
+                .any(|t| t.text == "HashMap" || t.text == "HashSet")
+            {
+                names.insert(t.clone());
+            }
+        }
+        // `let [mut] name = <expr containing HashMap/HashSet> ;`
+        if t == "let" {
+            let mut j = i + 1;
+            if text(j) == Some("mut") {
+                j += 1;
+            }
+            let Some(name) = text(j).filter(|s| is_ident(s)).map(str::to_owned) else {
+                continue;
+            };
+            if text(j + 1) != Some("=") {
+                continue; // typed lets are handled by the `name :` arm
+            }
+            // Only depth-0 mentions count: `HashMap::new()` or a collect
+            // turbofish marks the binding, but a HashMap buried inside a
+            // struct literal or `vec![…]` does not make the binding itself
+            // a hash container.
+            let mut depth = 0i32;
+            for t in &tokens[j + 2..] {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    "HashMap" | "HashSet" if depth == 0 => {
+                        names.insert(name.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+                if depth < 0 {
+                    break;
+                }
+            }
+        }
+    }
+    names
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && !matches!(
+            s,
+            "let"
+                | "mut"
+                | "fn"
+                | "for"
+                | "in"
+                | "if"
+                | "else"
+                | "match"
+                | "while"
+                | "loop"
+                | "return"
+                | "pub"
+                | "use"
+                | "mod"
+                | "impl"
+                | "struct"
+                | "enum"
+                | "as"
+                | "self"
+        )
+}
+
+/// The token span of the statement containing index `i`: back to the
+/// previous `;`/`{`/`}`, forward through balanced brackets to the closing
+/// `;` (or the end of the enclosing block).
+fn statement_span(tokens: &[Token], i: usize) -> (usize, usize) {
+    let mut start = i;
+    while start > 0 && !matches!(tokens[start - 1].text.as_str(), ";" | "{" | "}") {
+        start -= 1;
+    }
+    let mut end = i;
+    let mut depth = 0i32;
+    while end < tokens.len() {
+        match tokens[end].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            ";" if depth <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    (start, end.min(tokens.len()))
+}
+
+/// Whether the statement right after token `end` applies an explicit sort —
+/// the common `collect()` … `sort_unstable()` two-step, which restores a
+/// deterministic order before anything observes it. Only applies when the
+/// flagged statement actually ended at a `;` (otherwise `end` is a block
+/// boundary and the following tokens belong to unrelated code).
+fn next_statement_sorts(tokens: &[Token], end: usize) -> bool {
+    if tokens.get(end).map(|t| t.text.as_str()) != Some(";") {
+        return false;
+    }
+    let mut depth = 0i32;
+    for t in tokens.iter().skip(end + 1) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" | "}" if depth <= 0 => return false,
+            "{" | "}" => {}
+            ";" if depth <= 0 => return false,
+            s if s.starts_with("sort") => return true,
+            _ => {}
+        }
+        if depth < 0 {
+            return false;
+        }
+    }
+    false
+}
+
+fn rule_d1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+    let tokens = &scanned.tokens;
+    let hashed = hash_typed_idents(tokens);
+    if hashed.is_empty() {
+        return;
+    }
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+
+    for i in 0..tokens.len() {
+        // Pattern A: `<hash ident> . <iter method> (`.
+        if HASH_ITER_METHODS.contains(&tokens[i].text.as_str())
+            && text(i + 1) == Some("(")
+            && i >= 2
+            && text(i - 1) == Some(".")
+            && hashed.contains(&tokens[i - 2].text)
+        {
+            let line = tokens[i].line;
+            if suppressed(class, scanned, "D1", line) {
+                continue;
+            }
+            let (start, end) = statement_span(tokens, i);
+            // Inside a `for` header the statement heuristic does not apply:
+            // the loop body observes the order directly.
+            let in_for_header = tokens[start..i].iter().any(|t| t.text == "for");
+            let exempt = !in_for_header
+                && (tokens[start..end]
+                    .iter()
+                    .any(|t| ORDER_INSENSITIVE.contains(&t.text.as_str()))
+                    || next_statement_sorts(tokens, end));
+            if !exempt {
+                push(
+                    out,
+                    class,
+                    "D1",
+                    line,
+                    format!(
+                        "`{}.{}()` iterates a hash container in arbitrary order; use a BTreeMap/BTreeSet, sort the result, or collect into an unordered container",
+                        tokens[i - 2].text, tokens[i].text
+                    ),
+                );
+            }
+            continue;
+        }
+        // Pattern B: `for <pat> in [&][mut] <hash ident> {`.
+        if tokens[i].text == "for" {
+            // Find `in` before the loop body's `{`.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 => break,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if text(j) != Some("in") {
+                continue;
+            }
+            // Header expression: from `in` to the body `{` at depth 0.
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let header = &tokens[j + 1..k.min(tokens.len())];
+            // Direct iteration over the container itself (`for x in &map`,
+            // `for x in self.map`); method calls in the header are covered
+            // by pattern A, and anything more complex (ranges, slices,
+            // arithmetic) is not hash iteration.
+            let stripped: Vec<&Token> = header
+                .iter()
+                .filter(|t| !matches!(t.text.as_str(), "&" | "mut"))
+                .collect();
+            let direct = match stripped.as_slice() {
+                [only] => Some(*only),
+                [obj, dot, field] if obj.text == "self" && dot.text == "." => Some(*field),
+                _ => None,
+            };
+            if let Some(hit) = direct.filter(|t| hashed.contains(&t.text)) {
+                let line = hit.line;
+                if !suppressed(class, scanned, "D1", line) {
+                    push(
+                        out,
+                        class,
+                        "D1",
+                        line,
+                        format!(
+                            "`for … in {}` iterates a hash container in arbitrary order; use a BTreeMap/BTreeSet or sort first",
+                            hit.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// --- D2: entropy and wall-clock sources ----------------------------------
+
+fn rule_d2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+    if class.is_bench_crate {
+        return;
+    }
+    let tokens = &scanned.tokens;
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for (i, tok) in tokens.iter().enumerate() {
+        let t = tok.text.as_str();
+        let line = tok.line;
+        let hit = match t {
+            "thread_rng" | "from_entropy" => Some(format!(
+                "`{t}` seeds from process entropy; derive the RNG from a configured seed instead"
+            )),
+            "SystemTime" | "Instant" if text(i + 1) == Some("::") && text(i + 2) == Some("now") => {
+                Some(format!(
+                    "`{t}::now()` reads the wall clock; timing belongs in crates/bench (or pass times in explicitly)"
+                ))
+            }
+            _ => None,
+        };
+        if let Some(message) = hit {
+            if !suppressed(class, scanned, "D2", line) {
+                push(out, class, "D2", line, message);
+            }
+        }
+    }
+}
+
+// --- C1: panics in library code ------------------------------------------
+
+fn rule_c1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+    if !class.c1_scope {
+        return;
+    }
+    let tokens = &scanned.tokens;
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for (i, tok) in tokens.iter().enumerate() {
+        let t = tok.text.as_str();
+        let line = tok.line;
+        let hit = match t {
+            "unwrap" | "expect"
+                if i >= 1 && text(i - 1) == Some(".") && text(i + 1) == Some("(") =>
+            {
+                Some(format!(
+                    "`.{t}()` can panic in library code; return a Result or handle the None/Err case"
+                ))
+            }
+            "panic" if text(i + 1) == Some("!") => {
+                Some("`panic!` in library code; return a Result instead".to_owned())
+            }
+            _ => None,
+        };
+        if let Some(message) = hit {
+            if !suppressed(class, scanned, "C1", line) {
+                push(out, class, "C1", line, message);
+            }
+        }
+    }
+}
+
+// --- C2: lossy `as` casts in ingest parsers ------------------------------
+
+fn rule_c2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+    if !class.c2_scope {
+        return;
+    }
+    let tokens = &scanned.tokens;
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.text != "as" {
+            continue;
+        }
+        let Some(ty) = text(i + 1) else { continue };
+        if !NUMERIC_TYPES.contains(&ty) {
+            continue;
+        }
+        let line = tok.line;
+        if !suppressed(class, scanned, "C2", line) {
+            push(
+                out,
+                class,
+                "C2",
+                line,
+                format!("numeric `as {ty}` cast in an ingest parser can silently truncate; use `{ty}::try_from` and surface the error"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let rules: BTreeSet<String> = ALL_RULES.iter().map(|s| s.to_string()).collect();
+        lint_file(&classify(path), &scan(src), &rules)
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert!(classify("crates/graph/tests/prop_builder.rs").is_test);
+        assert!(classify("crates/bench/benches/perf_timing.rs").is_test);
+        assert!(classify("examples/demo.rs").is_test);
+        assert!(classify("crates/ingest/src/parser.rs").c2_scope);
+        assert!(classify("crates/ml/src/tree.rs").c1_scope);
+        assert!(!classify("crates/eval/src/report.rs").c1_scope);
+        assert!(classify("crates/bench/src/lib.rs").is_bench_crate);
+    }
+
+    #[test]
+    fn d1_flags_unsorted_iteration_and_honors_sorts() {
+        let src = "
+fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    let v: Vec<u32> = m.values().copied().collect();
+    v
+}
+fn g(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.values().copied().collect();
+    v.sort_unstable();
+    v
+}";
+        let v = run("crates/eval/src/x.rs", src);
+        // f leaks hash order into an ordered Vec; g's collect-then-sort
+        // restores a deterministic order and is exempt.
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "D1");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn d1_exempts_single_statement_sort_and_unordered_sinks() {
+        let src = "
+fn f(m: &std::collections::HashMap<u32, u32>) -> usize {
+    let total: usize = m.values().map(|&v| v as usize).sum();
+    let other: std::collections::HashSet<u32> = m.keys().copied().collect();
+    total + other.len()
+}";
+        assert!(run("crates/eval/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_flags_for_loops_over_hash_containers() {
+        let src = "
+fn f() {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u32, 2u32);
+    for (k, v) in &m {
+        println!(\"{k} {v}\");
+    }
+}";
+        let v = run("suite/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "D1");
+    }
+
+    #[test]
+    fn d2_flags_clock_and_entropy_outside_bench() {
+        let src = "
+fn f() {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let r = rand::thread_rng();
+}";
+        let v = run("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(
+            run("crates/bench/src/lib.rs", src).is_empty(),
+            "bench crate exempt"
+        );
+    }
+
+    #[test]
+    fn c1_flags_panics_only_in_scoped_lib_code() {
+        let src = "
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    if a == 0 { panic!(\"zero\"); }
+    a + b
+}";
+        let v = run("crates/graph/src/x.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(
+            run("crates/eval/src/x.rs", src).is_empty(),
+            "out of C1 scope"
+        );
+    }
+
+    #[test]
+    fn c1_skips_cfg_test_modules() {
+        let src = "
+pub fn lib(x: Option<u32>) -> Option<u32> { x }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { super::lib(Some(1)).unwrap(); }
+}";
+        assert!(run("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c2_flags_numeric_casts_in_ingest_only() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        let v = run("crates/ingest/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "C2");
+        assert!(run("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comments_suppress() {
+        let src = "
+fn f(m: &std::collections::HashMap<u32, u32>) -> usize {
+    let mut n = 0;
+    // segugio-lint: allow(D1, increment is order-insensitive)
+    for (_, v) in m { n += *v as usize; }
+    n
+}";
+        assert!(run("crates/eval/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! A lightweight Rust token scanner.
+//!
+//! The linter does not need a full parser: its rules match short token
+//! sequences (`SystemTime :: now`, `.` `unwrap` `(`, `ident : HashMap`).
+//! This scanner strips comments, string/char literals and whitespace, and
+//! yields identifier/symbol tokens tagged with their 1-based line number.
+//! It additionally extracts:
+//!
+//! - `// segugio-lint: allow(RULE, reason)` suppression comments, and
+//! - the line ranges covered by `#[cfg(test)]` / `#[test]` items, so rules
+//!   can skip unit-test code embedded in library files.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scanned token: its text and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (identifier, number, `::`, or a single symbol).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The scan result for one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedFile {
+    /// Comment- and literal-free token stream.
+    pub tokens: Vec<Token>,
+    /// `line -> rules` suppressed by an allow comment on that line.
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Inclusive line ranges belonging to `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl ScannedFile {
+    /// Whether `line` falls inside an embedded test item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Whether `rule` is suppressed at `line` (an allow comment on the
+    /// violating line itself or on the line directly above it).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.allows.get(l).is_some_and(|rules| rules.contains(rule)))
+    }
+}
+
+/// Scans Rust source text into a [`ScannedFile`].
+pub fn scan(src: &str) -> ScannedFile {
+    let bytes = src.as_bytes();
+    let mut out = ScannedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            record_allow(&src[start..i], line, &mut out.allows);
+        } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let start_line = line;
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            record_allow(&src[start..i], start_line, &mut out.allows);
+        } else if c == b'"' {
+            i = skip_string(bytes, i + 1, &mut line);
+        } else if c == b'\'' {
+            i = skip_char_or_lifetime(bytes, i);
+        } else if let Some(next) = try_skip_prefixed_string(bytes, i, &mut line) {
+            i = next;
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                text: src[start..i].to_owned(),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // Fractional / exponent part: only cross a `.` when a digit
+            // follows, so `x.0.iter()` keeps its dots as separate tokens.
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+            out.tokens.push(Token {
+                text: src[start..i].to_owned(),
+                line,
+            });
+        } else if c == b':' && bytes.get(i + 1) == Some(&b':') {
+            out.tokens.push(Token {
+                text: "::".to_owned(),
+                line,
+            });
+            i += 2;
+        } else {
+            out.tokens.push(Token {
+                text: (c as char).to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+
+    out.test_ranges = test_ranges(&out.tokens);
+    out
+}
+
+/// Skips a `"…"` body starting *after* the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a char literal (`'x'`, `'\n'`) or a lifetime (`'a`, `'static`),
+/// starting at the `'`.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize) -> usize {
+    if bytes.get(i + 1) == Some(&b'\\') {
+        // Escaped char literal: consume to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            if bytes[j] == b'\\' {
+                j += 2;
+            } else if bytes[j] == b'\'' {
+                return j + 1;
+            } else {
+                j += 1;
+            }
+        }
+        j
+    } else if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\'') {
+        i + 3 // simple char literal 'x'
+    } else {
+        // Lifetime: consume the identifier, no closing quote.
+        let mut j = i + 1;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        j
+    }
+}
+
+/// Handles raw/byte string prefixes (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`).
+/// Returns the index past the literal, or `None` if `i` is not at one.
+fn try_skip_prefixed_string(bytes: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let (raw, mut j) = match bytes[i] {
+        b'r' => (true, i + 1),
+        b'b' if bytes.get(i + 1) == Some(&b'r') => (true, i + 2),
+        b'b' => (false, i + 1),
+        _ => return None,
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'"') {
+            return None;
+        }
+        j += 1;
+        // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
+        while j < bytes.len() {
+            if bytes[j] == b'\n' {
+                *line += 1;
+                j += 1;
+            } else if bytes[j] == b'"'
+                && bytes[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes
+            {
+                return Some(j + 1 + hashes);
+            } else {
+                j += 1;
+            }
+        }
+        Some(j)
+    } else {
+        if bytes.get(j) != Some(&b'"') {
+            return None;
+        }
+        Some(skip_string(bytes, j + 1, line))
+    }
+}
+
+/// Extracts `segugio-lint: allow(RULE, reason)` directives from a comment.
+fn record_allow(comment: &str, line: u32, allows: &mut BTreeMap<u32, BTreeSet<String>>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("segugio-lint:") {
+        rest = &rest[pos + "segugio-lint:".len()..];
+        let trimmed = rest.trim_start();
+        let Some(args) = trimmed.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(end) = args.find(')') else { continue };
+        let inner = &args[..end];
+        let rule = inner.split(',').next().unwrap_or("").trim();
+        if !rule.is_empty() {
+            allows.entry(line).or_default().insert(rule.to_owned());
+        }
+    }
+}
+
+/// Finds the inclusive line ranges of items annotated `#[cfg(test)]` (with
+/// `test` anywhere in the cfg predicate) or `#[test]`.
+fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if text(i) != Some("#") || text(i + 1) != Some("[") {
+            i += 1;
+            continue;
+        }
+        let is_test_attr = if text(i + 2) == Some("test") && text(i + 3) == Some("]") {
+            true
+        } else if text(i + 2) == Some("cfg") && text(i + 3) == Some("(") {
+            // Scan the balanced cfg(...) predicate for a `test` ident.
+            let mut depth = 1usize;
+            let mut j = i + 4;
+            let mut found = false;
+            while j < tokens.len() && depth > 0 {
+                match tokens[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "test" => found = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            found
+        } else {
+            false
+        };
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip to the item body: the first `{` before any top-level `;`
+        // (a `mod foo;` or `use` item has no body to skip).
+        let mut j = i + 2;
+        while j < tokens.len() && text(j) != Some("{") && text(j) != Some(";") {
+            j += 1;
+        }
+        if text(j) == Some("{") {
+            let mut depth = 1usize;
+            j += 1;
+            while j < tokens.len() && depth > 0 {
+                match tokens[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end_line = tokens.get(j.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
+            ranges.push((start_line, end_line));
+            i = j;
+        } else {
+            i = j + 1;
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        scan(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks = texts("let x = \"HashMap\"; // HashMap\n/* HashMap */ y");
+        assert_eq!(toks, vec!["let", "x", "=", ";", "y"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_skipped() {
+        let toks = texts(r##"let s = r#"unwrap()"#; let b = b"panic"; z"##);
+        assert_eq!(toks, vec!["let", "s", "=", ";", "let", "b", "=", ";", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let toks = texts("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&"str".to_owned()));
+        assert!(toks.contains(&"char".to_owned()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let s = scan("a\nb\n\"x\ny\"\nc");
+        let c = s.tokens.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn allow_comments_are_recorded() {
+        let s = scan("foo(); // segugio-lint: allow(D1, values feed a set)\n");
+        assert!(s.is_allowed("D1", 1));
+        assert!(s.is_allowed("D1", 2), "allow covers the following line");
+        assert!(!s.is_allowed("D2", 1));
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_mod_bodies() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_all_test_is_detected() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod tests { fn t() {} }\nfn l() {}\n";
+        let s = scan(src);
+        assert!(s.is_test_line(2));
+        assert!(!s.is_test_line(3));
+    }
+
+    #[test]
+    fn bare_test_attr_is_detected() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn lib() {}\n";
+        let s = scan(src);
+        assert!(s.is_test_line(3));
+        assert!(!s.is_test_line(5));
+    }
+}

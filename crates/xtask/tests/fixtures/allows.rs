@@ -1,0 +1,18 @@
+//! Allow-comment fixture: every would-be violation carries a reason.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn histogram(m: &HashMap<u32, u32>) -> u64 {
+    let mut n = 0u64;
+    // segugio-lint: allow(D1, summation commutes so iteration order cannot matter)
+    for (_, v) in m {
+        n += u64::from(*v);
+    }
+    n
+}
+
+pub fn timed() -> f64 {
+    // segugio-lint: allow(D2, reported timing only; never feeds a result)
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,25 @@
+//! C1 fixture: panics in library code.
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn panics(x: u32) -> u32 {
+    if x == 0 {
+        panic!("zero");
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        super::unwraps(Some(1));
+        let _ = Some(2).unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+//! C2 fixture: `as` numeric casts in parser code.
+
+pub fn truncates(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn widens(n: u16) -> u64 {
+    n as u64
+}
+
+pub fn checked(n: usize) -> Option<u32> {
+    u32::try_from(n).ok()
+}

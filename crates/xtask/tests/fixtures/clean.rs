@@ -1,0 +1,20 @@
+//! Clean fixture: deterministic patterns the linter must not flag.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered(b: &BTreeMap<u32, u32>) -> Vec<u32> {
+    b.keys().copied().collect()
+}
+
+pub fn sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn membership(m: &HashMap<u32, u32>, k: u32) -> bool {
+    m.contains_key(&k)
+}
+
+pub fn fallible(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_owned())
+}

@@ -1,0 +1,25 @@
+//! D1 fixture: hash-order iteration leaking into ordered output.
+use std::collections::HashMap;
+
+pub fn leaks_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let keys: Vec<u32> = m.keys().copied().collect();
+    keys
+}
+
+pub fn loops_in_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn sorted_is_fine(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn commutative_is_fine(m: &HashMap<u32, u32>) -> usize {
+    m.values().count()
+}

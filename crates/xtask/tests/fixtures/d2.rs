@@ -1,0 +1,16 @@
+//! D2 fixture: entropy and wall-clock sources.
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn system_clock() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn entropy_seeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,201 @@
+//! Integration tests for the linter: each rule fires exactly on its
+//! fixture, the committed ratchet baseline matches the current tree, and
+//! the CLI exit codes behave end to end on an injected-violation tree.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::rules::{classify, lint_file, ALL_RULES};
+use xtask::scan::scan;
+use xtask::workspace::workspace_root;
+use xtask::{baseline, lint_tree, run_lint, LintOptions};
+
+fn all_rules() -> BTreeSet<String> {
+    ALL_RULES.iter().map(|s| s.to_string()).collect()
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints a fixture as though it lived at `as_path`, returning `(rule, line)`
+/// pairs in report order.
+fn fire(name: &str, as_path: &str) -> Vec<(&'static str, u32)> {
+    lint_file(&classify(as_path), &scan(&fixture(name)), &all_rules())
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn d1_fixture_fires_exactly() {
+    // Line 5: `m.keys()` collected into an ordered Vec with no sort.
+    // Line 11: `for … in m` observing hash order directly.
+    // The sorted and commutative functions must not fire.
+    assert_eq!(
+        fire("d1.rs", "crates/eval/src/d1.rs"),
+        vec![("D1", 5), ("D1", 11)]
+    );
+}
+
+#[test]
+fn d2_fixture_fires_exactly() {
+    assert_eq!(
+        fire("d2.rs", "crates/core/src/d2.rs"),
+        vec![("D2", 5), ("D2", 10), ("D2", 14)]
+    );
+    // The bench crate is D2-exempt: timing is its purpose.
+    assert_eq!(fire("d2.rs", "crates/bench/src/lib.rs"), vec![]);
+}
+
+#[test]
+fn c1_fixture_fires_exactly() {
+    // unwrap, expect, panic! — but never inside the #[cfg(test)] module.
+    assert_eq!(
+        fire("c1.rs", "crates/ml/src/c1.rs"),
+        vec![("C1", 4), ("C1", 8), ("C1", 13)]
+    );
+    // C1 only covers ingest/graph/core/ml library code.
+    assert_eq!(fire("c1.rs", "crates/eval/src/c1.rs"), vec![]);
+}
+
+#[test]
+fn c2_fixture_fires_exactly() {
+    assert_eq!(
+        fire("c2.rs", "crates/ingest/src/c2.rs"),
+        vec![("C2", 4), ("C2", 8)]
+    );
+    // C2 only covers ingest parsers.
+    assert_eq!(fire("c2.rs", "crates/core/src/c2.rs"), vec![]);
+}
+
+#[test]
+fn allow_comments_suppress_with_reasons() {
+    assert_eq!(fire("allows.rs", "crates/core/src/allows.rs"), vec![]);
+    // The same code without its allow comments must fire — proving the
+    // comments (not the patterns) are what suppresses.
+    let stripped: String = fixture("allows.rs")
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("// segugio-lint:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let fired = lint_file(
+        &classify("crates/core/src/allows.rs"),
+        &scan(&stripped),
+        &all_rules(),
+    );
+    let rules: Vec<&str> = fired.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec!["D1", "D2"], "{fired:?}");
+}
+
+#[test]
+fn clean_fixture_is_silent_everywhere() {
+    for path in [
+        "crates/core/src/clean.rs",
+        "crates/ingest/src/clean.rs",
+        "crates/eval/src/clean.rs",
+        "suite/clean.rs",
+    ] {
+        assert_eq!(fire("clean.rs", path), vec![], "path {path}");
+    }
+}
+
+/// The committed baseline must exactly describe the current tree: no
+/// violations beyond it (the ratchet would fail CI) and no stale entries
+/// (fixed violations must tighten the ratchet before merging).
+#[test]
+fn committed_baseline_exactly_matches_tree() {
+    let root = workspace_root();
+    let report = lint_tree(&root, &all_rules()).unwrap();
+    let path = root.join("lint-baseline.toml");
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let base = baseline::parse(&text).unwrap();
+    let ratchet = baseline::compare(&base, &report.counts);
+    assert!(
+        ratchet.grown.is_empty(),
+        "tree has violations beyond the committed baseline: {:?}",
+        ratchet.grown
+    );
+    assert!(
+        ratchet.stale.is_empty(),
+        "committed baseline is stale — run `cargo run -p xtask -- lint --update-baseline`: {:?}",
+        ratchet.stale
+    );
+}
+
+// --- end-to-end exit codes on a synthetic tree ---------------------------
+
+const CLEAN_LIB: &str = "pub fn f() -> u32 { 7 }\n";
+const ONE_VIOLATION: &str = "pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+const TWO_VIOLATIONS: &str = "pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+pub fn later() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+
+fn synthetic_tree(name: &str, lib_src: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("crates/core/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(src.join("lib.rs"), lib_src).unwrap();
+    root
+}
+
+fn opts(root: &Path) -> LintOptions {
+    LintOptions {
+        root: root.to_path_buf(),
+        ..LintOptions::default()
+    }
+}
+
+#[test]
+fn exit_codes_clean_injected_and_ratchet() {
+    let root = synthetic_tree("lint-e2e", CLEAN_LIB);
+
+    // Clean tree, no baseline file: exit 0.
+    assert_eq!(run_lint(&opts(&root)), 0);
+
+    // Injected violation with no baseline: exit 1.
+    fs::write(root.join("crates/core/src/lib.rs"), ONE_VIOLATION).unwrap();
+    assert_eq!(run_lint(&opts(&root)), 1);
+
+    // Grandfather it: --update-baseline exits 0 and the check then passes.
+    let update = LintOptions {
+        update_baseline: true,
+        ..opts(&root)
+    };
+    assert_eq!(run_lint(&update), 0);
+    assert_eq!(run_lint(&opts(&root)), 0);
+
+    // Growth past the baselined count is rejected by the ratchet.
+    fs::write(root.join("crates/core/src/lib.rs"), TWO_VIOLATIONS).unwrap();
+    assert_eq!(run_lint(&opts(&root)), 1);
+
+    // Fixing everything passes, but leaves the baseline entry stale:
+    // tolerated by default, rejected under --strict.
+    fs::write(root.join("crates/core/src/lib.rs"), CLEAN_LIB).unwrap();
+    assert_eq!(run_lint(&opts(&root)), 0);
+    let strict = LintOptions {
+        strict: true,
+        ..opts(&root)
+    };
+    assert_eq!(run_lint(&strict), 1);
+
+    // Re-baselining shrinks the file and strict mode passes again.
+    let update = LintOptions {
+        update_baseline: true,
+        ..opts(&root)
+    };
+    assert_eq!(run_lint(&update), 0);
+    assert_eq!(run_lint(&strict), 0);
+}
