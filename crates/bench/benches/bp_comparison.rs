@@ -24,7 +24,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| bp.score_unknown(&snap.graph))
     });
 
-    let model = Segugio::train(&snap, activity, &small.config);
+    let model =
+        Segugio::train(&snap, activity, &small.config).expect("training day seeds both classes");
     c.bench_function("bp/segugio_classification", |b| {
         b.iter(|| model.score_unknown(&snap, activity))
     });

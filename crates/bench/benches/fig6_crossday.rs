@@ -26,7 +26,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig6/train_classifier", |b| {
         b.iter(|| Segugio::train(&train_snap, activity, &scale.config))
     });
-    let model = Segugio::train(&train_snap, activity, &scale.config);
+    let model = Segugio::train(&train_snap, activity, &scale.config)
+        .expect("training day seeds both classes");
     c.bench_function("fig6/classify_all_unknown", |b| {
         b.iter(|| model.score_unknown(&test_snap, activity))
     });

@@ -1,0 +1,334 @@
+//! Incremental cross-day engine vs the from-scratch path: per-day,
+//! per-phase timings over 8-day 10k-machine deployments. Prints the JSON
+//! recorded in `BENCH_incremental.json`.
+//!
+//! Three phases are timed independently for each path:
+//! - **snapshot_build** — the full day snapshot (graph + labeling +
+//!   pruning + abuse index): [`DaySnapshot::build`] vs
+//!   [`IncrementalEngine::build_snapshot`];
+//! - **abuse_index** — the IP-abuse component alone: a from-scratch
+//!   [`AbuseIndex::build`] over the `W`-day window vs a
+//!   [`RollingAbuseIndex`] advance (evict one day, ingest one day);
+//! - **features** — measuring every domain's 11-feature vector:
+//!   [`build_training_set`] plus per-unknown measurement vs
+//!   [`IncrementalEngine::measure_day`] with its dirty-set cache.
+//!
+//! Two traffic regimes are measured: the generator's default deployment
+//! (every machine redraws much of its daily query set, ~58% of distinct
+//! edges are new each day — an adversarially churny upper bound) and a
+//! low-churn replay in which each day keeps 90% of the previous day's
+//! edges (the regime large ISP access networks actually sit in, where the
+//! dirty-set feature cache pays off).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_core::{
+    build_training_set, DaySnapshot, FeatureExtractor, IncrementalEngine, SegugioConfig,
+    SnapshotInput,
+};
+use segugio_model::Label;
+use segugio_pdns::{AbuseIndex, RollingAbuseIndex};
+use segugio_traffic::{DayTraffic, IspConfig, IspNetwork};
+
+const MACHINES: usize = 10_000;
+const DAYS: usize = 8;
+const RUNS: usize = 3;
+
+fn secs<F: FnOnce()>(f: F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+#[derive(Clone, Copy, Default)]
+struct Phases {
+    snapshot: f64,
+    abuse: f64,
+    features: f64,
+}
+
+impl Phases {
+    fn total(&self) -> f64 {
+        self.snapshot + self.abuse + self.features
+    }
+}
+
+struct Pass {
+    scratch: Vec<Phases>,
+    incremental: Vec<Phases>,
+    /// Per-day feature-cache hit counts and domain totals.
+    cache_hits: Vec<(usize, usize)>,
+}
+
+/// One full deployment pass over `days`, timing each phase of each day for
+/// both paths. The two paths run over identical inputs in the same pass so
+/// their day-by-day numbers are directly comparable.
+fn deployment_pass(
+    isp: &IspNetwork,
+    days: &[DayTraffic],
+    config: &SegugioConfig,
+    check: bool,
+) -> Pass {
+    let mut engine = IncrementalEngine::new();
+    let mut rolling = RollingAbuseIndex::default();
+    let mut pass = Pass {
+        scratch: Vec::with_capacity(days.len()),
+        incremental: Vec::with_capacity(days.len()),
+        cache_hits: Vec::with_capacity(days.len()),
+    };
+    for traffic in days {
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: isp.commercial_blacklist(),
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let window = traffic
+            .day
+            .lookback_exclusive(config.features.abuse_window_days);
+
+        // --- from scratch ---
+        let mut s = Phases::default();
+        let mut scratch_snap: Option<DaySnapshot> = None;
+        s.snapshot = secs(|| scratch_snap = Some(DaySnapshot::build(&input, config)));
+        let scratch_snap = scratch_snap.expect("timed closure ran");
+        s.abuse = secs(|| {
+            std::hint::black_box(AbuseIndex::build(input.pdns, window, |d| {
+                input.seed_label(d)
+            }));
+        });
+        s.features = secs(|| {
+            let (train, _ids) = build_training_set(&scratch_snap, isp.activity(), config);
+            let extractor = FeatureExtractor::new(
+                &scratch_snap.graph,
+                isp.activity(),
+                &scratch_snap.abuse,
+                config.features,
+            );
+            let unknown_rows: Vec<_> = scratch_snap
+                .graph
+                .domain_indices()
+                .filter(|&d| scratch_snap.graph.domain_label(d) == Label::Unknown)
+                .map(|d| extractor.measure(d))
+                .collect();
+            std::hint::black_box((train.len(), unknown_rows.len()));
+        });
+        pass.scratch.push(s);
+
+        // --- incremental ---
+        let mut i = Phases::default();
+        let mut inc_snap: Option<DaySnapshot> = None;
+        i.snapshot = secs(|| inc_snap = Some(engine.build_snapshot(&input, config)));
+        let inc_snap = inc_snap.expect("timed closure ran");
+        i.abuse = secs(|| {
+            std::hint::black_box(rolling.advance(input.pdns, window, |d| input.seed_label(d)));
+        });
+        let mut features = None;
+        i.features = secs(|| {
+            features = Some(engine.measure_day(&inc_snap, isp.activity(), config));
+        });
+        pass.incremental.push(i);
+        let features = features.expect("timed closure ran");
+        pass.cache_hits
+            .push((features.reused, inc_snap.graph.domain_count()));
+
+        if check {
+            // Cheap parity spot-checks; the exhaustive bit-for-bit contract
+            // lives in tests/incremental_parity.rs.
+            assert_eq!(inc_snap.prune_stats, scratch_snap.prune_stats);
+            assert_eq!(inc_snap.abuse, scratch_snap.abuse);
+            let (scratch_train, scratch_ids) =
+                build_training_set(&scratch_snap, isp.activity(), config);
+            assert_eq!(features.train.len(), scratch_train.len());
+            assert_eq!(features.train_ids, scratch_ids);
+        }
+    }
+    pass
+}
+
+/// Fraction of each day's distinct query edges that were not present the
+/// previous day.
+fn new_edge_fraction(days: &[DayTraffic]) -> Vec<f64> {
+    let mut prev: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out = Vec::with_capacity(days.len());
+    for traffic in days {
+        let today: BTreeSet<(u32, u32)> =
+            traffic.queries.iter().map(|&(m, d)| (m.0, d.0)).collect();
+        let added = today.difference(&prev).count();
+        out.push(if today.is_empty() {
+            0.0
+        } else {
+            added as f64 / today.len() as f64
+        });
+        prev = today;
+    }
+    out
+}
+
+/// Builds a low-churn replay of `real`: day 0 is kept verbatim; each later
+/// day keeps ~90% of the previous day's distinct edges (a rotating tenth is
+/// dropped) and backfills the same count from edges the real later days
+/// introduced, so every referenced domain exists in the generator's tables.
+fn low_churn_days(real: &[DayTraffic]) -> Vec<DayTraffic> {
+    let base_edges: BTreeSet<(u32, u32)> =
+        real[0].queries.iter().map(|&(m, d)| (m.0, d.0)).collect();
+    let mut pool: Vec<(u32, u32)> = {
+        let mut seen = base_edges.clone();
+        let mut p = Vec::new();
+        for traffic in &real[1..] {
+            for &(m, d) in &traffic.queries {
+                if seen.insert((m.0, d.0)) {
+                    p.push((m.0, d.0));
+                }
+            }
+        }
+        p
+    };
+    pool.reverse(); // pop() hands edges out in first-seen order
+
+    let mut days = vec![real[0].clone()];
+    let mut prev: Vec<(u32, u32)> = base_edges.into_iter().collect();
+    for (t, traffic) in real.iter().enumerate().skip(1) {
+        let mut today: Vec<(u32, u32)> = Vec::with_capacity(prev.len());
+        let mut dropped = 0usize;
+        for (i, &e) in prev.iter().enumerate() {
+            if i % 10 == t % 10 {
+                dropped += 1;
+            } else {
+                today.push(e);
+            }
+        }
+        for _ in 0..dropped {
+            if let Some(e) = pool.pop() {
+                today.push(e);
+            }
+        }
+        today.sort_unstable();
+        days.push(DayTraffic {
+            day: traffic.day,
+            queries: today
+                .iter()
+                .map(|&(m, d)| (segugio_model::MachineId(m), segugio_model::DomainId(d)))
+                .collect(),
+            resolutions: traffic.resolutions.clone(),
+        });
+        prev = today;
+    }
+    days
+}
+
+fn median_phases(samples: &[&Vec<Phases>], day: usize, pick: fn(&Phases) -> f64) -> f64 {
+    let mut v: Vec<f64> = samples.iter().map(|run| pick(&run[day])).collect();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Runs `RUNS` passes over `days` and prints one JSON section of per-day
+/// medians. Returns the per-day `(scratch_total, incremental_total)` pairs.
+fn report_regime(
+    isp: &IspNetwork,
+    days: &[DayTraffic],
+    config: &SegugioConfig,
+    key: &str,
+) -> Vec<(f64, f64)> {
+    let churn = new_edge_fraction(days);
+    let mut passes = Vec::with_capacity(RUNS);
+    for run in 0..RUNS {
+        passes.push(deployment_pass(isp, days, config, run == 0));
+    }
+    let scratch_runs: Vec<&Vec<Phases>> = passes.iter().map(|p| &p.scratch).collect();
+    let inc_runs: Vec<&Vec<Phases>> = passes.iter().map(|p| &p.incremental).collect();
+
+    println!("  \"{key}\": [");
+    let mut totals = Vec::with_capacity(days.len());
+    for day in 0..days.len() {
+        let s = Phases {
+            snapshot: median_phases(&scratch_runs, day, |p| p.snapshot),
+            abuse: median_phases(&scratch_runs, day, |p| p.abuse),
+            features: median_phases(&scratch_runs, day, |p| p.features),
+        };
+        let i = Phases {
+            snapshot: median_phases(&inc_runs, day, |p| p.snapshot),
+            abuse: median_phases(&inc_runs, day, |p| p.abuse),
+            features: median_phases(&inc_runs, day, |p| p.features),
+        };
+        let (hits, domains) = passes[0].cache_hits[day];
+        totals.push((s.total(), i.total()));
+        let comma = if day + 1 == days.len() { "" } else { "," };
+        println!(
+            "    {{\"day\": {}, \"new_edge_fraction\": {:.3}, \"cache_hits\": {hits}, \"domains\": {domains}, \
+             \"scratch_s\": {{\"snapshot_build\": {:.4}, \"abuse_index\": {:.4}, \"features\": {:.4}}}, \
+             \"incremental_s\": {{\"snapshot_build\": {:.4}, \"abuse_index\": {:.4}, \"features\": {:.4}}}, \
+             \"day_speedup\": {:.2}}}{comma}",
+            days[day].day.0,
+            churn[day],
+            s.snapshot,
+            s.abuse,
+            s.features,
+            i.snapshot,
+            i.abuse,
+            i.features,
+            s.total() / i.total(),
+        );
+    }
+    println!("  ],");
+    totals
+}
+
+fn bench(_c: &mut Criterion) {
+    let cfg = IspConfig {
+        name: format!("incremental-{MACHINES}"),
+        machines: MACHINES,
+        ..IspConfig::small(77)
+    };
+    let mut isp = IspNetwork::new(cfg);
+    isp.warm_up(20);
+    let real: Vec<DayTraffic> = (0..DAYS).map(|_| isp.next_day()).collect();
+    let quiet = low_churn_days(&real);
+    let config = SegugioConfig::default();
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("{{");
+    println!("  \"host_threads\": {threads},");
+    println!("  \"machines\": {MACHINES},");
+    println!("  \"days\": {DAYS},");
+    println!("  \"runs\": {RUNS},");
+    let default_totals = report_regime(&isp, &real, &config, "default_traffic");
+    let quiet_totals = report_regime(&isp, &quiet, &config, "low_churn_traffic");
+
+    let sum = |v: &[(f64, f64)]| -> (f64, f64) {
+        v.iter()
+            .skip(1) // day 0 has no prior state to reuse
+            .fold((0.0, 0.0), |(a, b), &(s, i)| (a + s, b + i))
+    };
+    let (ds, di) = sum(&default_totals);
+    let (qs, qi) = sum(&quiet_totals);
+    println!(
+        "  \"warm_day_pipeline_speedup\": {{\"default_traffic\": {:.2}, \"low_churn_traffic\": {:.2}}}",
+        ds / di,
+        qs / qi
+    );
+    println!("}}");
+
+    // The headline claim: on warm low-churn days the incremental path is
+    // strictly faster, phase totals included.
+    for (day, &(s, i)) in quiet_totals.iter().enumerate().skip(1) {
+        assert!(
+            i < s,
+            "low-churn day {day}: incremental {i:.4}s not faster than scratch {s:.4}s"
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

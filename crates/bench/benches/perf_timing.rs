@@ -33,9 +33,9 @@ fn phase_times(scenario: &Scenario, config: &SegugioConfig, runs: usize) -> (f64
     });
     let snap = scenario.snapshot_commercial(20, config);
     let train = median_secs(runs, || {
-        std::hint::black_box(Segugio::train(&snap, activity, config));
+        std::hint::black_box(Segugio::train(&snap, activity, config).is_ok());
     });
-    let model = Segugio::train(&snap, activity, config);
+    let model = Segugio::train(&snap, activity, config).expect("training day seeds both classes");
     let score = median_secs(runs, || {
         std::hint::black_box(model.score_unknown(&snap, activity));
     });
@@ -101,7 +101,8 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("train", machines), &machines, |b, _| {
             b.iter(|| Segugio::train(&snap, activity, &scale.config))
         });
-        let model = Segugio::train(&snap, activity, &scale.config);
+        let model = Segugio::train(&snap, activity, &scale.config)
+            .expect("training day seeds both classes");
         group.bench_with_input(BenchmarkId::new("classify", machines), &machines, |b, _| {
             b.iter(|| model.score_unknown(&snap, activity))
         });

@@ -24,7 +24,7 @@ impl Default for ClassifierKind {
 }
 
 /// Everything Segugio needs to build snapshots, train and detect.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegugioConfig {
     /// Feature-measurement windows.
     pub features: FeatureConfig,
@@ -45,6 +45,28 @@ pub struct SegugioConfig {
     /// uses every available core; `Some(1)` forces the exact serial path.
     /// Output is bit-for-bit identical at every setting.
     pub parallelism: Option<usize>,
+    /// Whether multi-day drivers ([`Tracker`](crate::Tracker)) carry state
+    /// from day to day — delta-built graphs, a rolling abuse index, and a
+    /// dirty-set feature cache — instead of rebuilding everything from
+    /// scratch each morning. Outputs are bit-for-bit identical either way;
+    /// the knob only trades memory for time. One-shot snapshot building
+    /// ([`DaySnapshot::build`](crate::DaySnapshot::build)) has no previous
+    /// day and ignores it.
+    pub incremental: bool,
+}
+
+impl Default for SegugioConfig {
+    fn default() -> Self {
+        SegugioConfig {
+            features: FeatureConfig::default(),
+            prune: PruneConfig::default(),
+            classifier: ClassifierKind::default(),
+            feature_columns: None,
+            probe_filter: None,
+            parallelism: None,
+            incremental: true,
+        }
+    }
 }
 
 impl SegugioConfig {
@@ -74,6 +96,7 @@ mod tests {
         let c = SegugioConfig::default();
         assert!(matches!(c.classifier, ClassifierKind::Forest(_)));
         assert!(c.feature_columns.is_none());
+        assert!(c.incremental, "multi-day drivers reuse state by default");
     }
 
     #[test]

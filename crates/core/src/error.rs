@@ -1,0 +1,93 @@
+//! Typed errors for training and multi-day tracking.
+//!
+//! A day without both known-malware and known-benign domains has nothing to
+//! learn from. Earlier versions of the pipeline panicked on such days; the
+//! typed variants here let a deployment skip the day (keeping its tracker
+//! state intact) instead of crashing.
+
+use std::fmt;
+
+use segugio_model::Day;
+
+/// Why a model could not be trained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training set lacks positive or negative rows.
+    InsufficientSeeds {
+        /// Known-malware rows available.
+        malware: usize,
+        /// Known-benign rows available.
+        benign: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InsufficientSeeds { malware, benign } => write!(
+                f,
+                "training set needs both classes: {malware} malware and {benign} benign rows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Why a tracking day could not be processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackerError {
+    /// The day's graph lacks known-malware or known-benign seed domains, so
+    /// no model can be trained. Tracker state (flags, confirmations, day
+    /// count) is left exactly as it was before the call.
+    InsufficientSeeds {
+        /// The day that could not be processed.
+        day: Day,
+        /// Known-malware domains in the day's pruned graph.
+        malware: usize,
+        /// Known-benign domains in the day's pruned graph.
+        benign: usize,
+    },
+}
+
+impl fmt::Display for TrackerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackerError::InsufficientSeeds {
+                day,
+                malware,
+                benign,
+            } => write!(
+                f,
+                "day {day}: cannot train with {malware} malware and {benign} benign seed domains"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrackerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_counts() {
+        let t = TrainError::InsufficientSeeds {
+            malware: 0,
+            benign: 7,
+        };
+        let msg = t.to_string();
+        assert!(msg.contains("0 malware"));
+        assert!(msg.contains("7 benign"));
+
+        let t = TrackerError::InsufficientSeeds {
+            day: Day(12),
+            malware: 3,
+            benign: 0,
+        };
+        let msg = t.to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.contains("0 benign"));
+    }
+}

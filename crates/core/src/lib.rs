@@ -41,7 +41,8 @@
 //!     hidden: None,
 //! };
 //! let snapshot = Segugio::build_snapshot(&input, &config);
-//! let model = Segugio::train(&snapshot, isp.activity(), &config);
+//! let model = Segugio::train(&snapshot, isp.activity(), &config)
+//!     .expect("the warmed-up fixture seeds both classes");
 //!
 //! // Detect on the next day.
 //! let test_day = isp.next_day();
@@ -62,7 +63,9 @@
 
 #![warn(missing_docs)]
 pub mod config;
+pub mod error;
 pub mod features;
+pub mod incremental;
 pub mod model;
 pub mod parallel;
 pub mod snapshot;
@@ -70,7 +73,9 @@ pub mod tracker;
 pub mod trainer;
 
 pub use config::{ClassifierKind, SegugioConfig};
+pub use error::{TrackerError, TrainError};
 pub use features::{FeatureConfig, FeatureExtractor, FeatureGroup, FEATURE_COUNT, FEATURE_NAMES};
+pub use incremental::{DayFeatures, IncrementalEngine};
 pub use model::{Detection, Detector, SegugioModel};
 pub use snapshot::{DaySnapshot, SnapshotInput};
 pub use tracker::{DayReport, Tracker, TrackerConfig};

@@ -233,6 +233,29 @@ impl SegugioModel {
         out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
         out
     }
+
+    /// Scores pre-measured feature rows and returns detections sorted
+    /// exactly like [`score_where`](Self::score_where) (descending score,
+    /// domain id as the tie-break).
+    ///
+    /// The incremental engine measures rows itself — reusing cached columns
+    /// for unchanged domains — and hands them here; with identical rows the
+    /// result is bit-for-bit what `score_where` would produce.
+    pub fn score_rows(&self, ids: &[DomainId], rows: &[[f32; FEATURE_COUNT]]) -> Vec<Detection> {
+        debug_assert_eq!(ids.len(), rows.len());
+        let n = ids.len().min(rows.len());
+        let threads = crate::parallel::resolve_parallelism(self.parallelism);
+        let scores =
+            crate::parallel::parallel_map_indexed(n, threads, |i| self.score_features(&rows[i]));
+        let mut out: Vec<Detection> = ids
+            .iter()
+            .take(n)
+            .zip(scores)
+            .map(|(&domain, score)| Detection { domain, score })
+            .collect();
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
+        out
+    }
 }
 
 /// A model plus an operating threshold: the deployed detector.
@@ -397,7 +420,7 @@ mod tests {
     #[test]
     fn detector_finds_fresh_control_domain() {
         let (snap, activity, config, unknown_mal) = fixture();
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let detections = model.score_unknown(&snap, &activity);
         assert!(!detections.is_empty());
         // The fresh C&C domain must be the top-scored unknown domain.
@@ -408,7 +431,7 @@ mod tests {
     #[test]
     fn detector_threshold_filters() {
         let (snap, activity, config, unknown_mal) = fixture();
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let det = Detector::new(model, 0.5);
         let hits = det.detect(&snap, &activity);
         assert!(hits.iter().any(|d| d.domain == unknown_mal));
@@ -418,7 +441,7 @@ mod tests {
     #[test]
     fn implied_infections_cover_the_cluster() {
         let (snap, activity, config, unknown_mal) = fixture();
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let det = Detector::new(model, 0.5);
         let hits: Vec<Detection> = det
             .detect(&snap, &activity)
@@ -433,7 +456,7 @@ mod tests {
     #[test]
     fn model_persistence_round_trip() {
         let (snap, activity, config, _) = fixture();
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let text = model.save_to_string();
         let loaded = SegugioModel::load_from_str(&text).unwrap();
         assert_eq!(loaded.columns(), model.columns());
@@ -457,7 +480,7 @@ bogus"
     #[test]
     fn detections_are_sorted_desc() {
         let (snap, activity, config, _) = fixture();
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let detections = model.score_unknown(&snap, &activity);
         for w in detections.windows(2) {
             assert!(w[0].score >= w[1].score);

@@ -81,67 +81,86 @@ impl DaySnapshot {
     /// Builds the snapshot: graph construction, annotation, labeling,
     /// pruning, and the abuse index.
     pub fn build(input: &SnapshotInput<'_>, config: &SegugioConfig) -> Self {
-        // 1. Graph construction + annotations.
-        let mut builder = GraphBuilder::new(input.day);
-        builder.set_parallelism(config.effective_parallelism());
-        builder.add_queries(input.queries.iter().copied());
-        for (d, ips) in input.resolutions {
-            builder.set_e2ld(*d, input.table.e2ld_of(*d));
-            for &ip in ips {
-                builder.add_resolution(*d, ip);
-            }
-        }
-        // Domains that appear in queries but not in resolutions still need
-        // their e2LD annotation.
-        for &(_, d) in input.queries {
-            builder.set_e2ld(d, input.table.e2ld_of(d));
-        }
-        let mut graph = builder.build();
-
-        // 2. Labeling (with hidden-set override).
-        apply_labels_with(&mut graph, |id, e2ld| {
-            if input.hidden.is_some_and(|h| h.contains(&id)) {
-                Label::Unknown
-            } else if input.blacklist.contains_as_of(id, input.day) {
-                Label::Malware
-            } else if input.whitelist.contains(e2ld) {
-                Label::Benign
-            } else {
-                Label::Unknown
-            }
-        });
-        let unpruned_counts = (
-            graph.machine_count(),
-            graph.domain_count(),
-            graph.edge_count(),
-        );
-        let unpruned_domain_labels = graph.domain_label_counts();
-        let unpruned_machine_labels = graph.machine_label_counts();
-
-        // 2b. Optional anti-scanner filter (Section VI heuristic).
-        let graph = match config.probe_filter {
-            Some(max_degree) => graph.without_probing_machines(max_degree).0,
-            None => graph,
-        };
-
-        // 3. Pruning.
-        let (graph, prune_stats) = graph.prune(&config.prune);
-
-        // 4. IP-abuse index over the W days preceding the snapshot day,
-        //    labeled with the same (hidden-aware) seed labels.
+        let graph = build_unpruned_graph(input, config);
+        // IP-abuse index over the W days preceding the snapshot day,
+        // labeled with the same (hidden-aware) seed labels.
         let window = input
             .day
             .lookback_exclusive(config.features.abuse_window_days);
         let abuse = AbuseIndex::build(input.pdns, window, |d| input.seed_label(d));
+        finish_snapshot(graph, abuse, input, config)
+    }
+}
 
-        DaySnapshot {
-            graph,
-            abuse,
-            prune_stats,
-            unpruned_counts,
-            unpruned_domain_labels,
-            unpruned_machine_labels,
+/// Builds the day's *unpruned, unlabeled* graph with its annotations — the
+/// part of [`DaySnapshot::build`] that the incremental engine replaces with
+/// a [`DeltaBuilder`](segugio_graph::DeltaBuilder) advance.
+pub(crate) fn build_unpruned_graph(
+    input: &SnapshotInput<'_>,
+    config: &SegugioConfig,
+) -> BehaviorGraph {
+    let mut builder = GraphBuilder::new(input.day);
+    builder.set_parallelism(config.effective_parallelism());
+    builder.add_queries(input.queries.iter().copied());
+    for (d, ips) in input.resolutions {
+        builder.set_e2ld(*d, input.table.e2ld_of(*d));
+        for &ip in ips {
+            builder.add_resolution(*d, ip);
         }
+    }
+    // Domains that appear in queries but not in resolutions still need
+    // their e2LD annotation.
+    for &(_, d) in input.queries {
+        builder.set_e2ld(d, input.table.e2ld_of(d));
+    }
+    builder.build()
+}
+
+/// Labels, filters and prunes an unpruned day graph into a [`DaySnapshot`]
+/// around an already-built abuse index. Shared verbatim by the from-scratch
+/// and incremental paths so their snapshots are bit-for-bit identical.
+pub(crate) fn finish_snapshot(
+    mut graph: BehaviorGraph,
+    abuse: AbuseIndex,
+    input: &SnapshotInput<'_>,
+    config: &SegugioConfig,
+) -> DaySnapshot {
+    // Labeling (with hidden-set override).
+    apply_labels_with(&mut graph, |id, e2ld| {
+        if input.hidden.is_some_and(|h| h.contains(&id)) {
+            Label::Unknown
+        } else if input.blacklist.contains_as_of(id, input.day) {
+            Label::Malware
+        } else if input.whitelist.contains(e2ld) {
+            Label::Benign
+        } else {
+            Label::Unknown
+        }
+    });
+    let unpruned_counts = (
+        graph.machine_count(),
+        graph.domain_count(),
+        graph.edge_count(),
+    );
+    let unpruned_domain_labels = graph.domain_label_counts();
+    let unpruned_machine_labels = graph.machine_label_counts();
+
+    // Optional anti-scanner filter (Section VI heuristic).
+    let graph = match config.probe_filter {
+        Some(max_degree) => graph.without_probing_machines(max_degree).0,
+        None => graph,
+    };
+
+    // Pruning.
+    let (graph, prune_stats) = graph.prune(&config.prune);
+
+    DaySnapshot {
+        graph,
+        abuse,
+        prune_stats,
+        unpruned_counts,
+        unpruned_domain_labels,
+        unpruned_machine_labels,
     }
 }
 

@@ -5,6 +5,12 @@
 //! threshold, report new detections, and record when the blacklist later
 //! confirms them. [`Tracker`] packages that loop (the `isp_deployment`
 //! example and the Fig. 11 experiment are both instances of it).
+//!
+//! With [`SegugioConfig::incremental`] on (the default), consecutive days
+//! are processed through the [`IncrementalEngine`]: the behavior graph is
+//! delta-built from yesterday's, the abuse index rolls its window forward
+//! by one day, and unchanged domains reuse yesterday's feature rows. The
+//! reports are bit-for-bit identical to the from-scratch path either way.
 
 use std::collections::BTreeMap;
 
@@ -13,7 +19,10 @@ use segugio_model::{Day, DomainId, MachineId};
 use segugio_pdns::ActivityStore;
 
 use crate::config::SegugioConfig;
+use crate::error::{TrackerError, TrainError};
+use crate::incremental::IncrementalEngine;
 use crate::model::Detection;
+use crate::parallel::parallel_map_indexed;
 use crate::snapshot::{DaySnapshot, SnapshotInput};
 use crate::trainer::{build_training_set, Segugio};
 
@@ -37,7 +46,7 @@ impl Default for TrackerConfig {
 }
 
 /// One day's tracking outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DayReport {
     /// The processed day.
     pub day: Day,
@@ -67,6 +76,9 @@ pub struct Tracker {
     /// Confirmed detections: domain → (flagged day, confirmed day).
     confirmed: BTreeMap<DomainId, (Day, Day)>,
     days_processed: usize,
+    /// Cross-day incremental state; only advanced when
+    /// [`SegugioConfig::incremental`] is set.
+    engine: IncrementalEngine,
 }
 
 impl Tracker {
@@ -93,19 +105,46 @@ impl Tracker {
 
     /// Processes one day of traffic.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the day's graph has no known malware or benign domains to
-    /// train on (same condition as [`Segugio::train`]).
+    /// Returns [`TrackerError::InsufficientSeeds`] if the day's graph has
+    /// no known malware or no known benign domains to train on. The
+    /// tracker's flag/confirmation state and day counter are left exactly
+    /// as they were; the caller can skip the day and continue.
     pub fn process_day(
         &mut self,
         input: &SnapshotInput<'_>,
         activity: &ActivityStore,
         config: &TrackerConfig,
-    ) -> DayReport {
+    ) -> Result<DayReport, TrackerError> {
         let day = input.day;
+        let incremental = config.segugio.incremental;
 
-        // 1. Reconcile: blacklist confirmations of earlier flags.
+        // 1. Build today's snapshot. The incremental engine advances its
+        //    delta graph and rolling abuse window; the scratch path leaves
+        //    the engine untouched (its next advance simply covers a larger
+        //    step, which both layers handle).
+        let snapshot = if incremental {
+            self.engine.build_snapshot(input, &config.segugio)
+        } else {
+            DaySnapshot::build(input, &config.segugio)
+        };
+
+        // 2. Seed check *before* mutating any tracker state, so a
+        //    no-training-data day is fully skippable.
+        let (malware, benign, _) = snapshot.graph.domain_label_counts();
+        if malware == 0 || benign == 0 {
+            // A snapshot was built but its features will not be measured;
+            // the engine's feature cache would diff against the wrong day.
+            self.engine.reset_cache();
+            return Err(TrackerError::InsufficientSeeds {
+                day,
+                malware,
+                benign,
+            });
+        }
+
+        // 3. Reconcile: blacklist confirmations of earlier flags.
         let mut confirmed_today = Vec::new();
         self.flagged.retain(|&domain, &mut flagged_on| {
             if input.blacklist.contains_as_of(domain, day) {
@@ -118,22 +157,42 @@ impl Tracker {
         });
         confirmed_today.sort_by_key(|&(d, _)| d);
 
-        // 2. Train on today's knowledge and calibrate the threshold on the
-        //    known domains' hidden-label scores. The training set is
-        //    extracted once and used for both training and calibration —
-        //    feature measurement is the expensive half of the day.
-        let snapshot = DaySnapshot::build(input, &config.segugio);
-        let (train_set, _) = build_training_set(&snapshot, activity, &config.segugio);
-        let model = Segugio::train_prepared(&train_set, &config.segugio);
-        let scores: Vec<f32> = (0..train_set.len())
-            .map(|i| model.score_features(train_set.row(i)))
-            .collect();
-        let roc = RocCurve::from_scores(&scores, train_set.labels());
-        let threshold = roc.threshold_for_fpr(config.target_fpr);
+        // 4. Measure features, train on today's knowledge, and calibrate
+        //    the threshold on the known domains' hidden-label scores. The
+        //    training set is extracted once and used for both training and
+        //    calibration — feature measurement is the expensive half of
+        //    the day. The incremental path measures every domain in one
+        //    pass (reusing yesterday's clean rows) so the unknowns' rows
+        //    are already in hand when scoring.
+        let map_train_err =
+            |TrainError::InsufficientSeeds { malware, benign }| TrackerError::InsufficientSeeds {
+                day,
+                malware,
+                benign,
+            };
+        let (model, threshold, scored) = if incremental {
+            let features = self
+                .engine
+                .measure_day(&snapshot, activity, &config.segugio);
+            let model =
+                Segugio::train_prepared(&features.train, &config.segugio).map_err(map_train_err)?;
+            let threshold = Self::calibrate(&model, &features.train, config);
+            let scored = model.score_rows(&features.unknown_ids, &features.unknown_rows);
+            (model, threshold, Some(scored))
+        } else {
+            let (train_set, _) = build_training_set(&snapshot, activity, &config.segugio);
+            let model =
+                Segugio::train_prepared(&train_set, &config.segugio).map_err(map_train_err)?;
+            let threshold = Self::calibrate(&model, &train_set, config);
+            (model, threshold, None)
+        };
 
-        // 3. Detect.
-        let all_detections: Vec<Detection> = model
-            .score_unknown(&snapshot, activity)
+        // 5. Detect.
+        let scored = match scored {
+            Some(scored) => scored,
+            None => model.score_unknown(&snapshot, activity),
+        };
+        let all_detections: Vec<Detection> = scored
             .into_iter()
             .filter(|d| d.score >= threshold)
             .collect();
@@ -146,7 +205,7 @@ impl Tracker {
             }
         }
 
-        // 4. Implicated machines.
+        // 6. Implicated machines.
         let mut implicated = Vec::new();
         for det in &all_detections {
             if let Some(idx) = snapshot.graph.domain_idx(det.domain) {
@@ -162,14 +221,30 @@ impl Tracker {
         implicated.dedup();
 
         self.days_processed += 1;
-        DayReport {
+        Ok(DayReport {
             day,
             new_detections,
             all_detections,
             implicated_machines: implicated,
             confirmed: confirmed_today,
             threshold,
-        }
+        })
+    }
+
+    /// Scores the training rows under the trained model and picks the
+    /// threshold hitting the target FPR on their hidden-label scores.
+    fn calibrate(
+        model: &crate::model::SegugioModel,
+        train_set: &segugio_ml::Dataset,
+        config: &TrackerConfig,
+    ) -> f32 {
+        let scores = parallel_map_indexed(
+            train_set.len(),
+            config.segugio.effective_parallelism(),
+            |i| model.score_features(train_set.row(i)),
+        );
+        let roc = RocCurve::from_scores(&scores, train_set.labels());
+        roc.threshold_for_fpr(config.target_fpr)
     }
 }
 
@@ -202,7 +277,9 @@ mod tests {
                 whitelist: isp.whitelist(),
                 hidden: None,
             };
-            let report = tracker.process_day(&input, isp.activity(), &config);
+            let report = tracker
+                .process_day(&input, isp.activity(), &config)
+                .expect("warmed-up fixture seeds both classes");
             assert_eq!(report.day, traffic.day);
             total_new += report.new_detections.len();
             total_confirmed += report.confirmed.len();
@@ -251,7 +328,9 @@ mod tests {
                 whitelist: isp.whitelist(),
                 hidden: None,
             };
-            let report = tracker.process_day(&input, isp.activity(), &config);
+            let report = tracker
+                .process_day(&input, isp.activity(), &config)
+                .expect("warmed-up fixture seeds both classes");
             for det in &report.new_detections {
                 assert!(
                     seen_new.insert(det.domain),
@@ -260,5 +339,98 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The incremental and from-scratch paths must produce identical
+    /// reports, day after day, on identical traffic.
+    #[test]
+    fn incremental_and_scratch_reports_match() {
+        // Two networks with the same seed generate identical traffic.
+        let mut isp_a = IspNetwork::new(IspConfig::tiny(55));
+        let mut isp_b = IspNetwork::new(IspConfig::tiny(55));
+        isp_a.warm_up(16);
+        isp_b.warm_up(16);
+        let mut fast = Tracker::new();
+        let mut slow = Tracker::new();
+        let fast_config = TrackerConfig {
+            target_fpr: 0.02,
+            ..TrackerConfig::default()
+        };
+        let mut slow_config = fast_config.clone();
+        slow_config.segugio.incremental = false;
+        assert!(
+            fast_config.segugio.incremental,
+            "incremental is the default"
+        );
+
+        for _ in 0..5 {
+            let ta = isp_a.next_day();
+            let tb = isp_b.next_day();
+            let ia = SnapshotInput {
+                day: ta.day,
+                queries: &ta.queries,
+                resolutions: &ta.resolutions,
+                table: isp_a.table(),
+                pdns: isp_a.pdns(),
+                blacklist: isp_a.commercial_blacklist(),
+                whitelist: isp_a.whitelist(),
+                hidden: None,
+            };
+            let ib = SnapshotInput {
+                day: tb.day,
+                queries: &tb.queries,
+                resolutions: &tb.resolutions,
+                table: isp_b.table(),
+                pdns: isp_b.pdns(),
+                blacklist: isp_b.commercial_blacklist(),
+                whitelist: isp_b.whitelist(),
+                hidden: None,
+            };
+            let ra = fast
+                .process_day(&ia, isp_a.activity(), &fast_config)
+                .expect("seeds present");
+            let rb = slow
+                .process_day(&ib, isp_b.activity(), &slow_config)
+                .expect("seeds present");
+            assert_eq!(ra, rb, "day {} reports diverged", ta.day);
+        }
+    }
+
+    /// A day without both seed classes is a typed, skippable error that
+    /// leaves the tracker untouched.
+    #[test]
+    fn seedless_day_is_a_typed_error() {
+        use segugio_model::{Blacklist, DomainTable, Whitelist};
+        use segugio_pdns::PassiveDns;
+
+        let table = DomainTable::new();
+        let blacklist = Blacklist::new();
+        let whitelist = Whitelist::new();
+        let pdns = PassiveDns::new();
+        let activity = ActivityStore::new();
+        let input = SnapshotInput {
+            day: Day(3),
+            queries: &[],
+            resolutions: &[],
+            table: &table,
+            pdns: &pdns,
+            blacklist: &blacklist,
+            whitelist: &whitelist,
+            hidden: None,
+        };
+        let mut tracker = Tracker::new();
+        let err = tracker
+            .process_day(&input, &activity, &TrackerConfig::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TrackerError::InsufficientSeeds {
+                day: Day(3),
+                malware: 0,
+                benign: 0,
+            }
+        );
+        assert_eq!(tracker.days_processed(), 0);
+        assert_eq!(tracker.pending().count(), 0);
     }
 }

@@ -6,6 +6,7 @@ use segugio_model::{DomainId, Label};
 use segugio_pdns::ActivityStore;
 
 use crate::config::{ClassifierKind, SegugioConfig};
+use crate::error::TrainError;
 use crate::features::{FeatureExtractor, FEATURE_COUNT};
 use crate::model::{ModelBackend, SegugioModel};
 use crate::parallel::parallel_map_indexed;
@@ -63,37 +64,40 @@ impl Segugio {
 
     /// Trains a [`SegugioModel`] on the known domains of `snapshot`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the snapshot contains no known malware or no known benign
-    /// domains (there is nothing to learn from).
+    /// Returns [`TrainError::InsufficientSeeds`] if the snapshot contains no
+    /// known malware or no known benign domains (there is nothing to learn
+    /// from).
     pub fn train(
         snapshot: &DaySnapshot,
         activity: &ActivityStore,
         config: &SegugioConfig,
-    ) -> SegugioModel {
+    ) -> Result<SegugioModel, TrainError> {
         let (full, _ids) = build_training_set(snapshot, activity, config);
         Self::train_prepared(&full, config)
     }
 
-    /// Trains on an already-extracted training set, with the same panics as
+    /// Trains on an already-extracted training set, with the same error as
     /// [`Segugio::train`]. Callers that also need the training set (e.g. for
     /// threshold calibration) extract it once and pass it here instead of
     /// paying the feature measurement twice.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `full` has no positive or no negative rows.
-    pub fn train_prepared(full: &Dataset, config: &SegugioConfig) -> SegugioModel {
-        assert!(
-            full.positive_count() > 0,
-            "training snapshot has no known malware domains"
-        );
-        assert!(
-            full.negative_count() > 0,
-            "training snapshot has no known benign domains"
-        );
-        Self::train_on(full, config)
+    /// Returns [`TrainError::InsufficientSeeds`] if `full` has no positive
+    /// or no negative rows.
+    pub fn train_prepared(
+        full: &Dataset,
+        config: &SegugioConfig,
+    ) -> Result<SegugioModel, TrainError> {
+        if full.positive_count() == 0 || full.negative_count() == 0 {
+            return Err(TrainError::InsufficientSeeds {
+                malware: full.positive_count(),
+                benign: full.negative_count(),
+            });
+        }
+        Ok(Self::train_on(full, config))
     }
 
     /// Trains a model directly on a prepared training set (used by the
@@ -210,6 +214,27 @@ mod tests {
     }
 
     #[test]
+    fn one_sided_training_set_is_a_typed_error() {
+        let (snap, activity, config) = fixture();
+        let (full, _) = build_training_set(&snap, &activity, &config);
+        // Rebuild a dataset with only the malware rows.
+        let mut one_sided = Dataset::new(FEATURE_COUNT);
+        for i in 0..full.len() {
+            if full.label(i) {
+                one_sided.push(full.row(i), true);
+            }
+        }
+        let err = Segugio::train_prepared(&one_sided, &config).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::TrainError::InsufficientSeeds {
+                malware: 2,
+                benign: 0
+            }
+        );
+    }
+
+    #[test]
     fn training_set_has_all_known_domains() {
         let (snap, activity, config) = fixture();
         let (data, ids) = build_training_set(&snap, &activity, &config);
@@ -242,7 +267,7 @@ mod tests {
     #[test]
     fn trained_model_separates_fixture() {
         let (snap, activity, config) = fixture();
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let (data, _) = build_training_set(&snap, &activity, &config);
         for i in 0..data.len() {
             let score = model.score_features(data.row(i));
@@ -258,7 +283,7 @@ mod tests {
     fn logistic_backend_also_works() {
         let (snap, activity, mut config) = fixture();
         config.classifier = ClassifierKind::Logistic(Default::default());
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let (data, _) = build_training_set(&snap, &activity, &config);
         let pos: Vec<f32> = (0..data.len())
             .filter(|&i| data.label(i))
@@ -283,7 +308,7 @@ mod tests {
             subsample: 1.0,
             ..Default::default()
         });
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         let (data, _) = build_training_set(&snap, &activity, &config);
         let pos: Vec<f32> = (0..data.len())
             .filter(|&i| data.label(i))
@@ -309,7 +334,7 @@ mod tests {
     fn ablated_model_uses_projected_columns() {
         let (snap, activity, mut config) = fixture();
         config.feature_columns = Some(crate::features::FeatureGroup::IpAbuse.complement_columns());
-        let model = Segugio::train(&snap, &activity, &config);
+        let model = Segugio::train(&snap, &activity, &config).expect("fixture has both classes");
         // Scoring still takes the full 11-feature vector.
         let (data, _) = build_training_set(&snap, &activity, &config);
         let s = model.score_features(data.row(0));

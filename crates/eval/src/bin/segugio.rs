@@ -315,7 +315,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         hidden: None,
     };
     let snapshot = Segugio::build_snapshot(&input, &config);
-    let model = Segugio::train(&snapshot, collector.activity(), &config);
+    let model =
+        Segugio::train(&snapshot, collector.activity(), &config).map_err(|e| e.to_string())?;
     fs::write(&save, model.save_to_string()).map_err(|e| format!("writing {save}: {e}"))?;
     println!("trained on {day} and saved the model to {save}");
     Ok(())
@@ -375,7 +376,7 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
                 hidden: None,
             };
             let snapshot = Segugio::build_snapshot(&input, &config);
-            Segugio::train(&snapshot, collector.activity(), &config)
+            Segugio::train(&snapshot, collector.activity(), &config).map_err(|e| e.to_string())?
         }
     };
 

@@ -98,7 +98,8 @@ pub fn run(scale: &Scale) -> BpReport {
 
     // --- Segugio ---
     let train_snap = scenario.snapshot(w, &scale.config, &bl, Some(&hidden));
-    let model = Segugio::train(&train_snap, activity, &scale.config);
+    let model = Segugio::train(&train_snap, activity, &scale.config)
+        .expect("training day seeds both classes");
     // segugio-lint: allow(D2, score_ms is a reported measurement, not part of the deterministic result)
     let t = Instant::now();
     let detections = model.score_where(&test_snap, activity, |l| l == Label::Unknown);

@@ -133,7 +133,8 @@ pub fn detect_day(
     let val = select_test_split(scenario, day, bl, 0.5, 0.4, scale.seed + day as u64);
     let hidden = val.hidden();
     let train_snap = scenario.snapshot(day, &scale.config, bl, Some(&hidden));
-    let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config);
+    let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config)
+        .expect("training day seeds both classes");
 
     let val_snap = scenario.snapshot(day, &scale.config, bl, Some(&hidden));
     let detections = model.score_unknown(&val_snap, scenario.isp().activity());

@@ -165,7 +165,8 @@ pub fn analyze_case(
     let hidden = split.hidden();
 
     let train_snap = train.snapshot(train_day, &scale.config, bl_train, Some(&hidden));
-    let model = Segugio::train(&train_snap, train.isp().activity(), &scale.config);
+    let model = Segugio::train(&train_snap, train.isp().activity(), &scale.config)
+        .expect("training day seeds both classes");
 
     let test_snap = test.snapshot(test_day, &scale.config, bl_test, Some(&hidden));
     let activity = test.isp().activity();

@@ -192,7 +192,8 @@ fn run_case(
         &notos_cfg,
     );
     let train_snap = scenario.snapshot_with(t_train, &scale.config, &bl_train, &wl_top, None);
-    let segugio = Segugio::train(&train_snap, isp.activity(), &scale.config);
+    let segugio = Segugio::train(&train_snap, isp.activity(), &scale.config)
+        .expect("training day seeds both classes");
 
     // --- Test ground truth. ---
     let mut seen: Vec<DomainId> = scenario

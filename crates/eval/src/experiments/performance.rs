@@ -113,7 +113,8 @@ pub fn run(scale: &Scale, n_days: u32) -> PerformanceReport {
 
         // segugio-lint: allow(D2, this experiment reports wall-clock timings; they never feed the detector)
         let t1 = Instant::now();
-        let model = Segugio::train(&snap, scenario.isp().activity(), &scale.config);
+        let model = Segugio::train(&snap, scenario.isp().activity(), &scale.config)
+            .expect("training day seeds both classes");
         let train_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         // segugio-lint: allow(D2, this experiment reports wall-clock timings; they never feed the detector)

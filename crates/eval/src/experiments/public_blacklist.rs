@@ -131,7 +131,8 @@ pub fn run(scale: &Scale) -> PublicBlacklistReport {
         let hidden: HashSet<DomainId> = novel.iter().chain(benign.iter()).copied().collect();
 
         let train_snap = scenario.snapshot(w, &scale.config, &commercial, Some(&hidden));
-        let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config);
+        let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config)
+            .expect("training day seeds both classes");
         let test_snap = scenario.snapshot(test_day, &scale.config, &commercial, Some(&hidden));
         let detections = model.score_unknown(&test_snap, scenario.isp().activity());
 

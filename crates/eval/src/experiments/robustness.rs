@@ -217,7 +217,8 @@ pub fn enumeration_quality(scale: &Scale, target_fpr: f64) -> InfectionEnumerati
     );
     let hidden = split.hidden();
     let train_snap = scenario.snapshot(w, &scale.config, &bl, Some(&hidden));
-    let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config);
+    let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config)
+        .expect("training day seeds both classes");
 
     // Threshold from the held-out validation ROC, then deploy.
     let out = crate::protocol::eval_model(&model, &scenario, w + 13, &split, &scale.config, &bl);

@@ -131,7 +131,8 @@ pub fn train_and_eval(
     // Train with test domains hidden (they may appear on the training day
     // too — the paper hides them there as well).
     let train_snap = train_scenario.snapshot(train_day, config, blacklist_train, Some(&hidden));
-    let model = Segugio::train(&train_snap, train_scenario.isp().activity(), config);
+    let model = Segugio::train(&train_snap, train_scenario.isp().activity(), config)
+        .expect("training day seeds both classes");
     eval_model(
         &model,
         test_scenario,

@@ -11,6 +11,9 @@
 //!
 //! - [`GraphBuilder`] / [`BehaviorGraph`] — compact CSR storage in both
 //!   directions, sized for millions of edges;
+//! - [`DeltaBuilder`] — day-over-day incremental construction that reuses
+//!   the previous day's sorted structure, bit-for-bit equal to a scratch
+//!   build;
 //! - [`labeling`] — seed-label application and machine-label propagation;
 //! - [`pruning`] — the conservative filtering rules R1–R4 with the paper's
 //!   two exceptions (infected machines survive R1; known malware domains
@@ -20,6 +23,7 @@
 
 #![warn(missing_docs)]
 pub mod builder;
+pub mod delta;
 pub mod graph;
 pub mod hiding;
 pub mod labeling;
@@ -28,6 +32,7 @@ pub mod stats;
 pub mod validate;
 
 pub use builder::GraphBuilder;
+pub use delta::DeltaBuilder;
 pub use graph::{BehaviorGraph, DomainIdx, MachineIdx};
 pub use hiding::HiddenLabelView;
 pub use pruning::{PruneConfig, PruneStats};

@@ -206,13 +206,14 @@ impl BehaviorGraph {
         }
         let mut pruned = builder.build();
 
-        // Preserve domain labels by external id, then re-propagate.
+        // Preserve domain labels by external id, then re-propagate. Every
+        // pruned domain comes from the source graph, so the lookup cannot
+        // miss; a miss would leave the label Unknown, which validate() and
+        // the label-preservation tests would surface.
         for i in 0..pruned.domains.len() {
-            let old_idx = self
-                .domains
-                .binary_search(&pruned.domains[i])
-                .expect("pruned domain must exist in source graph");
-            pruned.domain_labels[i] = self.domain_labels[old_idx];
+            if let Ok(old_idx) = self.domains.binary_search(&pruned.domains[i]) {
+                pruned.domain_labels[i] = self.domain_labels[old_idx];
+            }
         }
         labeling::propagate_machine_labels(&mut pruned);
 
@@ -261,12 +262,12 @@ impl BehaviorGraph {
             }
         }
         let mut filtered = builder.build();
+        // Filtering only removes machines, so every surviving domain exists
+        // in the source graph and the lookup cannot miss.
         for i in 0..filtered.domains.len() {
-            let old_idx = self
-                .domains
-                .binary_search(&filtered.domains[i])
-                .expect("filtered domain exists in source graph");
-            filtered.domain_labels[i] = self.domain_labels[old_idx];
+            if let Ok(old_idx) = self.domains.binary_search(&filtered.domains[i]) {
+                filtered.domain_labels[i] = self.domain_labels[old_idx];
+            }
         }
         labeling::propagate_machine_labels(&mut filtered);
         (filtered, removed)

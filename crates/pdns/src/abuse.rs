@@ -31,12 +31,14 @@ use crate::store::PassiveDns;
 /// assert!(idx.is_malware_ip(bad_ip));
 /// assert!(idx.is_malware_prefix(bad_ip.prefix24()));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AbuseIndex {
-    malware_ips: HashSet<Ipv4>,
-    malware_prefixes: HashSet<Prefix24>,
-    unknown_ip_domains: HashMap<Ipv4, u32>,
-    unknown_prefix_domains: HashMap<Prefix24, u32>,
+    // Visible to `rolling`, which maintains the same structures by
+    // ingesting/evicting one day at a time instead of rebuilding.
+    pub(crate) malware_ips: HashSet<Ipv4>,
+    pub(crate) malware_prefixes: HashSet<Prefix24>,
+    pub(crate) unknown_ip_domains: HashMap<Ipv4, u32>,
+    pub(crate) unknown_prefix_domains: HashMap<Prefix24, u32>,
 }
 
 impl AbuseIndex {

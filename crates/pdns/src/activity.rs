@@ -13,10 +13,16 @@ struct DayBitmap {
 impl DayBitmap {
     fn set(&mut self, day: Day) {
         let (w, b) = (day.index() / 64, day.index() % 64);
+        self.set_word(w, 1 << b);
+    }
+
+    /// Sets a pre-computed `(word, mask)` position — the bulk-append path
+    /// hoists the day → bit translation out of its per-record loop.
+    fn set_word(&mut self, w: usize, mask: u64) {
         if w >= self.words.len() {
             self.words.resize(w + 1, 0);
         }
-        self.words[w] |= 1 << b;
+        self.words[w] |= mask;
     }
 
     fn get(&self, day: Day) -> bool {
@@ -75,6 +81,24 @@ impl ActivityStore {
     pub fn record(&mut self, fqd: DomainId, e2ld: E2ldId, day: Day) {
         self.fqd.entry(fqd).or_default().set(day);
         self.e2ld.entry(e2ld).or_default().set(day);
+    }
+
+    /// Appends one whole day of activity in a single pass: every `(fqd,
+    /// e2ld)` pair is marked active on `day`.
+    ///
+    /// Equivalent to calling [`record`](Self::record) per pair, but the
+    /// day → bitmap-position translation is computed once for the batch —
+    /// the natural ingest shape for an incremental day-over-day pipeline.
+    pub fn append_day<I>(&mut self, day: Day, pairs: I)
+    where
+        I: IntoIterator<Item = (DomainId, E2ldId)>,
+    {
+        let (w, b) = (day.index() / 64, day.index() % 64);
+        let mask = 1u64 << b;
+        for (fqd, e2ld) in pairs {
+            self.fqd.entry(fqd).or_default().set_word(w, mask);
+            self.e2ld.entry(e2ld).or_default().set_word(w, mask);
+        }
     }
 
     /// Whether `fqd` was seen active on `day`.
@@ -168,6 +192,34 @@ mod tests {
         s.record(DomainId(0), E2ldId(0), Day(0));
         s.record(DomainId(0), E2ldId(0), Day(1));
         assert_eq!(s.fqd_streak_ending(DomainId(0), Day(1), 14), 2);
+    }
+
+    #[test]
+    fn append_day_matches_per_record_path() {
+        let mut bulk = ActivityStore::new();
+        let mut serial = ActivityStore::new();
+        for day in [Day(0), Day(63), Day(64), Day(70)] {
+            let pairs = [
+                (DomainId(1), E2ldId(10)),
+                (DomainId(2), E2ldId(10)),
+                (DomainId(3), E2ldId(30)),
+            ];
+            bulk.append_day(day, pairs);
+            for (fqd, e2ld) in pairs {
+                serial.record(fqd, e2ld, day);
+            }
+        }
+        for d in 1..=3u32 {
+            assert_eq!(
+                bulk.fqd_active_days(DomainId(d), Day(70).lookback(100)),
+                serial.fqd_active_days(DomainId(d), Day(70).lookback(100)),
+            );
+        }
+        assert_eq!(
+            bulk.e2ld_streak_ending(E2ldId(10), Day(64), 14),
+            serial.e2ld_streak_ending(E2ldId(10), Day(64), 14),
+        );
+        assert_eq!(bulk.tracked_fqds(), 3);
     }
 
     #[test]

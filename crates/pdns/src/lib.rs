@@ -20,8 +20,10 @@
 #![warn(missing_docs)]
 pub mod abuse;
 pub mod activity;
+pub mod rolling;
 pub mod store;
 
 pub use abuse::AbuseIndex;
 pub use activity::ActivityStore;
+pub use rolling::{AbuseDelta, RollingAbuseIndex};
 pub use store::PassiveDns;

@@ -27,6 +27,9 @@ use segugio_model::{Day, DayWindow, DomainId, Ipv4};
 pub struct PassiveDns {
     // Ordered so `records_in` yields domains deterministically.
     by_domain: BTreeMap<DomainId, Vec<(Day, Ipv4)>>,
+    // Day-major view of the same records, so a rolling window can ingest or
+    // evict exactly one day without touching the rest of the archive.
+    by_day: BTreeMap<Day, Vec<(DomainId, Ipv4)>>,
     records: usize,
 }
 
@@ -53,17 +56,44 @@ impl PassiveDns {
                 entries.insert(pos, (day, ip));
             }
         }
+        self.by_day.entry(day).or_default().push((domain, ip));
         self.records += 1;
+    }
+
+    /// The per-domain records inside `window`, as a day-sorted slice.
+    ///
+    /// Per-domain entries are kept `(day, ip)`-sorted, so the window
+    /// boundaries are found by binary search and the result borrows the
+    /// store — no per-call allocation.
+    pub fn records_of(&self, domain: DomainId, window: DayWindow) -> &[(Day, Ipv4)] {
+        let Some(entries) = self.by_domain.get(&domain) else {
+            return &[];
+        };
+        let lo = entries.partition_point(|&(d, _)| d < window.start());
+        let hi = entries.partition_point(|&(d, _)| d < window.end());
+        &entries[lo..hi]
+    }
+
+    /// Number of records for `domain` inside `window`, without materializing
+    /// them.
+    pub fn record_count_in(&self, domain: DomainId, window: DayWindow) -> usize {
+        self.records_of(domain, window).len()
+    }
+
+    /// All `(domain, ip)` records observed on exactly `day`, duplicate-free.
+    ///
+    /// This is the ingest/evict unit of a rolling window index: advancing
+    /// from day `d` to `d + 1` touches only the records of the entering and
+    /// leaving days.
+    pub fn records_on(&self, day: Day) -> &[(DomainId, Ipv4)] {
+        self.by_day.get(&day).map_or(&[], Vec::as_slice)
     }
 
     /// All distinct IPs `domain` resolved to within `window`.
     pub fn resolved_ips(&self, domain: DomainId, window: DayWindow) -> Vec<Ipv4> {
-        let Some(entries) = self.by_domain.get(&domain) else {
-            return Vec::new();
-        };
-        let mut ips: Vec<Ipv4> = entries
+        let mut ips: Vec<Ipv4> = self
+            .records_of(domain, window)
             .iter()
-            .filter(|(d, _)| window.contains(*d))
             .map(|&(_, ip)| ip)
             .collect();
         ips.sort_unstable();
@@ -73,15 +103,11 @@ impl PassiveDns {
 
     /// The earliest day `domain` resolved within `window`, if any.
     ///
-    /// Per-domain records are kept day-sorted, so this is a scan of that
-    /// domain's entries only — reputation systems use it to implement
+    /// Per-domain records are kept day-sorted, so this is a binary search of
+    /// that domain's entries only — reputation systems use it to implement
     /// "history too young" reject rules cheaply.
     pub fn first_seen_in(&self, domain: DomainId, window: DayWindow) -> Option<Day> {
-        self.by_domain
-            .get(&domain)?
-            .iter()
-            .map(|&(d, _)| d)
-            .find(|&d| window.contains(d))
+        self.records_of(domain, window).first().map(|&(d, _)| d)
     }
 
     /// Whether the store has any record for `domain`, in any window.
@@ -97,10 +123,9 @@ impl PassiveDns {
         &self,
         window: DayWindow,
     ) -> impl Iterator<Item = (DomainId, Day, Ipv4)> + '_ {
-        self.by_domain.iter().flat_map(move |(&dom, entries)| {
-            entries
+        self.by_domain.keys().flat_map(move |&dom| {
+            self.records_of(dom, window)
                 .iter()
-                .filter(move |(d, _)| window.contains(*d))
                 .map(move |&(d, ip)| (dom, d, ip))
         })
     }
@@ -181,6 +206,40 @@ mod tests {
         assert_eq!(p.first_seen_in(DomainId(9), all), None);
         let none = segugio_model::DayWindow::new(Day(15), Day(20));
         assert_eq!(p.first_seen_in(DomainId(1), none), None);
+    }
+
+    #[test]
+    fn sliced_records_match_windows() {
+        let mut p = PassiveDns::new();
+        p.record(DomainId(1), ip(1), Day(1));
+        p.record(DomainId(1), ip(2), Day(4));
+        p.record(DomainId(1), ip(3), Day(4));
+        p.record(DomainId(1), ip(4), Day(9));
+        let w = segugio_model::DayWindow::new(Day(2), Day(9));
+        assert_eq!(
+            p.records_of(DomainId(1), w),
+            &[(Day(4), ip(2)), (Day(4), ip(3))]
+        );
+        assert_eq!(p.record_count_in(DomainId(1), w), 2);
+        assert_eq!(p.record_count_in(DomainId(7), w), 0);
+        assert!(p.records_of(DomainId(7), w).is_empty());
+        // Empty window yields nothing.
+        let empty = segugio_model::DayWindow::new(Day(4), Day(4));
+        assert!(p.records_of(DomainId(1), empty).is_empty());
+    }
+
+    #[test]
+    fn records_on_day_collapse_duplicates() {
+        let mut p = PassiveDns::new();
+        p.record(DomainId(1), ip(1), Day(3));
+        p.record(DomainId(2), ip(2), Day(3));
+        p.record(DomainId(1), ip(1), Day(3)); // duplicate, collapsed
+        p.record(DomainId(1), ip(1), Day(4));
+        let mut got = p.records_on(Day(3)).to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![(DomainId(1), ip(1)), (DomainId(2), ip(2))]);
+        assert_eq!(p.records_on(Day(4)), &[(DomainId(1), ip(1))]);
+        assert!(p.records_on(Day(9)).is_empty());
     }
 
     #[test]

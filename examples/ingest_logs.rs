@@ -80,7 +80,8 @@ fn main() {
         hidden: None,
     };
     let snapshot = Segugio::build_snapshot(&input, &config);
-    let model = Segugio::train(&snapshot, collector.activity(), &config);
+    let model = Segugio::train(&snapshot, collector.activity(), &config)
+        .expect("training day seeds both classes");
 
     let test = collector.day(days[1]).unwrap();
     let input = SnapshotInput {

@@ -47,7 +47,8 @@ fn main() {
         // that keeps known-benign mistakes below 0.5%. The training set is
         // extracted once and shared between training and calibration.
         let (train_set, _) = segugio_core::build_training_set(&snapshot, isp.activity(), &config);
-        let model = Segugio::train_prepared(&train_set, &config);
+        let model = Segugio::train_prepared(&train_set, &config)
+            .expect("warmed-up simulation seeds both classes");
         let scores: Vec<f32> = (0..train_set.len())
             .map(|i| model.score_features(train_set.row(i)))
             .collect();

@@ -39,7 +39,8 @@ fn main() {
         snapshot.graph.domain_count(),
         snapshot.graph.edge_count(),
     );
-    let model = Segugio::train(&snapshot, isp.activity(), &config);
+    let model = Segugio::train(&snapshot, isp.activity(), &config)
+        .expect("training day seeds both classes");
 
     // Day 21: score every still-unknown domain.
     let test_day = isp.next_day();

@@ -115,7 +115,8 @@ fn model_transfers_to_later_day_with_same_split_protocol() {
 
     let hidden = split.hidden();
     let train_snap = s.snapshot(TRAIN_DAY, &cfg, &bl, Some(&hidden));
-    let model = segugio_core::Segugio::train(&train_snap, s.isp().activity(), &cfg);
+    let model = segugio_core::Segugio::train(&train_snap, s.isp().activity(), &cfg)
+        .expect("training day seeds both classes");
     let replay = eval_model(&model, s, TEST_DAY, &split, &cfg, &bl);
     assert_eq!(combined.scores, replay.scores);
 }

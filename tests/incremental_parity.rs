@@ -1,0 +1,108 @@
+//! Cross-day parity contract: with `SegugioConfig::incremental` on, the
+//! [`Tracker`]'s day reports are bit-for-bit identical to the from-scratch
+//! path — across an 8-day deployment, at every parallelism width, and under
+//! randomized churn scenarios (DHCP lease churn, domain agility, heavier
+//! blacklist turnover).
+
+use segugio_core::{DayReport, SnapshotInput, Tracker, TrackerConfig};
+use segugio_traffic::{IspConfig, IspNetwork};
+
+/// Runs a full multi-day deployment and returns every day's report.
+///
+/// Each call builds its own network from `cfg`; identical configs generate
+/// identical traffic, so two runs are comparable input-for-input.
+fn run_tracker(
+    cfg: &IspConfig,
+    days: usize,
+    incremental: bool,
+    parallelism: Option<usize>,
+) -> Vec<DayReport> {
+    let mut isp = IspNetwork::new(cfg.clone());
+    isp.warm_up(16);
+    let mut tracker = Tracker::new();
+    let mut config = TrackerConfig {
+        target_fpr: 0.02,
+        ..TrackerConfig::default()
+    };
+    config.segugio.incremental = incremental;
+    config.segugio.parallelism = parallelism;
+    let mut reports = Vec::with_capacity(days);
+    for _ in 0..days {
+        let traffic = isp.next_day();
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: isp.commercial_blacklist(),
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        reports.push(
+            tracker
+                .process_day(&input, isp.activity(), &config)
+                .expect("warmed-up fixture seeds both classes"),
+        );
+    }
+    reports
+}
+
+/// The acceptance scenario: eight consecutive days, from-scratch at width 1
+/// as the reference, and both paths at widths 1, 2 and 4 matching it
+/// report-for-report.
+#[test]
+fn eight_day_reports_match_at_every_width() {
+    let cfg = IspConfig::tiny(90);
+    let reference = run_tracker(&cfg, 8, false, Some(1));
+    assert!(
+        reference.iter().any(|r| !r.new_detections.is_empty()),
+        "reference run must detect something for the comparison to mean anything"
+    );
+
+    for width in [1usize, 2, 4] {
+        let scratch = run_tracker(&cfg, 8, false, Some(width));
+        assert_eq!(
+            scratch, reference,
+            "from-scratch reports diverged at width {width}"
+        );
+        let incremental = run_tracker(&cfg, 8, true, Some(width));
+        assert_eq!(
+            incremental, reference,
+            "incremental reports diverged at width {width}"
+        );
+    }
+}
+
+/// Randomized churn scenarios: heavy DHCP lease churn dilutes machine
+/// identities day over day, maximum agility rotates control domains fast,
+/// and aggressive blacklisting flips many domain labels between days —
+/// each stresses a different layer of the delta path (graph merge, feature
+/// cache, rolling abuse index).
+#[test]
+fn churn_scenarios_keep_paths_identical() {
+    let scenarios: Vec<(&str, IspConfig)> = vec![
+        (
+            "dhcp-churn",
+            IspConfig {
+                dhcp_churn: 0.35,
+                ..IspConfig::tiny(91)
+            },
+        ),
+        (
+            "agility-and-turnover",
+            IspConfig {
+                agility: 1.0,
+                cnc_lifetime: (1, 3),
+                blacklist_coverage: 0.95,
+                blacklist_lag_mean: 1.0,
+                ..IspConfig::tiny(92)
+            },
+        ),
+    ];
+    for (name, cfg) in scenarios {
+        let scratch = run_tracker(&cfg, 7, false, Some(1));
+        let incremental = run_tracker(&cfg, 7, true, Some(1));
+        assert_eq!(incremental, scratch, "scenario `{name}` diverged");
+    }
+}

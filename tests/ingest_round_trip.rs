@@ -75,8 +75,10 @@ fn exported_logs_reproduce_in_memory_detections() {
 
     // Same detections by *name* (the ingested side only has the one day of
     // history, so compare the F1-driven ranking: top-decile overlap).
-    let model = Segugio::train(&snapshot, isp.activity(), &config);
-    let model2 = Segugio::train(&snapshot2, collector.activity(), &config);
+    let model = Segugio::train(&snapshot, isp.activity(), &config)
+        .expect("training day seeds both classes");
+    let model2 = Segugio::train(&snapshot2, collector.activity(), &config)
+        .expect("training day seeds both classes");
     let top: std::collections::HashSet<String> = model
         .score_unknown(&snapshot, isp.activity())
         .iter()

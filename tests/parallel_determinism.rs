@@ -28,7 +28,7 @@ fn run_day(parallelism: Option<usize>) -> (String, Vec<(u32, f32)>, usize, Vec<f
     };
     let snapshot = Segugio::build_snapshot(&input, &config);
     let (train_set, ids) = build_training_set(&snapshot, isp.activity(), &config);
-    let model = Segugio::train_prepared(&train_set, &config);
+    let model = Segugio::train_prepared(&train_set, &config).expect("fixture seeds both classes");
     let detections = model
         .score_unknown(&snapshot, isp.activity())
         .into_iter()

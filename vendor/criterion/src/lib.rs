@@ -106,6 +106,13 @@ impl BenchmarkId {
             label: format!("{}/{}", name.into(), parameter),
         }
     }
+
+    /// Builds an id from the parameter alone (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
 }
 
 /// Passed to benchmark closures; [`Bencher::iter`] times the payload.
