@@ -23,6 +23,42 @@ impl Default for ClassifierKind {
     }
 }
 
+/// Fallback behavior when a day's inputs are degraded.
+///
+/// A live feed loses inputs in two recoverable ways: a day may have no
+/// trainable seeds (blacklist update stalled, or traffic too thin), and the
+/// passive-DNS feed may blank out. The paper justifies a graceful answer to
+/// both — trained models stay accurate across days and weeks (the Fig. 6
+/// cross-day result), and the feature groups are separable (the Sec. III
+/// ablation trains usefully on F1+F2 without the IP-abuse group F3). The
+/// defaults enable both fallbacks; on clean inputs neither condition ever
+/// fires, so enabling them costs nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthPolicy {
+    /// On a day with no trainable seeds, score with the most recent
+    /// successfully trained model (and its calibrated threshold) instead of
+    /// returning [`TrackerError::InsufficientSeeds`](crate::TrackerError).
+    pub stale_model_on_insufficient_seeds: bool,
+    /// Maximum age, in days, a retained model may be reused at. Past this
+    /// the day errors as if no model were retained (Fig. 6 shows accuracy
+    /// decaying slowly but not indefinitely).
+    pub max_model_age_days: u32,
+    /// On a day whose pDNS abuse window is empty, train and score on
+    /// feature groups F1+F2 with the IP-abuse columns (F3) masked, instead
+    /// of feeding the model all-empty abuse features.
+    pub mask_ip_features_on_blank_pdns: bool,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            stale_model_on_insufficient_seeds: true,
+            max_model_age_days: 7,
+            mask_ip_features_on_blank_pdns: true,
+        }
+    }
+}
+
 /// Everything Segugio needs to build snapshots, train and detect.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegugioConfig {
@@ -53,6 +89,9 @@ pub struct SegugioConfig {
     /// ([`DaySnapshot::build`](crate::DaySnapshot::build)) has no previous
     /// day and ignores it.
     pub incremental: bool,
+    /// Fallbacks for degraded days (no seeds, blank pDNS window). See
+    /// [`HealthPolicy`].
+    pub health: HealthPolicy,
 }
 
 impl Default for SegugioConfig {
@@ -65,6 +104,7 @@ impl Default for SegugioConfig {
             probe_filter: None,
             parallelism: None,
             incremental: true,
+            health: HealthPolicy::default(),
         }
     }
 }

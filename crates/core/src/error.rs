@@ -48,6 +48,15 @@ pub enum TrackerError {
         /// Known-benign domains in the day's pruned graph.
         benign: usize,
     },
+    /// Days must be fed in strictly ascending order; an out-of-order (or
+    /// repeated) day would corrupt the flag/confirmation timeline. Tracker
+    /// state is left exactly as it was before the call.
+    NonMonotonicDay {
+        /// The most recent successfully processed day.
+        last: Day,
+        /// The offending input day (`<= last`).
+        got: Day,
+    },
 }
 
 impl fmt::Display for TrackerError {
@@ -60,6 +69,10 @@ impl fmt::Display for TrackerError {
             } => write!(
                 f,
                 "day {day}: cannot train with {malware} malware and {benign} benign seed domains"
+            ),
+            TrackerError::NonMonotonicDay { last, got } => write!(
+                f,
+                "day {got} delivered after day {last}: tracking days must be strictly ascending"
             ),
         }
     }

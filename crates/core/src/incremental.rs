@@ -274,6 +274,21 @@ impl IncrementalEngine {
     pub fn reset_cache(&mut self) {
         self.prev = None;
     }
+
+    /// Drops *all* cross-day state — delta graph, rolling abuse index,
+    /// touched set and feature cache — returning the engine to its
+    /// just-constructed state. The next day is built from scratch, exactly
+    /// like a fresh engine's first day.
+    ///
+    /// Required whenever the pDNS feed the engine has been advancing
+    /// against is no longer trustworthy — e.g. a blanked-then-restored
+    /// feed: [`RollingAbuseIndex`](segugio_pdns::RollingAbuseIndex) evicts
+    /// leaving days by re-reading them from the *current* feed, so state
+    /// carried across an inconsistent feed would silently diverge from the
+    /// from-scratch path. A full reset is always parity-safe.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
 }
 
 #[cfg(test)]

@@ -72,11 +72,11 @@ pub mod snapshot;
 pub mod tracker;
 pub mod trainer;
 
-pub use config::{ClassifierKind, SegugioConfig};
+pub use config::{ClassifierKind, HealthPolicy, SegugioConfig};
 pub use error::{TrackerError, TrainError};
 pub use features::{FeatureConfig, FeatureExtractor, FeatureGroup, FEATURE_COUNT, FEATURE_NAMES};
 pub use incremental::{DayFeatures, IncrementalEngine};
 pub use model::{Detection, Detector, SegugioModel};
 pub use snapshot::{DaySnapshot, SnapshotInput};
-pub use tracker::{DayReport, Tracker, TrackerConfig};
+pub use tracker::{DayOutcome, DayReport, Degradation, Tracker, TrackerConfig};
 pub use trainer::{build_training_set, Segugio};

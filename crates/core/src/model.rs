@@ -158,11 +158,20 @@ impl SegugioModel {
             .next()
             .ok_or_else(|| ParseModelError::new("missing backend"))?;
         let backend = if backend_header.starts_with("forest") {
-            ModelBackend::Forest(segugio_ml::RandomForest::read_text(&mut lines)?)
+            ModelBackend::Forest(
+                segugio_ml::RandomForest::read_text(&mut lines)
+                    .map_err(|e| e.context("reading forest backend"))?,
+            )
         } else if backend_header.starts_with("logistic") {
-            ModelBackend::Logistic(segugio_ml::LogisticRegression::read_text(&mut lines)?)
+            ModelBackend::Logistic(
+                segugio_ml::LogisticRegression::read_text(&mut lines)
+                    .map_err(|e| e.context("reading logistic backend"))?,
+            )
         } else if backend_header.starts_with("boosting") {
-            ModelBackend::Boosting(segugio_ml::GradientBoosting::read_text(&mut lines)?)
+            ModelBackend::Boosting(
+                segugio_ml::GradientBoosting::read_text(&mut lines)
+                    .map_err(|e| e.context("reading boosting backend"))?,
+            )
         } else {
             return Err(ParseModelError::new("unknown backend header"));
         };

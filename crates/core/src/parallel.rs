@@ -37,7 +37,7 @@ where
     }
     let chunk = len.div_ceil(threads);
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    let joined = crossbeam::thread::scope(|scope| {
         for (w, out) in slots.chunks_mut(chunk).enumerate() {
             let f = &f;
             scope.spawn(move |_| {
@@ -47,12 +47,20 @@ where
                 }
             });
         }
-    })
-    .expect("parallel map worker panicked");
-    slots
-        .into_iter()
-        .map(|r| r.expect("every index filled by exactly one worker"))
-        .collect()
+    });
+    if let Err(payload) = joined {
+        // A worker panicked; propagate the original panic untouched.
+        std::panic::resume_unwind(payload);
+    }
+    // Each worker fills its whole disjoint chunk, so every slot is Some
+    // once the scope joins cleanly.
+    let merged: Vec<R> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(
+        merged.len(),
+        len,
+        "every index filled by exactly one worker"
+    );
+    merged
 }
 
 #[cfg(test)]

@@ -20,8 +20,9 @@ use segugio_pdns::ActivityStore;
 
 use crate::config::SegugioConfig;
 use crate::error::{TrackerError, TrainError};
+use crate::features::{FeatureGroup, FEATURE_COUNT};
 use crate::incremental::IncrementalEngine;
-use crate::model::Detection;
+use crate::model::{Detection, SegugioModel};
 use crate::parallel::parallel_map_indexed;
 use crate::snapshot::{DaySnapshot, SnapshotInput};
 use crate::trainer::{build_training_set, Segugio};
@@ -45,6 +46,20 @@ impl Default for TrackerConfig {
     }
 }
 
+/// Which [`HealthPolicy`](crate::HealthPolicy) fallback fired on a day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// The day had no trainable seeds; it was scored with the most recent
+    /// retained model (and its threshold) instead of a fresh one.
+    StaleModel {
+        /// The day the reused model was trained on.
+        trained_on: Day,
+    },
+    /// The day's pDNS abuse window was blank; the model was trained and
+    /// scored with the IP-abuse feature group (F3) masked.
+    MaskedIpFeatures,
+}
+
 /// One day's tracking outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DayReport {
@@ -61,6 +76,51 @@ pub struct DayReport {
     pub confirmed: Vec<(DomainId, Day)>,
     /// The threshold used.
     pub threshold: f32,
+    /// Fallbacks that fired on this day; empty on a healthy day.
+    pub degradation: Vec<Degradation>,
+}
+
+impl DayReport {
+    /// Whether any fallback fired on this day.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradation.is_empty()
+    }
+}
+
+/// The outcome of feeding one day to a tracker: a report (possibly
+/// degraded) or a typed skip. Deployment drivers collect these so an
+/// operator can audit exactly which day fell back to what.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DayOutcome {
+    /// The day was processed; see [`DayReport::degradation`] for any
+    /// fallbacks that fired.
+    Processed(DayReport),
+    /// The day could not be processed and was skipped; tracker state is
+    /// unchanged.
+    Skipped {
+        /// The skipped day.
+        day: Day,
+        /// Why it was skipped.
+        error: TrackerError,
+    },
+}
+
+impl DayOutcome {
+    /// The report, if the day was processed.
+    pub fn report(&self) -> Option<&DayReport> {
+        match self {
+            DayOutcome::Processed(report) => Some(report),
+            DayOutcome::Skipped { .. } => None,
+        }
+    }
+}
+
+/// A successfully trained model retained for stale-model fallback scoring.
+#[derive(Debug, Clone)]
+struct RetainedModel {
+    model: SegugioModel,
+    threshold: f32,
+    trained_on: Day,
 }
 
 /// Tracks malware-control domains across days.
@@ -79,6 +139,12 @@ pub struct Tracker {
     /// Cross-day incremental state; only advanced when
     /// [`SegugioConfig::incremental`] is set.
     engine: IncrementalEngine,
+    /// The most recent successfully trained model, for stale-model
+    /// fallback scoring on seedless days.
+    last_model: Option<RetainedModel>,
+    /// The most recent successfully processed day, enforcing ascending
+    /// delivery.
+    last_day: Option<Day>,
 }
 
 impl Tracker {
@@ -105,12 +171,23 @@ impl Tracker {
 
     /// Processes one day of traffic.
     ///
+    /// Degraded inputs are handled per the configured
+    /// [`HealthPolicy`](crate::HealthPolicy): a day with no trainable
+    /// seeds is scored with the most recent retained model, and a day with
+    /// a blank pDNS abuse window is trained/scored with the IP-abuse
+    /// feature group masked. Every fallback that fired is recorded in
+    /// [`DayReport::degradation`].
+    ///
     /// # Errors
     ///
     /// Returns [`TrackerError::InsufficientSeeds`] if the day's graph has
-    /// no known malware or no known benign domains to train on. The
-    /// tracker's flag/confirmation state and day counter are left exactly
-    /// as they were; the caller can skip the day and continue.
+    /// no known malware or no known benign domains to train on and no
+    /// usable retained model exists (fallback disabled, never trained, or
+    /// older than the policy's maximum age), and
+    /// [`TrackerError::NonMonotonicDay`] if `input.day` is not strictly
+    /// after the last processed day. Either way the tracker's
+    /// flag/confirmation state and day counter are left exactly as they
+    /// were; the caller can skip the day and continue.
     pub fn process_day(
         &mut self,
         input: &SnapshotInput<'_>,
@@ -119,32 +196,98 @@ impl Tracker {
     ) -> Result<DayReport, TrackerError> {
         let day = input.day;
         let incremental = config.segugio.incremental;
+        let health = &config.segugio.health;
+        let mut degradation = Vec::new();
 
-        // 1. Build today's snapshot. The incremental engine advances its
-        //    delta graph and rolling abuse window; the scratch path leaves
-        //    the engine untouched (its next advance simply covers a larger
-        //    step, which both layers handle).
-        let snapshot = if incremental {
+        // 0. Days must arrive strictly ascending — an out-of-order day
+        //    would corrupt the flag/confirmation timeline.
+        if let Some(last) = self.last_day {
+            if day <= last {
+                return Err(TrackerError::NonMonotonicDay { last, got: day });
+            }
+        }
+
+        // 1. Probe the day's pDNS abuse window. A blank window means the
+        //    feed is out: the F3 features would be measured against
+        //    nothing, and — independent of any policy — the incremental
+        //    engine must not carry state across the inconsistency (its
+        //    rolling index later evicts days by re-reading the *current*
+        //    feed, so a blanked-then-restored feed would silently poison
+        //    it). A full reset is always parity-safe: the next day is
+        //    rebuilt from scratch, exactly like a fresh engine's first day.
+        let window = day.lookback_exclusive(config.segugio.features.abuse_window_days);
+        let pdns_blank = input.pdns.records_in(window).next().is_none();
+        let effective = if pdns_blank && health.mask_ip_features_on_blank_pdns {
+            let configured: Vec<usize> = config
+                .segugio
+                .feature_columns
+                .clone()
+                .unwrap_or_else(|| (0..FEATURE_COUNT).collect());
+            let masked: Vec<usize> = configured
+                .iter()
+                .copied()
+                .filter(|c| !FeatureGroup::IpAbuse.columns().contains(c))
+                .collect();
+            // Only mask when something is actually removed and a usable
+            // column set remains.
+            if masked.len() != configured.len() && !masked.is_empty() {
+                degradation.push(Degradation::MaskedIpFeatures);
+                let mut cfg = config.segugio.clone();
+                cfg.feature_columns = Some(masked);
+                Some(cfg)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let train_config = effective.as_ref().unwrap_or(&config.segugio);
+
+        // 2. Build today's snapshot. On a blank-pDNS day the incremental
+        //    engine is bypassed *and* reset (see above); otherwise it
+        //    advances its delta graph and rolling abuse window. The
+        //    scratch path leaves the engine untouched (its next advance
+        //    simply covers a larger step, which both layers handle).
+        let use_engine = incremental && !pdns_blank;
+        let snapshot = if use_engine {
             self.engine.build_snapshot(input, &config.segugio)
         } else {
+            if incremental && pdns_blank {
+                self.engine.reset();
+            }
             DaySnapshot::build(input, &config.segugio)
         };
 
-        // 2. Seed check *before* mutating any tracker state, so a
-        //    no-training-data day is fully skippable.
+        // 3. Seed check *before* mutating any tracker state, so a
+        //    no-training-data day is fully skippable. With the stale-model
+        //    fallback enabled and a fresh-enough retained model, the day
+        //    is scored instead of skipped.
         let (malware, benign, _) = snapshot.graph.domain_label_counts();
-        if malware == 0 || benign == 0 {
-            // A snapshot was built but its features will not be measured;
-            // the engine's feature cache would diff against the wrong day.
-            self.engine.reset_cache();
-            return Err(TrackerError::InsufficientSeeds {
-                day,
-                malware,
-                benign,
-            });
-        }
+        let stale = if malware == 0 || benign == 0 {
+            let usable = health
+                .stale_model_on_insufficient_seeds
+                .then_some(self.last_model.as_ref())
+                .flatten()
+                .filter(|m| day.0.saturating_sub(m.trained_on.0) <= health.max_model_age_days);
+            match usable {
+                Some(retained) => Some(retained.clone()),
+                None => {
+                    // A snapshot was built but its features will not be
+                    // measured; the engine's feature cache would diff
+                    // against the wrong day.
+                    self.engine.reset_cache();
+                    return Err(TrackerError::InsufficientSeeds {
+                        day,
+                        malware,
+                        benign,
+                    });
+                }
+            }
+        } else {
+            None
+        };
 
-        // 3. Reconcile: blacklist confirmations of earlier flags.
+        // 4. Reconcile: blacklist confirmations of earlier flags.
         let mut confirmed_today = Vec::new();
         self.flagged.retain(|&domain, &mut flagged_on| {
             if input.blacklist.contains_as_of(domain, day) {
@@ -157,41 +300,46 @@ impl Tracker {
         });
         confirmed_today.sort_by_key(|&(d, _)| d);
 
-        // 4. Measure features, train on today's knowledge, and calibrate
+        // 5. Measure features, train on today's knowledge, and calibrate
         //    the threshold on the known domains' hidden-label scores. The
         //    training set is extracted once and used for both training and
         //    calibration — feature measurement is the expensive half of
         //    the day. The incremental path measures every domain in one
         //    pass (reusing yesterday's clean rows) so the unknowns' rows
-        //    are already in hand when scoring.
+        //    are already in hand when scoring. On a stale-model day there
+        //    is nothing to train or calibrate: the retained model and its
+        //    threshold score today's unknowns directly (the Fig. 6
+        //    cross-day result is what makes that meaningful), and the
+        //    engine's feature cache is reset since no measurement pass ran.
         let map_train_err =
             |TrainError::InsufficientSeeds { malware, benign }| TrackerError::InsufficientSeeds {
                 day,
                 malware,
                 benign,
             };
-        let (model, threshold, scored) = if incremental {
-            let features = self
-                .engine
-                .measure_day(&snapshot, activity, &config.segugio);
+        let (retain, threshold, scored) = if let Some(retained) = stale {
+            degradation.push(Degradation::StaleModel {
+                trained_on: retained.trained_on,
+            });
+            self.engine.reset_cache();
+            let scored = retained.model.score_unknown(&snapshot, activity);
+            (None, retained.threshold, scored)
+        } else if use_engine {
+            let features = self.engine.measure_day(&snapshot, activity, train_config);
             let model =
-                Segugio::train_prepared(&features.train, &config.segugio).map_err(map_train_err)?;
+                Segugio::train_prepared(&features.train, train_config).map_err(map_train_err)?;
             let threshold = Self::calibrate(&model, &features.train, config);
             let scored = model.score_rows(&features.unknown_ids, &features.unknown_rows);
-            (model, threshold, Some(scored))
+            (Some(model), threshold, scored)
         } else {
-            let (train_set, _) = build_training_set(&snapshot, activity, &config.segugio);
-            let model =
-                Segugio::train_prepared(&train_set, &config.segugio).map_err(map_train_err)?;
+            let (train_set, _) = build_training_set(&snapshot, activity, train_config);
+            let model = Segugio::train_prepared(&train_set, train_config).map_err(map_train_err)?;
             let threshold = Self::calibrate(&model, &train_set, config);
-            (model, threshold, None)
+            let scored = model.score_unknown(&snapshot, activity);
+            (Some(model), threshold, scored)
         };
 
-        // 5. Detect.
-        let scored = match scored {
-            Some(scored) => scored,
-            None => model.score_unknown(&snapshot, activity),
-        };
+        // 6. Detect.
         let all_detections: Vec<Detection> = scored
             .into_iter()
             .filter(|d| d.score >= threshold)
@@ -205,7 +353,7 @@ impl Tracker {
             }
         }
 
-        // 6. Implicated machines.
+        // 7. Implicated machines.
         let mut implicated = Vec::new();
         for det in &all_detections {
             if let Some(idx) = snapshot.graph.domain_idx(det.domain) {
@@ -220,6 +368,17 @@ impl Tracker {
         implicated.sort_unstable();
         implicated.dedup();
 
+        // A freshly trained model is retained for stale-model fallback on
+        // later seedless days; a reused stale model is *not* re-retained
+        // (its training day, and hence its age, is unchanged).
+        if let Some(model) = retain {
+            self.last_model = Some(RetainedModel {
+                model,
+                threshold,
+                trained_on: day,
+            });
+        }
+        self.last_day = Some(day);
         self.days_processed += 1;
         Ok(DayReport {
             day,
@@ -228,7 +387,25 @@ impl Tracker {
             implicated_machines: implicated,
             confirmed: confirmed_today,
             threshold,
+            degradation,
         })
+    }
+
+    /// Processes one day, folding the error path into a [`DayOutcome`]
+    /// instead of a `Result` — the shape deployment drivers log.
+    pub fn process_day_outcome(
+        &mut self,
+        input: &SnapshotInput<'_>,
+        activity: &ActivityStore,
+        config: &TrackerConfig,
+    ) -> DayOutcome {
+        match self.process_day(input, activity, config) {
+            Ok(report) => DayOutcome::Processed(report),
+            Err(error) => DayOutcome::Skipped {
+                day: input.day,
+                error,
+            },
+        }
     }
 
     /// Scores the training rows under the trained model and picks the
@@ -394,6 +571,248 @@ mod tests {
                 .expect("seeds present");
             assert_eq!(ra, rb, "day {} reports diverged", ta.day);
         }
+    }
+
+    /// A seedless day with a fresh retained model is scored with it, and
+    /// the report records the stale-model degradation.
+    #[test]
+    fn stale_model_scores_seedless_day() {
+        use segugio_model::Blacklist;
+
+        let mut isp = IspNetwork::new(IspConfig::tiny(55));
+        isp.warm_up(16);
+        let mut tracker = Tracker::new();
+        let config = TrackerConfig {
+            target_fpr: 0.02,
+            ..TrackerConfig::default()
+        };
+
+        // Two healthy days to retain a model.
+        let mut last_threshold = 0.0f32;
+        let mut last_day = Day(0);
+        for _ in 0..2 {
+            let traffic = isp.next_day();
+            let input = SnapshotInput {
+                day: traffic.day,
+                queries: &traffic.queries,
+                resolutions: &traffic.resolutions,
+                table: isp.table(),
+                pdns: isp.pdns(),
+                blacklist: isp.commercial_blacklist(),
+                whitelist: isp.whitelist(),
+                hidden: None,
+            };
+            let report = tracker
+                .process_day(&input, isp.activity(), &config)
+                .expect("healthy day");
+            assert!(report.degradation.is_empty());
+            last_threshold = report.threshold;
+            last_day = report.day;
+        }
+
+        // Day three arrives with an empty blacklist: no malware seeds.
+        let empty_blacklist = Blacklist::new();
+        let traffic = isp.next_day();
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: &empty_blacklist,
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let report = tracker
+            .process_day(&input, isp.activity(), &config)
+            .expect("stale-model fallback must score the day");
+        assert_eq!(
+            report.degradation,
+            vec![Degradation::StaleModel {
+                trained_on: last_day
+            }]
+        );
+        assert_eq!(report.threshold, last_threshold, "threshold is reused");
+        assert_eq!(tracker.days_processed(), 3);
+
+        // With the fallback disabled the same day is a typed error.
+        let mut strict = config.clone();
+        strict.segugio.health.stale_model_on_insufficient_seeds = false;
+        let mut tracker2 = Tracker::new();
+        let healthy = SnapshotInput {
+            blacklist: isp.commercial_blacklist(),
+            ..input
+        };
+        tracker2
+            .process_day(&healthy, isp.activity(), &strict)
+            .expect("healthy day trains");
+        let traffic = isp.next_day();
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: &empty_blacklist,
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let err = tracker2
+            .process_day(&input, isp.activity(), &strict)
+            .unwrap_err();
+        assert!(matches!(err, TrackerError::InsufficientSeeds { .. }));
+    }
+
+    /// A retained model past its maximum age is not reused.
+    #[test]
+    fn stale_model_expires_past_max_age() {
+        use segugio_model::Blacklist;
+
+        let mut isp = IspNetwork::new(IspConfig::tiny(57));
+        isp.warm_up(16);
+        let mut config = TrackerConfig {
+            target_fpr: 0.02,
+            ..TrackerConfig::default()
+        };
+        config.segugio.health.max_model_age_days = 2;
+        let mut tracker = Tracker::new();
+
+        let traffic = isp.next_day();
+        let trained_day = traffic.day;
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: isp.commercial_blacklist(),
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        tracker
+            .process_day(&input, isp.activity(), &config)
+            .expect("healthy day trains");
+
+        // Skip far ahead: a seedless day 5 days later is out of range.
+        let empty_blacklist = Blacklist::new();
+        for _ in 0..4 {
+            isp.next_day();
+        }
+        let traffic = isp.next_day();
+        assert!(traffic.day.0 - trained_day.0 > 2);
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: &empty_blacklist,
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let err = tracker
+            .process_day(&input, isp.activity(), &config)
+            .unwrap_err();
+        assert!(matches!(err, TrackerError::InsufficientSeeds { .. }));
+    }
+
+    /// A blank pDNS window masks the F3 feature group and records it.
+    #[test]
+    fn blank_pdns_day_masks_ip_features() {
+        use segugio_pdns::PassiveDns;
+
+        let mut isp = IspNetwork::new(IspConfig::tiny(55));
+        isp.warm_up(16);
+        let mut tracker = Tracker::new();
+        let config = TrackerConfig {
+            target_fpr: 0.02,
+            ..TrackerConfig::default()
+        };
+
+        let blank = PassiveDns::new();
+        let traffic = isp.next_day();
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: &blank,
+            blacklist: isp.commercial_blacklist(),
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let report = tracker
+            .process_day(&input, isp.activity(), &config)
+            .expect("F1+F2 are enough to train");
+        assert_eq!(report.degradation, vec![Degradation::MaskedIpFeatures]);
+
+        // The next day, with the feed restored, is healthy again — and the
+        // incremental engine (reset around the blank day) still matches a
+        // from-scratch tracker fed the same two days.
+        let traffic = isp.next_day();
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: isp.commercial_blacklist(),
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let report = tracker
+            .process_day(&input, isp.activity(), &config)
+            .expect("restored day");
+        assert!(report.degradation.is_empty());
+    }
+
+    /// Out-of-order days are a typed error that leaves state untouched.
+    #[test]
+    fn non_monotonic_day_is_rejected() {
+        let mut isp = IspNetwork::new(IspConfig::tiny(55));
+        isp.warm_up(16);
+        let mut tracker = Tracker::new();
+        let config = TrackerConfig {
+            target_fpr: 0.02,
+            ..TrackerConfig::default()
+        };
+        let traffic = isp.next_day();
+        let input = SnapshotInput {
+            day: traffic.day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: isp.commercial_blacklist(),
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let report = tracker
+            .process_day(&input, isp.activity(), &config)
+            .expect("first delivery works");
+        // Re-delivering the same day is rejected.
+        let err = tracker
+            .process_day(&input, isp.activity(), &config)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TrackerError::NonMonotonicDay {
+                last: report.day,
+                got: report.day,
+            }
+        );
+        assert_eq!(tracker.days_processed(), 1);
+
+        // The outcome wrapper records the skip.
+        let outcome = tracker.process_day_outcome(&input, isp.activity(), &config);
+        assert_eq!(
+            outcome,
+            DayOutcome::Skipped {
+                day: report.day,
+                error: err,
+            }
+        );
+        assert!(outcome.report().is_none());
     }
 
     /// A day without both seed classes is a typed, skippable error that

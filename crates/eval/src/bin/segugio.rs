@@ -21,19 +21,123 @@
 //!     training in place or deploying a previously saved model (the
 //!     cross-network story: train at one ISP, ship the model to another)
 //! ```
+//!
+//! # Exit codes
+//!
+//! Failures map to distinct exit codes by kind, so deployment scripts can
+//! tell a typo from a corrupt feed:
+//!
+//! | code | meaning                                             |
+//! |------|-----------------------------------------------------|
+//! | 0    | success                                             |
+//! | 2    | usage error (bad command, flag, or value)           |
+//! | 3    | I/O error (file missing/unreadable/unwritable)      |
+//! | 4    | ingest error (malformed logs, quarantine exceeded)  |
+//! | 5    | model parse error (corrupt/incompatible model file) |
+//! | 6    | data error (no traffic, insufficient seeds)         |
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::fs;
 use std::process::ExitCode;
 
-use segugio_core::{Segugio, SegugioConfig, SnapshotInput};
+use segugio_core::{Segugio, SegugioConfig, SnapshotInput, TrainError};
 use segugio_eval::experiments::{
     ablation, bp_comparison, crossday, crossfamily, dataset, early_detection, fp_analysis,
     notos_comparison, performance, public_blacklist, robustness, seed_sensitivity, Scale,
 };
-use segugio_ingest::{export_day, LogCollector};
+use segugio_ingest::{export_day, IngestError, LogCollector};
+use segugio_ml::ParseModelError;
 use segugio_model::{Blacklist, Day, DomainName, Whitelist};
 use segugio_traffic::{IspConfig, IspNetwork};
+
+/// Typed CLI failure; each variant owns one exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line: unknown command, flag, or malformed value.
+    Usage(String),
+    /// A file could not be opened, read, or written.
+    Io {
+        what: String,
+        source: std::io::Error,
+    },
+    /// Resolver logs failed to ingest (parse errors, quarantine).
+    Ingest(IngestError),
+    /// A persisted model file failed to parse.
+    Model(ParseModelError),
+    /// The inputs parsed but cannot support the requested operation
+    /// (no traffic, missing day, insufficient training seeds).
+    Data(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn io(what: impl Into<String>, source: std::io::Error) -> Self {
+        CliError::Io {
+            what: what.into(),
+            source,
+        }
+    }
+
+    fn data(msg: impl Into<String>) -> Self {
+        CliError::Data(msg.into())
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Io { .. } => ExitCode::from(3),
+            CliError::Ingest(_) => ExitCode::from(4),
+            CliError::Model(_) => ExitCode::from(5),
+            CliError::Data(_) => ExitCode::from(6),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { what, source } => write!(f, "{what}: {source}"),
+            CliError::Ingest(e) => write!(f, "ingesting logs: {e}"),
+            CliError::Model(e) => write!(f, "loading model: {e}"),
+            CliError::Data(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Ingest(e) => Some(e),
+            CliError::Model(e) => Some(e),
+            CliError::Usage(_) | CliError::Data(_) => None,
+        }
+    }
+}
+
+impl From<IngestError> for CliError {
+    fn from(e: IngestError) -> Self {
+        CliError::Ingest(e)
+    }
+}
+
+impl From<ParseModelError> for CliError {
+    fn from(e: ParseModelError) -> Self {
+        CliError::Model(e)
+    }
+}
+
+impl From<TrainError> for CliError {
+    fn from(e: TrainError) -> Self {
+        CliError::Data(e.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,13 +150,15 @@ fn main() -> ExitCode {
             print!("{}", USAGE);
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {err}");
+            err.exit_code()
         }
     }
 }
@@ -74,43 +180,45 @@ Experiments: dataset crossday ablation crossfamily fp-analysis
 ";
 
 /// Parses `--key value` flags into a map, rejecting unknown keys.
-fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+            .ok_or_else(|| CliError::usage(format!("expected a --flag, got `{}`", args[i])))?;
         if !allowed.contains(&key) {
-            return Err(format!("unknown flag `--{key}`"));
+            return Err(CliError::usage(format!("unknown flag `--{key}`")));
         }
         let value = args
             .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            .ok_or_else(|| CliError::usage(format!("flag --{key} needs a value")))?;
         flags.insert(key.to_owned(), value.clone());
         i += 2;
     }
     Ok(flags)
 }
 
-fn scale_by_name(name: &str) -> Result<Scale, String> {
+fn scale_by_name(name: &str) -> Result<Scale, CliError> {
     match name {
         "tiny" => Ok(Scale::tiny()),
         "small" => Ok(Scale::small()),
         "paper" => Ok(Scale::paper()),
-        other => Err(format!("unknown scale `{other}` (tiny|small|paper)")),
+        other => Err(CliError::usage(format!(
+            "unknown scale `{other}` (tiny|small|paper)"
+        ))),
     }
 }
 
-fn cmd_experiment(args: &[String]) -> Result<(), String> {
+fn cmd_experiment(args: &[String]) -> Result<(), CliError> {
     let name = args
         .first()
-        .ok_or_else(|| format!("experiment name required\n\n{USAGE}"))?
+        .ok_or_else(|| CliError::usage(format!("experiment name required\n\n{USAGE}")))?
         .clone();
     let flags = parse_flags(&args[1..], &["scale"])?;
     let scale = scale_by_name(flags.get("scale").map(String::as_str).unwrap_or("small"))?;
 
-    let run_one = |name: &str, scale: &Scale| -> Result<(), String> {
+    let run_one = |name: &str, scale: &Scale| -> Result<(), CliError> {
         match name {
             "dataset" => {
                 let days = [scale.warmup, scale.warmup + 5];
@@ -142,7 +250,11 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
                     seed_sensitivity::run(scale, &[0.1, 0.25, 0.5, 0.75, 1.0])
                 );
             }
-            other => return Err(format!("unknown experiment `{other}`\n\n{USAGE}")),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown experiment `{other}`\n\n{USAGE}"
+                )))
+            }
         }
         Ok(())
     };
@@ -172,11 +284,11 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args, &["out", "machines", "days", "seed", "warmup"])?;
     let out = flags
         .get("out")
-        .ok_or_else(|| "--out FILE is required".to_owned())?;
+        .ok_or_else(|| CliError::usage("--out FILE is required"))?;
     let machines: usize = parse_or(&flags, "machines", 3_000)?;
     let days: u32 = parse_or(&flags, "days", 2)?;
     let seed: u64 = parse_or(&flags, "seed", 7)?;
@@ -198,7 +310,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &day.resolutions,
         ));
     }
-    fs::write(out, &log).map_err(|e| format!("writing {out}: {e}"))?;
+    fs::write(out, &log).map_err(|e| CliError::io(format!("writing {out}"), e))?;
 
     // Ground-truth sidecars in the formats `segugio detect` reads.
     let mut bl = String::new();
@@ -206,14 +318,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         bl.push_str(&format!("{}\t{}\n", isp.table().name(d), added.0));
     }
     fs::write(format!("{out}.blacklist"), bl)
-        .map_err(|e| format!("writing {out}.blacklist: {e}"))?;
+        .map_err(|e| CliError::io(format!("writing {out}.blacklist"), e))?;
     let mut wl = String::new();
     for e in isp.whitelist().iter() {
         wl.push_str(isp.table().e2ld_str(e));
         wl.push('\n');
     }
     fs::write(format!("{out}.whitelist"), wl)
-        .map_err(|e| format!("writing {out}.whitelist: {e}"))?;
+        .map_err(|e| CliError::io(format!("writing {out}.whitelist"), e))?;
 
     println!(
         "wrote {} log lines to {out} (+ {out}.blacklist, {out}.whitelist)",
@@ -225,22 +337,21 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 /// Shared: ingest logs + remap seed lists onto the collector's table.
 fn load_inputs(
     flags: &HashMap<String, String>,
-) -> Result<(LogCollector, Blacklist, Whitelist), String> {
+) -> Result<(LogCollector, Blacklist, Whitelist), CliError> {
     let logs_path = flags
         .get("logs")
-        .ok_or_else(|| "--logs FILE is required".to_owned())?;
+        .ok_or_else(|| CliError::usage("--logs FILE is required"))?;
     let bl_path = flags
         .get("blacklist")
-        .ok_or_else(|| "--blacklist FILE is required".to_owned())?;
+        .ok_or_else(|| CliError::usage("--blacklist FILE is required"))?;
     let wl_path = flags
         .get("whitelist")
-        .ok_or_else(|| "--whitelist FILE is required".to_owned())?;
+        .ok_or_else(|| CliError::usage("--whitelist FILE is required"))?;
 
     let mut collector = LogCollector::new();
-    let file = fs::File::open(logs_path).map_err(|e| format!("opening {logs_path}: {e}"))?;
-    let n = collector
-        .ingest_reader(std::io::BufReader::new(file))
-        .map_err(|e| e.to_string())?;
+    let file =
+        fs::File::open(logs_path).map_err(|e| CliError::io(format!("opening {logs_path}"), e))?;
+    let n = collector.ingest_reader(std::io::BufReader::new(file))?;
     eprintln!(
         "ingested {n} records: {} machines, days {:?}",
         collector.machine_count(),
@@ -248,26 +359,29 @@ fn load_inputs(
     );
 
     let mut blacklist = Blacklist::new();
-    let bl_text = fs::read_to_string(bl_path).map_err(|e| format!("reading {bl_path}: {e}"))?;
+    let bl_text =
+        fs::read_to_string(bl_path).map_err(|e| CliError::io(format!("reading {bl_path}"), e))?;
     for (i, line) in bl_text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split('\t');
-        let name = parts.next().expect("split yields at least one part");
-        let added: u32 = parts
-            .next()
-            .unwrap_or("0")
+        let (name, added_field) = match line.split_once('\t') {
+            Some((name, rest)) => (name, rest),
+            None => (line, "0"),
+        };
+        let added: u32 = added_field
             .parse()
-            .map_err(|_| format!("{bl_path}:{}: bad day index", i + 1))?;
-        let parsed = DomainName::parse(name).map_err(|e| format!("{bl_path}:{}: {e}", i + 1))?;
+            .map_err(|_| CliError::data(format!("{bl_path}:{}: bad day index", i + 1)))?;
+        let parsed = DomainName::parse(name)
+            .map_err(|e| CliError::data(format!("{bl_path}:{}: {e}", i + 1)))?;
         if let Some(id) = collector.table().get(&parsed) {
             blacklist.insert(id, Day(added));
         }
     }
     let mut whitelist = Whitelist::new();
-    let wl_text = fs::read_to_string(wl_path).map_err(|e| format!("reading {wl_path}: {e}"))?;
+    let wl_text =
+        fs::read_to_string(wl_path).map_err(|e| CliError::io(format!("reading {wl_path}"), e))?;
     for line in wl_text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -285,24 +399,23 @@ fn load_inputs(
     Ok((collector, blacklist, whitelist))
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(args, &["logs", "blacklist", "whitelist", "save", "day"])?;
     let save = flags
         .get("save")
-        .ok_or_else(|| "--save FILE is required".to_owned())?
+        .ok_or_else(|| CliError::usage("--save FILE is required"))?
         .clone();
     let (collector, blacklist, whitelist) = load_inputs(&flags)?;
     let days = collector.days();
-    if days.is_empty() {
-        return Err("log file contains no traffic".to_owned());
-    }
     let day = match flags.get("day") {
-        Some(d) => Day(d.parse().map_err(|_| "bad --day")?),
-        None => days[0],
+        Some(d) => Day(d.parse().map_err(|_| CliError::usage("bad --day"))?),
+        None => *days
+            .first()
+            .ok_or_else(|| CliError::data("log file contains no traffic"))?,
     };
     let train = collector
         .day(day)
-        .ok_or_else(|| format!("no traffic on {day}"))?;
+        .ok_or_else(|| CliError::data(format!("no traffic on {day}")))?;
     let config = SegugioConfig::default();
     let input = SnapshotInput {
         day,
@@ -315,14 +428,14 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         hidden: None,
     };
     let snapshot = Segugio::build_snapshot(&input, &config);
-    let model =
-        Segugio::train(&snapshot, collector.activity(), &config).map_err(|e| e.to_string())?;
-    fs::write(&save, model.save_to_string()).map_err(|e| format!("writing {save}: {e}"))?;
+    let model = Segugio::train(&snapshot, collector.activity(), &config)?;
+    fs::write(&save, model.save_to_string())
+        .map_err(|e| CliError::io(format!("writing {save}"), e))?;
     println!("trained on {day} and saved the model to {save}");
     Ok(())
 }
 
-fn cmd_detect(args: &[String]) -> Result<(), String> {
+fn cmd_detect(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(
         args,
         &[
@@ -338,33 +451,34 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let top: usize = parse_or(&flags, "top", 20)?;
     let (collector, blacklist, whitelist) = load_inputs(&flags)?;
     let days = collector.days();
-    if days.is_empty() {
-        return Err("log file contains no traffic".to_owned());
-    }
     let test_day = match flags.get("test-day") {
-        Some(d) => Day(d.parse().map_err(|_| "bad --test-day")?),
-        None => *days.last().expect("non-empty"),
+        Some(d) => Day(d.parse().map_err(|_| CliError::usage("bad --test-day"))?),
+        None => *days
+            .last()
+            .ok_or_else(|| CliError::data("log file contains no traffic"))?,
     };
 
     let config = SegugioConfig::default();
     let model = match flags.get("model") {
         Some(path) => {
             // Deploy a previously trained (possibly cross-network) model.
-            let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let model =
-                segugio_core::SegugioModel::load_from_str(&text).map_err(|e| e.to_string())?;
+            let text =
+                fs::read_to_string(path).map_err(|e| CliError::io(format!("reading {path}"), e))?;
+            let model = segugio_core::SegugioModel::load_from_str(&text)?;
             eprintln!("loaded model from {path}; testing on {test_day}");
             model
         }
         None => {
             let train_day = match flags.get("train-day") {
-                Some(d) => Day(d.parse().map_err(|_| "bad --train-day")?),
-                None => days[0],
+                Some(d) => Day(d.parse().map_err(|_| CliError::usage("bad --train-day"))?),
+                None => *days
+                    .first()
+                    .ok_or_else(|| CliError::data("log file contains no traffic"))?,
             };
             eprintln!("training on {train_day}, testing on {test_day}");
             let train = collector
                 .day(train_day)
-                .ok_or_else(|| format!("no traffic on {train_day}"))?;
+                .ok_or_else(|| CliError::data(format!("no traffic on {train_day}")))?;
             let input = SnapshotInput {
                 day: train_day,
                 queries: &train.queries,
@@ -376,13 +490,13 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
                 hidden: None,
             };
             let snapshot = Segugio::build_snapshot(&input, &config);
-            Segugio::train(&snapshot, collector.activity(), &config).map_err(|e| e.to_string())?
+            Segugio::train(&snapshot, collector.activity(), &config)?
         }
     };
 
     let test = collector
         .day(test_day)
-        .ok_or_else(|| format!("no traffic on {test_day}"))?;
+        .ok_or_else(|| CliError::data(format!("no traffic on {test_day}")))?;
     let input = SnapshotInput {
         day: test_day,
         queries: &test.queries,
@@ -416,11 +530,11 @@ fn parse_or<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("bad value for --{key}: `{v}`")),
+            .map_err(|_| CliError::usage(format!("bad value for --{key}: `{v}`"))),
     }
 }

@@ -136,7 +136,7 @@ impl GraphBuilder {
             }
         } else {
             let chunk = self.edges.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            let joined = crossbeam::thread::scope(|scope| {
                 for (out, es) in m_adj.chunks_mut(chunk).zip(self.edges.chunks(chunk)) {
                     let d_index = &d_index;
                     scope.spawn(move |_| {
@@ -145,8 +145,10 @@ impl GraphBuilder {
                         }
                     });
                 }
-            })
-            .expect("machine CSR fill worker panicked");
+            });
+            if let Err(payload) = joined {
+                std::panic::resume_unwind(payload);
+            }
         }
 
         // Domain -> machine CSR.
@@ -183,7 +185,7 @@ impl GraphBuilder {
                 .collect();
             let slots: Vec<AtomicU32> = (0..self.edges.len()).map(|_| AtomicU32::new(0)).collect();
             let chunk = self.edges.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            let joined = crossbeam::thread::scope(|scope| {
                 for es in self.edges.chunks(chunk) {
                     let (cursors, slots) = (&cursors, &slots);
                     let (m_index, d_index) = (&m_index, &d_index);
@@ -195,8 +197,10 @@ impl GraphBuilder {
                         }
                     });
                 }
-            })
-            .expect("domain CSR scatter worker panicked");
+            });
+            if let Err(payload) = joined {
+                std::panic::resume_unwind(payload);
+            }
             for (slot, filled) in d_adj.iter_mut().zip(&slots) {
                 *slot = filled.load(Ordering::Relaxed);
             }
@@ -216,7 +220,7 @@ impl GraphBuilder {
                 ranges.push((start, end));
                 start = end;
             }
-            crossbeam::thread::scope(|scope| {
+            let joined = crossbeam::thread::scope(|scope| {
                 let mut remaining = &mut d_adj[..];
                 let mut consumed = 0usize;
                 for &(s, e) in &ranges {
@@ -234,8 +238,10 @@ impl GraphBuilder {
                         }
                     });
                 }
-            })
-            .expect("domain adjacency sort worker panicked");
+            });
+            if let Err(payload) = joined {
+                std::panic::resume_unwind(payload);
+            }
         }
 
         let domain_e2ld: Vec<E2ldId> = domains

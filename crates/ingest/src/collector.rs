@@ -7,8 +7,9 @@ use std::io::{BufRead, BufReader, Read};
 use segugio_model::{Day, DomainId, DomainTable, Ipv4, MachineId};
 use segugio_pdns::{ActivityStore, PassiveDns};
 
-use crate::error::ParseLogError;
+use crate::error::IngestError;
 use crate::parser::LogRecord;
+use crate::quarantine::{IngestStats, QuarantinePolicy};
 
 /// One ingested day, ready for `segugio_core::SnapshotInput`.
 #[derive(Debug, Clone, Default)]
@@ -80,7 +81,10 @@ impl LogCollector {
         let mut ingested = 0usize;
         for (idx, line) in BufReader::new(reader).lines().enumerate() {
             let line_no = u64::try_from(idx).map_or(u64::MAX, |n| n.saturating_add(1));
-            let line = line.map_err(|e| IngestError::Io(line_no, e.to_string()))?;
+            let line = line.map_err(|e| IngestError::Io {
+                line: line_no,
+                source: e,
+            })?;
             if line.trim().is_empty() || line.trim_start().starts_with('#') {
                 continue;
             }
@@ -91,6 +95,70 @@ impl LogCollector {
             ingested += 1;
         }
         Ok(ingested)
+    }
+
+    /// Parses a reader in quarantine mode: damaged lines are counted by
+    /// kind instead of aborting the file, and the records are committed
+    /// only if the damage stays under `policy`.
+    ///
+    /// This is the deployment-facing twin of
+    /// [`ingest_reader`](Self::ingest_reader): real feeds carry torn
+    /// writes, invalid UTF-8 and garbled fields, and one bad line must not
+    /// lose a day. Commit is all-or-nothing — when the policy is exceeded
+    /// the collector is left exactly as it was, so a mis-formatted or
+    /// truncated file can never half-poison the behavior graph.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::QuarantineExceeded`] when the file is too noisy
+    /// (nothing ingested), or [`IngestError::Io`] on a transport-level read
+    /// failure (invalid UTF-8 is *data* damage and is counted, not fatal).
+    pub fn ingest_quarantined<R: Read>(
+        &mut self,
+        reader: R,
+        policy: &QuarantinePolicy,
+    ) -> Result<IngestStats, IngestError> {
+        let mut stats = IngestStats::default();
+        let mut parsed: Vec<LogRecord> = Vec::new();
+        for (idx, line) in BufReader::new(reader).lines().enumerate() {
+            let line_no = u64::try_from(idx).map_or(u64::MAX, |n| n.saturating_add(1));
+            let line = match line {
+                Ok(line) => line,
+                // `lines()` yields `InvalidData` for non-UTF-8 bytes but
+                // the stream stays usable: count and move on.
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    stats.bad_encoding += 1;
+                    continue;
+                }
+                Err(e) => {
+                    return Err(IngestError::Io {
+                        line: line_no,
+                        source: e,
+                    })
+                }
+            };
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                stats.skipped_comments += 1;
+                continue;
+            }
+            let payload = line.trim_end_matches('\r');
+            match LogRecord::parse(payload, line_no) {
+                Ok(record) => parsed.push(record),
+                Err(e) => stats.note_parse(e.kind()),
+            }
+        }
+        stats.ingested = u64::try_from(parsed.len()).map_or(u64::MAX, |n| n);
+        if policy.exceeded(&stats) {
+            return Err(IngestError::QuarantineExceeded {
+                errors: stats.errors(),
+                considered: stats.considered(),
+                max_error_rate: policy.max_error_rate,
+            });
+        }
+        for record in parsed {
+            self.ingest(record);
+        }
+        Ok(stats)
     }
 
     fn intern_machine(&mut self, client: &str) -> MachineId {
@@ -150,33 +218,6 @@ impl LogCollector {
                 .map(|(&d, ips)| (d, ips.clone()))
                 .collect(),
         })
-    }
-}
-
-/// Errors from [`LogCollector::ingest_reader`].
-#[derive(Debug)]
-pub enum IngestError {
-    /// A line failed to parse.
-    Parse(ParseLogError),
-    /// Reading failed at the given line.
-    Io(u64, String),
-}
-
-impl std::fmt::Display for IngestError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IngestError::Parse(e) => write!(f, "{e}"),
-            IngestError::Io(line, e) => write!(f, "log line {line}: i/o error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for IngestError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            IngestError::Parse(e) => Some(e),
-            IngestError::Io(..) => None,
-        }
     }
 }
 
@@ -244,9 +285,71 @@ mod tests {
             .unwrap_err();
         match err {
             IngestError::Parse(e) => assert_eq!(e.line(), 2),
-            IngestError::Io(..) => panic!("expected parse error"),
+            other => panic!("expected parse error, got {other:?}"),
         }
         // The good line before the failure was ingested.
         assert_eq!(c.machine_count(), 1);
+    }
+
+    #[test]
+    fn quarantine_tolerates_sparse_damage() {
+        let mut c = LogCollector::new();
+        let mut text = String::from("# header\n");
+        for i in 0..100 {
+            text.push_str(&format!("0\thost-{i}\twww.example.com\t1.2.3.4\n"));
+        }
+        text.push_str("0\thost-x\n"); // truncated: qname and ips fields lost
+        text.push_str("not-a-day\thost-x\twww.example.com\t1.2.3.4\n");
+        let stats = c
+            .ingest_quarantined(text.as_bytes(), &QuarantinePolicy::default())
+            .unwrap();
+        assert_eq!(stats.ingested, 100);
+        assert_eq!(stats.missing_field, 1);
+        assert_eq!(stats.bad_day, 1);
+        assert_eq!(stats.skipped_comments, 1);
+        assert_eq!(stats.errors(), 2);
+        assert_eq!(c.machine_count(), 100);
+    }
+
+    #[test]
+    fn quarantine_rejects_noisy_file_without_ingesting() {
+        let mut c = LogCollector::new();
+        let mut text = String::new();
+        for i in 0..10 {
+            text.push_str(&format!("0\thost-{i}\twww.example.com\t1.2.3.4\n"));
+        }
+        for _ in 0..10 {
+            text.push_str("completely broken\n");
+        }
+        let err = c
+            .ingest_quarantined(text.as_bytes(), &QuarantinePolicy::default())
+            .unwrap_err();
+        match err {
+            IngestError::QuarantineExceeded {
+                errors, considered, ..
+            } => {
+                assert_eq!(errors, 10);
+                assert_eq!(considered, 20);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // All-or-nothing: the collector is untouched.
+        assert_eq!(c.machine_count(), 0);
+        assert!(c.days().is_empty());
+    }
+
+    #[test]
+    fn quarantine_counts_invalid_utf8_and_continues() {
+        let mut c = LogCollector::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"0\thost-a\twww.example.com\t1.2.3.4\n");
+        bytes.extend_from_slice(b"0\thost-\xFF\tbroken\t\n");
+        bytes.extend_from_slice(b"0\thost-b\twww.example.com\t1.2.3.4\n");
+        let stats = c
+            .ingest_quarantined(bytes.as_slice(), &QuarantinePolicy::default())
+            .unwrap();
+        assert_eq!(stats.ingested, 2);
+        assert_eq!(stats.bad_encoding, 1);
+        assert_eq!(c.machine_count(), 2);
     }
 }

@@ -64,3 +64,71 @@ impl Error for ParseLogError {
         }
     }
 }
+
+/// Errors from reader-level ingestion
+/// ([`LogCollector::ingest_reader`](crate::LogCollector::ingest_reader),
+/// [`LogCollector::ingest_quarantined`](crate::LogCollector::ingest_quarantined)
+/// and the Zeek reader).
+#[derive(Debug)]
+pub enum IngestError {
+    /// A line failed to parse (fail-fast mode only; quarantined ingestion
+    /// counts these instead).
+    Parse(ParseLogError),
+    /// Reading failed at the given line with a transport-level error.
+    Io {
+        /// 1-based line number where reading failed.
+        line: u64,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// A Zeek `dns.log` stream had a missing or unusable `#fields` header.
+    BadHeader {
+        /// 1-based line number of the offending (or first data) line.
+        line: u64,
+        /// What was wrong with the header.
+        message: String,
+    },
+    /// Quarantined ingestion rejected the whole file as too noisy; nothing
+    /// was committed to the collector.
+    QuarantineExceeded {
+        /// Error lines counted across every kind.
+        errors: u64,
+        /// Lines considered for ingestion (records + errors).
+        considered: u64,
+        /// The policy threshold that was exceeded.
+        max_error_rate: f64,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::Io { line, source } => {
+                write!(f, "log line {line}: i/o error: {source}")
+            }
+            IngestError::BadHeader { line, message } => {
+                write!(f, "dns.log line {line}: {message}")
+            }
+            IngestError::QuarantineExceeded {
+                errors,
+                considered,
+                max_error_rate,
+            } => write!(
+                f,
+                "quarantine exceeded: {errors} damaged lines out of {considered} \
+                 (error rate above {max_error_rate}); file rejected, nothing ingested"
+            ),
+        }
+    }
+}
+
+impl Error for IngestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IngestError::Parse(e) => Some(e),
+            IngestError::Io { source, .. } => Some(source),
+            IngestError::BadHeader { .. } | IngestError::QuarantineExceeded { .. } => None,
+        }
+    }
+}

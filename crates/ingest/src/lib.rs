@@ -52,10 +52,12 @@ pub mod collector;
 pub mod error;
 pub mod export;
 pub mod parser;
+pub mod quarantine;
 pub mod zeek;
 
 pub use collector::{IngestedDay, LogCollector};
-pub use error::ParseLogError;
+pub use error::{IngestError, ParseLogError};
 pub use export::export_day;
 pub use parser::LogRecord;
+pub use quarantine::{IngestStats, QuarantinePolicy};
 pub use zeek::{ZeekReader, ZeekStats};

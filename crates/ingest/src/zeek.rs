@@ -32,15 +32,41 @@ use std::io::{BufRead, BufReader, Read};
 use segugio_model::{Day, DomainName, Ipv4};
 
 use crate::collector::LogCollector;
+use crate::error::IngestError;
 use crate::parser::LogRecord;
+use crate::quarantine::QuarantinePolicy;
 
-/// What a Zeek ingestion pass did.
+/// What a Zeek ingestion pass did, with "benign filter" separated from
+/// "corrupt input" so quarantine thresholds can tell a healthy log full of
+/// AAAA lookups apart from a damaged one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ZeekStats {
     /// Records ingested (A-type, NOERROR, with usable qname and client).
     pub ingested: usize,
-    /// Lines skipped (headers, comments, non-A, errors, unparsable).
-    pub skipped: usize,
+    /// Healthy lines filtered by design: non-A qtypes and non-NOERROR
+    /// rcodes.
+    pub skipped_non_a: usize,
+    /// Comment (`#...`) and blank lines.
+    pub skipped_headers: usize,
+    /// Damaged lines: unparsable timestamps, out-of-range days, missing
+    /// clients, invalid qnames, invalid UTF-8.
+    pub errors: usize,
+}
+
+impl ZeekStats {
+    /// Everything that was not ingested, across all kinds.
+    pub fn skipped(&self) -> usize {
+        self.skipped_non_a + self.skipped_headers + self.errors
+    }
+}
+
+/// What one data line amounted to.
+enum LineOutcome {
+    Record(LogRecord),
+    /// Healthy but out of scope (non-A, non-NOERROR).
+    Filtered,
+    /// Damaged (bad timestamp, missing client, invalid qname, ...).
+    Damaged,
 }
 
 /// Configurable Zeek `dns.log` reader.
@@ -70,77 +96,147 @@ impl ZeekReader {
 
     /// Parses a Zeek `dns.log` stream into `collector`.
     ///
-    /// Unparsable *data* lines are counted in `skipped` rather than
-    /// failing the whole file — Zeek logs routinely contain `-` fields and
-    /// non-A records.
+    /// Damaged *data* lines are counted in [`ZeekStats::errors`] rather
+    /// than failing the whole file — Zeek logs routinely contain `-`
+    /// fields — and filtered non-A/non-NOERROR lines are counted
+    /// separately in [`ZeekStats::skipped_non_a`].
     ///
     /// # Errors
     ///
-    /// Returns an error string when the stream has no `#fields` header
-    /// before data, the header lacks a required column, or reading fails.
+    /// [`IngestError::BadHeader`] when the stream has no `#fields` header
+    /// before data or the header lacks a required column, and
+    /// [`IngestError::Io`] when reading fails (invalid UTF-8 is counted as
+    /// a line error, not a failure).
     pub fn ingest<R: Read>(
         &self,
         reader: R,
         collector: &mut LogCollector,
-    ) -> Result<ZeekStats, String> {
+    ) -> Result<ZeekStats, IngestError> {
+        self.ingest_with(reader, |record| collector.ingest(record))
+    }
+
+    /// Parses a Zeek `dns.log` stream in quarantine mode: like
+    /// [`ingest`](Self::ingest), but the records are committed to
+    /// `collector` only if line damage stays under `policy` — otherwise
+    /// the whole file is rejected with
+    /// [`IngestError::QuarantineExceeded`] and nothing is ingested.
+    /// Filtered non-A/non-NOERROR lines never count against the policy.
+    pub fn ingest_quarantined<R: Read>(
+        &self,
+        reader: R,
+        collector: &mut LogCollector,
+        policy: &QuarantinePolicy,
+    ) -> Result<ZeekStats, IngestError> {
+        let mut parsed: Vec<LogRecord> = Vec::new();
+        let stats = self.ingest_with(reader, |record| parsed.push(record))?;
+        let errors = u64::try_from(stats.errors).map_or(u64::MAX, |n| n);
+        let considered = u64::try_from(stats.ingested + stats.errors).map_or(u64::MAX, |n| n);
+        if policy.exceeded_counts(errors, considered) {
+            return Err(IngestError::QuarantineExceeded {
+                errors,
+                considered,
+                max_error_rate: policy.max_error_rate,
+            });
+        }
+        for record in parsed {
+            collector.ingest(record);
+        }
+        Ok(stats)
+    }
+
+    /// Shared reader loop; `sink` receives each parsed record.
+    fn ingest_with<R: Read>(
+        &self,
+        reader: R,
+        mut sink: impl FnMut(LogRecord),
+    ) -> Result<ZeekStats, IngestError> {
         let mut stats = ZeekStats::default();
         let mut columns: Option<Columns> = None;
         for (idx, line) in BufReader::new(reader).lines().enumerate() {
-            let line = line.map_err(|e| format!("dns.log line {}: {e}", idx + 1))?;
+            let line_no = u64::try_from(idx).map_or(u64::MAX, |n| n.saturating_add(1));
+            let line = match line {
+                Ok(line) => line,
+                // Non-UTF-8 bytes are line damage; the stream continues.
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    stats.errors += 1;
+                    continue;
+                }
+                Err(e) => {
+                    return Err(IngestError::Io {
+                        line: line_no,
+                        source: e,
+                    })
+                }
+            };
             if let Some(rest) = line.strip_prefix("#fields") {
-                columns = Some(Columns::from_header(rest)?);
+                columns =
+                    Some(
+                        Columns::from_header(rest).map_err(|message| IngestError::BadHeader {
+                            line: line_no,
+                            message,
+                        })?,
+                    );
                 continue;
             }
             if line.starts_with('#') || line.trim().is_empty() {
-                stats.skipped += 1;
+                stats.skipped_headers += 1;
                 continue;
             }
             let Some(cols) = &columns else {
-                return Err("data before #fields header in dns.log".to_owned());
+                return Err(IngestError::BadHeader {
+                    line: line_no,
+                    message: "data before #fields header in dns.log".to_owned(),
+                });
             };
             match self.parse_line(&line, cols) {
-                Some(record) => {
-                    collector.ingest(record);
+                LineOutcome::Record(record) => {
+                    sink(record);
                     stats.ingested += 1;
                 }
-                None => stats.skipped += 1,
+                LineOutcome::Filtered => stats.skipped_non_a += 1,
+                LineOutcome::Damaged => stats.errors += 1,
             }
         }
         Ok(stats)
     }
 
-    fn parse_line(&self, line: &str, cols: &Columns) -> Option<LogRecord> {
+    fn parse_line(&self, line: &str, cols: &Columns) -> LineOutcome {
         let fields: Vec<&str> = line.split('\t').collect();
         let get = |i: usize| fields.get(i).copied().unwrap_or("-");
 
-        // Keep only successful A lookups.
+        // Keep only successful A lookups: anything else is a healthy
+        // filter, not damage.
         if let Some(qtype) = cols.qtype_name {
             if get(qtype) != "A" {
-                return None;
+                return LineOutcome::Filtered;
             }
         }
         if let Some(rcode) = cols.rcode_name {
             if get(rcode) != "NOERROR" {
-                return None;
+                return LineOutcome::Filtered;
             }
         }
-        let ts: f64 = get(cols.ts).parse().ok()?;
+        let Ok(ts) = get(cols.ts).parse::<f64>() else {
+            return LineOutcome::Damaged;
+        };
         let days = (ts - self.epoch) / 86_400.0;
         // Reject records before the epoch or past the day-index range, so
         // the float-to-int truncation below cannot wrap or saturate.
         if !(0.0..f64::from(u32::MAX)).contains(&days) {
-            return None;
+            return LineOutcome::Damaged;
         }
         let client = get(cols.orig_h);
         if client == "-" || client.is_empty() {
-            return None;
+            return LineOutcome::Damaged;
         }
-        let qname = DomainName::parse(get(cols.query)).ok()?;
+        let Ok(qname) = DomainName::parse(get(cols.query)) else {
+            return LineOutcome::Damaged;
+        };
         let ips: Vec<Ipv4> = match cols.answers {
             Some(a) => get(a).split(',').filter_map(parse_ipv4).collect(),
             None => Vec::new(),
         };
-        Some(LogRecord {
+        LineOutcome::Record(LogRecord {
             // segugio-lint: allow(C2, truncation toward zero is the intended day bucketing and the range is checked above)
             day: Day(days as u32),
             client: client.to_owned(),
@@ -222,7 +318,11 @@ mod tests {
         let mut c = LogCollector::new();
         let stats = ZeekReader::new().ingest(text.as_bytes(), &mut c).unwrap();
         assert_eq!(stats.ingested, 1);
-        assert!(stats.skipped >= 3);
+        // AAAA + NXDOMAIN are healthy filters; #separator + #close are headers.
+        assert_eq!(stats.skipped_non_a, 2);
+        assert_eq!(stats.skipped_headers, 2);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.skipped(), 4);
         let day = c.day(Day(1)).expect("ts 86400 is day 1");
         assert_eq!(day.queries.len(), 1);
         let (_, ips) = &day.resolutions[0];
@@ -279,6 +379,61 @@ b.example.org\t86400.0\t10.1.1.1\t9.9.9.9\tA\tNOERROR
         let mut c = LogCollector::new();
         let stats = ZeekReader::new().ingest(text.as_bytes(), &mut c).unwrap();
         assert_eq!(stats.ingested, 0);
-        assert_eq!(stats.skipped, 4); // 3 bad lines + trailing none
+        assert_eq!(stats.errors, 3); // bad ts, `-` client, invalid qname
+        assert_eq!(stats.skipped_headers, 1); // the #separator line
+        assert_eq!(stats.skipped_non_a, 0);
+    }
+
+    #[test]
+    fn quarantined_zeek_rejects_noisy_file() {
+        let mut bad_lines: Vec<String> = Vec::new();
+        for i in 0..10 {
+            bad_lines.push(format!(
+                "not-a-ts\tC{i}\t10.0.0.{i}\t1\t8.8.8.8\ta.example.com\tA\tNOERROR\t1.1.1.1"
+            ));
+        }
+        bad_lines.push(
+            "86400.0\tC1\t10.0.0.1\t1\t8.8.8.8\tgood.example.com\tA\tNOERROR\t1.1.1.1".to_owned(),
+        );
+        let refs: Vec<&str> = bad_lines.iter().map(String::as_str).collect();
+        let text = log(&refs);
+        let mut c = LogCollector::new();
+        let err = ZeekReader::new()
+            .ingest_quarantined(
+                text.as_bytes(),
+                &mut c,
+                &crate::quarantine::QuarantinePolicy::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, IngestError::QuarantineExceeded { .. }));
+        // All-or-nothing: even the good record was withheld.
+        assert_eq!(c.machine_count(), 0);
+    }
+
+    #[test]
+    fn quarantined_zeek_ignores_benign_filters() {
+        // A log dominated by AAAA lookups is healthy, not quarantinable.
+        let mut lines: Vec<String> = Vec::new();
+        for i in 0..50 {
+            lines.push(format!(
+                "86400.0\tC{i}\t10.0.0.1\t1\t8.8.8.8\ta.example.com\tAAAA\tNOERROR\t::1"
+            ));
+        }
+        lines.push(
+            "86400.0\tC1\t10.0.0.1\t1\t8.8.8.8\tgood.example.com\tA\tNOERROR\t1.1.1.1".to_owned(),
+        );
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let text = log(&refs);
+        let mut c = LogCollector::new();
+        let stats = ZeekReader::new()
+            .ingest_quarantined(
+                text.as_bytes(),
+                &mut c,
+                &crate::quarantine::QuarantinePolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(stats.ingested, 1);
+        assert_eq!(stats.skipped_non_a, 50);
+        assert_eq!(c.machine_count(), 1);
     }
 }

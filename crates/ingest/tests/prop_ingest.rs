@@ -1,9 +1,13 @@
 //! Property-based tests: arbitrary well-formed logs survive the
-//! export → ingest round trip with nothing lost or invented.
+//! export → ingest round trip with nothing lost or invented, and the
+//! parsers never panic on hostile bytes (non-UTF-8, oversized lines,
+//! garbled headers) — they fail typed or quarantine.
 
 use proptest::prelude::*;
 
-use segugio_ingest::{export_day, LogCollector, LogRecord};
+use segugio_ingest::{
+    export_day, IngestError, LogCollector, LogRecord, QuarantinePolicy, ZeekReader,
+};
 use segugio_model::{Day, DomainName, DomainTable, Ipv4, MachineId};
 
 fn label() -> impl Strategy<Value = String> {
@@ -75,5 +79,107 @@ proptest! {
         prop_assert_eq!(collector.table().len(), distinct_names.len());
         let day = collector.day(Day(3)).unwrap();
         prop_assert_eq!(day.queries.len(), queries.len());
+    }
+}
+
+/// Bytes hostile to a line-oriented TSV parser: either raw arbitrary
+/// bytes (non-UTF-8 sequences included) or text assembled from the
+/// characters the parsers treat as structure (tabs, newlines, digits,
+/// dots, commas, comments) so the interesting branches are actually hit.
+fn hostile_bytes() -> impl Strategy<Value = Vec<u8>> {
+    (
+        any::<u8>(),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        "[0-9a-z.\t\n,# -]{1,256}",
+    )
+        .prop_map(|(pick, raw, text)| match pick % 3 {
+            0 => raw,
+            1 => text.into_bytes(),
+            _ => {
+                // One oversized line: strip newlines and double the text
+                // until it dwarfs any sane log line.
+                let mut line: Vec<u8> = text.into_bytes();
+                line.retain(|&b| b != b'\n');
+                line.push(b'x');
+                while line.len() < 4096 {
+                    let chunk = line.clone();
+                    line.extend_from_slice(&chunk);
+                }
+                line
+            }
+        })
+}
+
+proptest! {
+    /// `LogRecord::parse` returns Ok or a typed error on any input line,
+    /// including oversized and structure-heavy ones — never panics.
+    #[test]
+    fn log_record_parse_never_panics(bytes in hostile_bytes()) {
+        let text = String::from_utf8_lossy(&bytes);
+        for (i, line) in text.lines().enumerate() {
+            let _ = LogRecord::parse(line, i as u64 + 1);
+        }
+    }
+
+    /// Strict ingest on arbitrary bytes either succeeds or fails typed.
+    #[test]
+    fn ingest_reader_never_panics(bytes in hostile_bytes()) {
+        let mut collector = LogCollector::new();
+        let _ = collector.ingest_reader(bytes.as_slice());
+    }
+
+    /// Quarantined ingest never panics, and a rejected file leaves the
+    /// collector exactly as empty as it started (all-or-nothing).
+    #[test]
+    fn ingest_quarantined_is_all_or_nothing(bytes in hostile_bytes()) {
+        let mut collector = LogCollector::new();
+        let policy = QuarantinePolicy::default();
+        match collector.ingest_quarantined(bytes.as_slice(), &policy) {
+            Ok(stats) => {
+                let ingested = usize::try_from(stats.ingested).unwrap_or(usize::MAX);
+                prop_assert!(collector.days().len() <= ingested);
+            }
+            Err(IngestError::QuarantineExceeded { .. }) => {
+                prop_assert_eq!(collector.machine_count(), 0);
+                prop_assert!(collector.days().is_empty());
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// The Zeek reader — including its private `#fields` header parser —
+    /// survives arbitrary bytes without panicking.
+    #[test]
+    fn zeek_ingest_never_panics(bytes in hostile_bytes()) {
+        let mut collector = LogCollector::new();
+        let _ = ZeekReader::new().ingest(bytes.as_slice(), &mut collector);
+        let mut collector = LogCollector::new();
+        let _ = ZeekReader::new().ingest_quarantined(
+            bytes.as_slice(),
+            &mut collector,
+            &QuarantinePolicy::default(),
+        );
+    }
+
+    /// Fuzzes the `#fields` header line directly: arbitrary column names
+    /// (unicode, duplicates, empties) followed by fuzzed data rows must
+    /// parse, error typed, or quarantine — never panic.
+    #[test]
+    fn zeek_header_parser_never_panics(
+        columns in proptest::collection::vec("[\t -~]{0,24}", 0..12),
+        rows in proptest::collection::vec("[\t -~]{0,64}", 0..8),
+    ) {
+        let mut log = String::from("#fields");
+        for col in &columns {
+            log.push('\t');
+            log.push_str(col);
+        }
+        log.push('\n');
+        for row in &rows {
+            log.push_str(row);
+            log.push('\n');
+        }
+        let mut collector = LogCollector::new();
+        let _ = ZeekReader::new().ingest(log.as_bytes(), &mut collector);
     }
 }

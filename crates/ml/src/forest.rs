@@ -106,7 +106,7 @@ impl RandomForest {
                 .collect()
         } else {
             let mut slots: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
-            crossbeam::thread::scope(|scope| {
+            let joined = crossbeam::thread::scope(|scope| {
                 for (worker, chunk) in slots
                     .chunks_mut(config.n_trees.div_ceil(n_threads))
                     .enumerate()
@@ -119,12 +119,15 @@ impl RandomForest {
                         }
                     });
                 }
-            })
-            .expect("forest training worker panicked");
-            slots
-                .into_iter()
-                .map(|t| t.expect("all trees trained"))
-                .collect()
+            });
+            if let Err(payload) = joined {
+                std::panic::resume_unwind(payload);
+            }
+            // Every worker fills its whole disjoint chunk, so a clean join
+            // means every slot is Some.
+            let trees: Vec<DecisionTree> = slots.into_iter().flatten().collect();
+            debug_assert_eq!(trees.len(), config.n_trees, "all trees trained");
+            trees
         };
         RandomForest { trees }
     }

@@ -9,9 +9,15 @@ use std::error::Error;
 use std::fmt;
 
 /// Returned when a persisted model fails to parse.
+///
+/// Errors chain: an outer layer (say, `segugio-core`'s model wrapper) can
+/// wrap an inner parse failure with [`context`](Self::context), and the
+/// chain is walkable through [`Error::source`] like any other typed error
+/// in the workspace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseModelError {
     message: String,
+    source: Option<Box<ParseModelError>>,
 }
 
 impl ParseModelError {
@@ -21,17 +27,35 @@ impl ParseModelError {
     pub fn new(message: impl Into<String>) -> Self {
         ParseModelError {
             message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Wraps this error in an outer layer of context, preserving `self` as
+    /// the [`Error::source`].
+    pub fn context(self, what: impl Into<String>) -> Self {
+        ParseModelError {
+            message: what.into(),
+            source: Some(Box::new(self)),
         }
     }
 }
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid model data: {}", self.message)
+        write!(f, "invalid model data: {}", self.message)?;
+        if let Some(source) = &self.source {
+            write!(f, ": {}", source.message)?;
+        }
+        Ok(())
     }
 }
 
-impl Error for ParseModelError {}
+impl Error for ParseModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
+    }
+}
 
 /// Reads the next non-empty line or errors with context.
 pub(crate) fn next_line<'a>(
@@ -55,4 +79,23 @@ pub(crate) fn field<T: std::str::FromStr>(
     part.ok_or_else(|| ParseModelError::new(format!("missing {what}")))?
         .parse()
         .map_err(|_| ParseModelError::new(format!("malformed {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_a_source_chain() {
+        let inner = ParseModelError::new("malformed split threshold");
+        let outer = inner.clone().context("reading forest backend");
+        let msg = outer.to_string();
+        assert!(msg.contains("reading forest backend"));
+        assert!(msg.contains("malformed split threshold"));
+        let source = outer
+            .source()
+            .expect("context preserves the inner error as source");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert!(source.source().is_none(), "chain ends at the leaf");
+    }
 }

@@ -43,11 +43,13 @@
 #![warn(missing_docs)]
 pub mod config;
 pub mod day;
+pub mod faults;
 pub mod names;
 pub mod truth;
 pub mod world;
 
 pub use config::IspConfig;
 pub use day::DayTraffic;
+pub use faults::{DayFaults, FaultConfig, FaultInjector};
 pub use truth::{DomainKind, GroundTruth};
 pub use world::IspNetwork;
