@@ -300,6 +300,7 @@ mod tests {
     /// The engine's snapshot and per-day features must equal the
     /// from-scratch path exactly, day after day.
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn engine_matches_scratch_path() {
         let mut isp = IspNetwork::new(IspConfig::tiny(77));
         isp.warm_up(16);
@@ -357,6 +358,7 @@ mod tests {
     /// After `reset_cache` the next day re-measures everything — and still
     /// matches the scratch path.
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn reset_cache_recovers() {
         let mut isp = IspNetwork::new(IspConfig::tiny(78));
         isp.warm_up(16);

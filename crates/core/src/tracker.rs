@@ -431,6 +431,7 @@ mod tests {
     use segugio_traffic::{IspConfig, IspNetwork};
 
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn tracker_flags_and_confirms_across_days() {
         let mut isp = IspNetwork::new(IspConfig::tiny(55));
         isp.warm_up(16);
@@ -484,6 +485,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn tracker_never_reflags_confirmed_domains() {
         let mut isp = IspNetwork::new(IspConfig::tiny(56));
         isp.warm_up(16);
@@ -521,6 +523,7 @@ mod tests {
     /// The incremental and from-scratch paths must produce identical
     /// reports, day after day, on identical traffic.
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn incremental_and_scratch_reports_match() {
         // Two networks with the same seed generate identical traffic.
         let mut isp_a = IspNetwork::new(IspConfig::tiny(55));
@@ -576,6 +579,7 @@ mod tests {
     /// A seedless day with a fresh retained model is scored with it, and
     /// the report records the stale-model degradation.
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn stale_model_scores_seedless_day() {
         use segugio_model::Blacklist;
 
@@ -665,6 +669,7 @@ mod tests {
 
     /// A retained model past its maximum age is not reused.
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn stale_model_expires_past_max_age() {
         use segugio_model::Blacklist;
 
@@ -718,6 +723,7 @@ mod tests {
 
     /// A blank pDNS window masks the F3 feature group and records it.
     #[test]
+    #[cfg_attr(miri, ignore = "multi-day ISP simulation is too slow under Miri")]
     fn blank_pdns_day_masks_ip_features() {
         use segugio_pdns::PassiveDns;
 

@@ -459,6 +459,7 @@ mod tests {
 
     proptest! {
         #[test]
+        #[cfg_attr(miri, ignore = "proptest case volume is too slow under Miri")]
         fn advance_always_matches_scratch(
             day_edges in proptest::collection::vec(
                 proptest::collection::vec((0u32..12, 0u32..25), 0..60),

@@ -39,6 +39,7 @@ proptest! {
     /// pairs — sized past the builder's parallel cutover) produce a valid
     /// sorted CSR that matches a set-based reference in both directions.
     #[test]
+    #[cfg_attr(miri, ignore = "proptest case volume is too slow under Miri")]
     fn csr_is_valid_under_duplicate_heavy_streams(
         edges in proptest::collection::vec((0u32..40, 0u32..60), 0..3000)
     ) {
@@ -93,6 +94,7 @@ proptest! {
     /// sorted ids, CSR offsets, in-bounds sorted adjacency, edge symmetry,
     /// malware-degree cache).
     #[test]
+    #[cfg_attr(miri, ignore = "proptest case volume is too slow under Miri")]
     fn built_graphs_pass_structural_validation(
         edges in proptest::collection::vec((0u32..40, 0u32..60), 0..3000)
     ) {
@@ -104,6 +106,7 @@ proptest! {
 
     /// The built graph is identical at every parallelism setting.
     #[test]
+    #[cfg_attr(miri, ignore = "proptest case volume is too slow under Miri")]
     fn build_is_identical_at_any_parallelism(
         edges in proptest::collection::vec((0u32..30, 0u32..50), 0..3000)
     ) {

@@ -1,0 +1,209 @@
+//! `audit` — the machine-readable lint report.
+//!
+//! `cargo run -p xtask -- audit --json` emits one JSON document describing
+//! the full static-analysis state of the tree: per-rule violation and
+//! suppression counts, every finding, every suppression (with whether it
+//! is live or stale), and the drift against the ratchet baseline. CI
+//! uploads it as an artifact on every run so lint state is diffable across
+//! commits without re-running anything.
+//!
+//! The output is **deterministic**: objects are emitted in fixed key
+//! order, arrays in the linter's sorted order, and nothing (no timestamps,
+//! no absolute paths, no durations) varies across runs on the same tree.
+//! The JSON writer is hand-rolled over `String` — like the rest of xtask
+//! it takes no external dependency.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::baseline::{Counts, Ratchet};
+use crate::{rules, LintReport};
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sums a rule's entries in a `(rule, file) -> count` map.
+fn rule_total(counts: &Counts, rule: &str) -> usize {
+    counts
+        .iter()
+        .filter(|((r, _), _)| r == rule)
+        .map(|(_, &n)| n)
+        .sum()
+}
+
+/// Renders the full audit JSON document.
+pub fn render_json(
+    report: &LintReport,
+    base: &Counts,
+    ratchet: &Ratchet,
+    enabled: &BTreeSet<String>,
+) -> String {
+    let clean = ratchet.is_clean() && ratchet.stale.is_empty();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"segugio-audit/1\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"clean\": {clean},");
+
+    // Per-rule summary, in ALL_RULES report order.
+    out.push_str("  \"rules\": {\n");
+    let mut first = true;
+    for rule in rules::ALL_RULES {
+        if !enabled.contains(*rule) {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let current = rule_total(&report.counts, rule);
+        let baselined = rule_total(base, rule);
+        let used = report
+            .suppressions
+            .iter()
+            .filter(|s| s.rule == *rule && s.used)
+            .count();
+        let stale = report
+            .suppressions
+            .iter()
+            .filter(|s| s.rule == *rule && !s.used)
+            .count();
+        let _ = write!(
+            out,
+            "    \"{rule}\": {{\"violations\": {current}, \"baselined\": {baselined}, \"suppressions_used\": {used}, \"suppressions_stale\": {stale}}}"
+        );
+    }
+    out.push_str("\n  },\n");
+
+    // Every unsuppressed finding, in the linter's sorted order.
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            v.rule,
+            escape(&v.file),
+            v.line,
+            escape(&v.message)
+        );
+    }
+    if report.violations.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+
+    // Every suppression site, live or stale.
+    out.push_str("  \"suppressions\": [");
+    for (i, s) in report.suppressions.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"used\": {}}}",
+            escape(&s.file),
+            s.line,
+            s.rule,
+            s.used
+        );
+    }
+    if report.suppressions.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+
+    // Baseline drift: growth fails the ratchet, staleness should shrink it.
+    out.push_str("  \"baseline\": {\n    \"grown\": [");
+    render_drift(&mut out, &ratchet.grown);
+    out.push_str("],\n    \"stale\": [");
+    render_drift(&mut out, &ratchet.stale);
+    out.push_str("]\n  }\n}\n");
+    out
+}
+
+fn render_drift(out: &mut String, entries: &[(String, String, usize, usize)]) {
+    for (i, (rule, file, baselined, current)) in entries.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            out,
+            "{sep}{{\"rule\": \"{rule}\", \"file\": \"{}\", \"baselined\": {baselined}, \"current\": {current}}}",
+            escape(file)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Violation;
+    use crate::Suppression;
+
+    fn tiny_report() -> LintReport {
+        LintReport {
+            files_scanned: 2,
+            violations: vec![Violation {
+                file: "crates/core/src/lib.rs".to_owned(),
+                line: 3,
+                rule: "D2",
+                message: "uses \"quotes\" and\nnewline".to_owned(),
+            }],
+            counts: [(("D2".to_owned(), "crates/core/src/lib.rs".to_owned()), 1)]
+                .into_iter()
+                .collect(),
+            suppressions: vec![Suppression {
+                file: "crates/core/src/lib.rs".to_owned(),
+                line: 9,
+                rule: "D1".to_owned(),
+                used: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let report = tiny_report();
+        let base = Counts::new();
+        let ratchet = crate::baseline::compare(&base, &report.counts);
+        let enabled: BTreeSet<String> = rules::ALL_RULES.iter().map(|s| s.to_string()).collect();
+        let a = render_json(&report, &base, &ratchet, &enabled);
+        let b = render_json(&report, &base, &ratchet, &enabled);
+        assert_eq!(a, b, "byte-identical across runs");
+        assert!(a.contains("\\\"quotes\\\""), "{a}");
+        assert!(a.contains("\\n"), "{a}");
+        assert!(a.contains("\"clean\": false"));
+        assert!(a.contains("\"suppressions_used\": 1"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let report = LintReport {
+            files_scanned: 0,
+            violations: Vec::new(),
+            counts: Counts::new(),
+            suppressions: Vec::new(),
+        };
+        let base = Counts::new();
+        let ratchet = crate::baseline::compare(&base, &report.counts);
+        let enabled: BTreeSet<String> = rules::ALL_RULES.iter().map(|s| s.to_string()).collect();
+        let json = render_json(&report, &base, &ratchet, &enabled);
+        assert!(json.contains("\"violations\": [],"), "{json}");
+        assert!(json.contains("\"clean\": true"), "{json}");
+    }
+}

@@ -1,18 +1,26 @@
 //! `xtask` — workspace automation for the Segugio repo.
 //!
-//! The only task so far is `lint`: a custom static-analysis pass enforcing
-//! the repo's determinism and correctness invariants (see [`rules`]) with a
-//! checked-in ratchet baseline (see [`baseline`]). Run it with:
+//! Two tasks share one static-analysis engine:
+//!
+//! * `lint` — enforce the repo's determinism, concurrency, layering, and
+//!   unsafe-hygiene invariants (see [`rules`]) against a checked-in
+//!   ratchet baseline (see [`baseline`]).
+//! * `audit` — emit the same pass as a deterministic machine-readable
+//!   report (see [`audit`]), uploaded as a CI artifact on every run.
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--list] [--strict] [--update-baseline]
-//!                            [--rules D1,D2,C1,C2] [--root DIR] [--baseline FILE]
+//! cargo run -p xtask -- lint  [--list] [--strict] [--update-baseline]
+//!                             [--rules D1,D2,…] [--root DIR] [--baseline FILE]
+//! cargo run -p xtask -- audit [--json] [--out FILE]
+//!                             [--rules D1,D2,…] [--root DIR] [--baseline FILE]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations beyond the baseline (or stale
-//! baseline entries under `--strict`), `2` usage or I/O errors.
+//! Both tasks share one exit-code table (pinned by integration test):
+//! `0` clean, `1` violations, `2` usage, `3` I/O.
 
+pub mod audit;
 pub mod baseline;
+pub mod layering;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
@@ -23,6 +31,50 @@ use std::path::{Path, PathBuf};
 
 use baseline::Counts;
 use rules::Violation;
+
+/// Exit code: no findings beyond the baseline.
+pub const EXIT_CLEAN: i32 = 0;
+/// Exit code: findings beyond the baseline (or stale entries in strict mode).
+pub const EXIT_VIOLATIONS: i32 = 1;
+/// Exit code: unknown task, flag, or malformed value.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: unreadable tree/baseline or unwritable output.
+pub const EXIT_IO: i32 = 3;
+
+const USAGE: &str = "\
+xtask — workspace automation for the Segugio repo
+
+USAGE:
+    cargo run -p xtask -- <TASK> [OPTIONS]
+
+TASKS:
+    lint     enforce the determinism/concurrency/layering rules against
+             the ratchet baseline (lint-baseline.toml)
+    audit    emit the same pass as a deterministic JSON report
+    help     print this message
+
+COMMON OPTIONS (lint and audit):
+    --root DIR         workspace root to scan (default: this workspace)
+    --baseline FILE    ratchet baseline path, relative to the root
+                       (default: lint-baseline.toml)
+    --rules A,B,…      enable only the named rules (default: all)
+
+LINT OPTIONS:
+    --list             print every violation, not just those beyond the baseline
+    --strict           treat stale baseline entries as errors (CI mode)
+    --update-baseline  rewrite the baseline from the current tree
+
+AUDIT OPTIONS:
+    --json             print the JSON report to stdout
+    --out FILE         also write the JSON report to FILE
+
+EXIT CODES (shared by lint and audit):
+    0    clean — no findings beyond the baseline
+    1    violations — findings beyond the baseline; for audit (always
+         strict) and `lint --strict`, stale baseline entries too
+    2    usage — unknown task, flag, or malformed value
+    3    io — unreadable tree or baseline, or unwritable output
+";
 
 /// Parsed `lint` subcommand options.
 #[derive(Debug, Clone)]
@@ -54,6 +106,32 @@ impl Default for LintOptions {
     }
 }
 
+/// Parses a `--rules` list into a validated rule set.
+fn parse_rules(list: &str) -> Result<BTreeSet<String>, String> {
+    let mut selected = BTreeSet::new();
+    for rule in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !rules::ALL_RULES.contains(&rule) {
+            return Err(format!(
+                "unknown rule `{rule}` (known: {})",
+                rules::ALL_RULES.join(", ")
+            ));
+        }
+        selected.insert(rule.to_owned());
+    }
+    if selected.is_empty() {
+        return Err("--rules selected no rules".to_owned());
+    }
+    Ok(selected)
+}
+
+fn resolve(root: &Path, path: &Path) -> PathBuf {
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        root.join(path)
+    }
+}
+
 impl LintOptions {
     /// Parses `lint` subcommand arguments.
     ///
@@ -79,23 +157,10 @@ impl LintOptions {
                     );
                 }
                 "--rules" => {
-                    let list = it
-                        .next()
-                        .ok_or_else(|| "--rules needs a value".to_owned())?;
-                    let mut selected = BTreeSet::new();
-                    for rule in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-                        if !rules::ALL_RULES.contains(&rule) {
-                            return Err(format!(
-                                "unknown rule `{rule}` (known: {})",
-                                rules::ALL_RULES.join(", ")
-                            ));
-                        }
-                        selected.insert(rule.to_owned());
-                    }
-                    if selected.is_empty() {
-                        return Err("--rules selected no rules".to_owned());
-                    }
-                    opts.rules = selected;
+                    opts.rules = parse_rules(
+                        it.next()
+                            .ok_or_else(|| "--rules needs a value".to_owned())?,
+                    )?;
                 }
                 other => return Err(format!("unknown lint flag `{other}`")),
             }
@@ -104,12 +169,93 @@ impl LintOptions {
     }
 
     fn baseline_path(&self) -> PathBuf {
-        if self.baseline.is_absolute() {
-            self.baseline.clone()
-        } else {
-            self.root.join(&self.baseline)
+        resolve(&self.root, &self.baseline)
+    }
+}
+
+/// Parsed `audit` subcommand options.
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Baseline file path (relative to `root` unless absolute).
+    pub baseline: PathBuf,
+    /// Enabled rules.
+    pub rules: BTreeSet<String>,
+    /// Print the JSON report to stdout.
+    pub json: bool,
+    /// Also write the JSON report to this path.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            root: workspace::workspace_root(),
+            baseline: PathBuf::from("lint-baseline.toml"),
+            rules: rules::ALL_RULES.iter().map(|s| s.to_string()).collect(),
+            json: false,
+            out: None,
         }
     }
+}
+
+impl AuditOptions {
+    /// Parses `audit` subcommand arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse(args: &[String]) -> Result<AuditOptions, String> {
+        let mut opts = AuditOptions::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => opts.json = true,
+                "--out" => {
+                    opts.out = Some(PathBuf::from(
+                        it.next().ok_or_else(|| "--out needs a value".to_owned())?,
+                    ));
+                }
+                "--root" => {
+                    opts.root =
+                        PathBuf::from(it.next().ok_or_else(|| "--root needs a value".to_owned())?);
+                }
+                "--baseline" => {
+                    opts.baseline = PathBuf::from(
+                        it.next()
+                            .ok_or_else(|| "--baseline needs a value".to_owned())?,
+                    );
+                }
+                "--rules" => {
+                    opts.rules = parse_rules(
+                        it.next()
+                            .ok_or_else(|| "--rules needs a value".to_owned())?,
+                    )?;
+                }
+                other => return Err(format!("unknown audit flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn baseline_path(&self) -> PathBuf {
+        resolve(&self.root, &self.baseline)
+    }
+}
+
+/// One `segugio-lint: allow(…)` comment in non-test code, and whether it
+/// suppressed anything in this pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suppression {
+    /// Workspace-relative file holding the comment.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule it names.
+    pub rule: String,
+    /// Whether it suppressed at least one finding (stale when `false`).
+    pub used: bool,
 }
 
 /// The full result of a lint pass over a tree.
@@ -121,30 +267,105 @@ pub struct LintReport {
     pub violations: Vec<Violation>,
     /// Aggregated counts per (rule, file).
     pub counts: Counts,
+    /// Every allow-comment site in non-test code, with usage state.
+    pub suppressions: Vec<Suppression>,
 }
 
 /// Lints every workspace source file under `root` with the given rules.
 ///
+/// When A1 is enabled and `crates/xtask/layering.toml` exists, manifest
+/// and source dependency edges are checked against the layering DAG;
+/// trees without the file (synthetic test trees) skip A1 silently.
+///
 /// # Errors
 ///
-/// Returns an I/O error message if the tree cannot be read.
+/// Returns an I/O error message if the tree or the layering DAG cannot
+/// be read.
 pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, String> {
+    let layering = if enabled.contains("A1") {
+        layering::load(root)?
+    } else {
+        None
+    };
     let files = workspace::rust_files(root)?;
     let mut violations = Vec::new();
+    let mut suppressions = Vec::new();
+    if let Some(dag) = &layering {
+        violations.extend(layering::check_manifests(root, dag)?);
+    }
     for rel in &files {
         let src =
             fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
         let class = rules::classify(rel);
         let scanned = scan::scan(&src);
-        violations.extend(rules::lint_file(&class, &scanned, enabled));
+        let lint = rules::lint_file_full(&class, &scanned, enabled);
+        let mut used = lint.used_allows;
+        violations.extend(lint.violations);
+        if let Some(dag) = &layering {
+            layering::check_source(&class, &scanned, dag, &mut violations, &mut used);
+        }
+        collect_suppressions(
+            &class,
+            &scanned,
+            enabled,
+            &used,
+            layering.is_some(),
+            &mut suppressions,
+            &mut violations,
+        );
     }
     violations.sort();
+    violations.dedup();
+    suppressions.sort();
     let counts = baseline::count_violations(&violations);
     Ok(LintReport {
         files_scanned: files.len(),
         violations,
         counts,
+        suppressions,
     })
+}
+
+/// Records every allow-comment site in non-test code with its usage state,
+/// and performs the tree-level W1 accounting for A1 that `rule_w1` defers
+/// (A1 suppressions are only visible after `check_source` runs).
+fn collect_suppressions(
+    class: &rules::FileClass,
+    scanned: &scan::ScannedFile,
+    enabled: &BTreeSet<String>,
+    used: &BTreeSet<(u32, String)>,
+    layering_active: bool,
+    suppressions: &mut Vec<Suppression>,
+    violations: &mut Vec<Violation>,
+) {
+    if class.is_test {
+        return;
+    }
+    for (&line, rule_names) in &scanned.allows {
+        if scanned.is_test_line(line) {
+            continue;
+        }
+        for rule in rule_names {
+            if !rules::ALL_RULES.contains(&rule.as_str()) || !enabled.contains(rule) {
+                continue;
+            }
+            let is_used = used.contains(&(line, rule.clone()));
+            suppressions.push(Suppression {
+                file: class.path.clone(),
+                line,
+                rule: rule.clone(),
+                used: is_used,
+            });
+            if rule == "A1" && layering_active && enabled.contains("W1") && !is_used {
+                violations.push(Violation {
+                    file: class.path.clone(),
+                    line,
+                    rule: "W1",
+                    message: "unused suppression: `allow(A1)` matches no layering finding on this or the next line; delete the stale comment".to_owned(),
+                });
+            }
+        }
+    }
 }
 
 /// Runs the `lint` subcommand end to end, printing to stdout.
@@ -154,7 +375,7 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return EXIT_IO;
         }
     };
     let baseline_path = opts.baseline_path();
@@ -163,7 +384,7 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
         let text = baseline::serialize(&report.counts);
         if let Err(e) = fs::write(&baseline_path, text) {
             eprintln!("error: cannot write {}: {e}", baseline_path.display());
-            return 2;
+            return EXIT_IO;
         }
         println!(
             "wrote {} ({} grandfathered violations)",
@@ -171,7 +392,7 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
             report.violations.len()
         );
         print_summary(&report, None, &opts.rules);
-        return 0;
+        return EXIT_CLEAN;
     }
 
     let base = match fs::read_to_string(&baseline_path) {
@@ -179,7 +400,7 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("error: {}: {e}", baseline_path.display());
-                return 2;
+                return EXIT_IO;
             }
         },
         Err(_) => {
@@ -200,8 +421,10 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
     if !ratchet.is_clean() {
         failed = true;
         println!("\nviolations beyond the baseline:");
+        println!("--- {}", opts.baseline.display());
+        println!("+++ working tree");
         for (rule, file, base_n, cur) in &ratchet.grown {
-            println!("  {rule} {file}: {cur} violations (baseline {base_n})");
+            println!("+ {rule} {file}: {cur} violations (baseline {base_n})");
             for v in report
                 .violations
                 .iter()
@@ -227,10 +450,61 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
         }
     }
     if failed {
-        1
+        EXIT_VIOLATIONS
     } else {
         println!("\nOK: no violations beyond {}", baseline_path.display());
-        0
+        EXIT_CLEAN
+    }
+}
+
+/// Runs the `audit` subcommand end to end. Always strict: stale baseline
+/// entries fail the audit just like growth. Returns the process exit code.
+pub fn run_audit(opts: &AuditOptions) -> i32 {
+    let report = match lint_tree(&opts.root, &opts.rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_IO;
+        }
+    };
+    let baseline_path = opts.baseline_path();
+    let base = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return EXIT_IO;
+            }
+        },
+        Err(_) => Counts::new(),
+    };
+    let ratchet = baseline::compare(&base, &report.counts);
+    let json = audit::render_json(&report, &base, &ratchet, &opts.rules);
+
+    if let Some(out_path) = &opts.out {
+        if let Err(e) = fs::write(out_path, &json) {
+            eprintln!("error: cannot write {}: {e}", out_path.display());
+            return EXIT_IO;
+        }
+    }
+    if opts.json {
+        print!("{json}");
+    } else {
+        print_summary(&report, Some(&base), &opts.rules);
+        let stale = report.suppressions.iter().filter(|s| !s.used).count();
+        println!(
+            "  suppressions: {} total, {} stale",
+            report.suppressions.len(),
+            stale
+        );
+        if let Some(out_path) = &opts.out {
+            println!("wrote {}", out_path.display());
+        }
+    }
+    if ratchet.is_clean() && ratchet.stale.is_empty() {
+        EXIT_CLEAN
+    } else {
+        EXIT_VIOLATIONS
     }
 }
 
@@ -271,17 +545,29 @@ pub fn run(args: &[String]) -> i32 {
             Ok(opts) => run_lint(&opts),
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: cargo run -p xtask -- lint [--list] [--strict] [--update-baseline] [--rules D1,D2,C1,C2] [--root DIR] [--baseline FILE]");
-                2
+                eprint!("{USAGE}");
+                EXIT_USAGE
             }
         },
+        Some("audit") => match AuditOptions::parse(&args[1..]) {
+            Ok(opts) => run_audit(&opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprint!("{USAGE}");
+                EXIT_USAGE
+            }
+        },
+        Some("help" | "--help" | "-h") => {
+            print!("{USAGE}");
+            EXIT_CLEAN
+        }
         Some(other) => {
-            eprintln!("error: unknown task `{other}` (available: lint)");
-            2
+            eprintln!("error: unknown task `{other}` (available: lint, audit, help)");
+            EXIT_USAGE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint [options]");
-            2
+            eprint!("{USAGE}");
+            EXIT_USAGE
         }
     }
 }

@@ -6,18 +6,24 @@
 //! | D2   | all non-test, non-bench code  | entropy / wall-clock sources (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`) |
 //! | C1   | ingest/graph/core/ml lib code | `unwrap()` / `expect()` / `panic!`       |
 //! | C2   | `crates/ingest/src` parsers   | lossy `as` numeric casts (use `try_from`) |
+//! | P1   | all non-test code             | parallel closures capturing interior-mutable state (`RefCell`/`Cell`), relaxed atomics, or mutating captured bindings |
+//! | P2   | all non-test code             | floating-point accumulation into a captured binding inside a parallel closure (FP addition is non-associative) |
+//! | A1   | crate manifests + lib code    | crate-dependency edges outside the layering DAG (`crates/xtask/layering.toml`) |
+//! | U1   | all non-test code             | `unsafe` without an adjacent `// SAFETY:` comment |
+//! | W1   | all non-test code             | `segugio-lint: allow(…)` comments that suppress no finding |
 //!
-//! Each rule can be suppressed at a site with
+//! Each rule except W1 can be suppressed at a site with
 //! `// segugio-lint: allow(RULE, reason)` on the violating line or the line
-//! above it. Pre-existing violations are grandfathered by the ratchet
-//! baseline (see [`crate::baseline`]).
+//! above it (W1 exists precisely to flag suppressions that have gone
+//! stale, so it cannot itself be suppressed). Pre-existing violations are
+//! grandfathered by the ratchet baseline (see [`crate::baseline`]).
 
 use std::collections::BTreeSet;
 
 use crate::scan::{ScannedFile, Token};
 
 /// All known rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["D1", "D2", "C1", "C2"];
+pub const ALL_RULES: &[&str] = &["D1", "D2", "C1", "C2", "P1", "P2", "A1", "U1", "W1"];
 
 /// How a file participates in linting, derived from its workspace-relative
 /// path (see [`classify`]).
@@ -109,33 +115,79 @@ const NUMERIC_TYPES: &[&str] = &[
     "f64",
 ];
 
+/// The full per-file lint result: findings plus the allow comments that
+/// actually suppressed one (W1 flags the rest).
+#[derive(Debug, Clone, Default)]
+pub struct FileLint {
+    /// Unsuppressed findings, sorted and deduplicated.
+    pub violations: Vec<Violation>,
+    /// `(allow-comment line, rule)` pairs that suppressed a finding.
+    pub used_allows: BTreeSet<(u32, String)>,
+}
+
 /// Runs every enabled rule over one scanned file.
+pub fn lint_file_full(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    rules: &BTreeSet<String>,
+) -> FileLint {
+    let mut out = Vec::new();
+    let mut used = BTreeSet::new();
+    if rules.contains("D1") {
+        rule_d1(class, scanned, &mut out, &mut used);
+    }
+    if rules.contains("D2") {
+        rule_d2(class, scanned, &mut out, &mut used);
+    }
+    if rules.contains("C1") {
+        rule_c1(class, scanned, &mut out, &mut used);
+    }
+    if rules.contains("C2") {
+        rule_c2(class, scanned, &mut out, &mut used);
+    }
+    if rules.contains("P1") || rules.contains("P2") {
+        rule_p1_p2(class, scanned, rules, &mut out, &mut used);
+    }
+    if rules.contains("U1") {
+        rule_u1(class, scanned, &mut out, &mut used);
+    }
+    if rules.contains("W1") {
+        rule_w1(class, scanned, rules, &used, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    FileLint {
+        violations: out,
+        used_allows: used,
+    }
+}
+
+/// Runs every enabled rule over one scanned file, returning the findings.
 pub fn lint_file(
     class: &FileClass,
     scanned: &ScannedFile,
     rules: &BTreeSet<String>,
 ) -> Vec<Violation> {
-    let mut out = Vec::new();
-    if rules.contains("D1") {
-        rule_d1(class, scanned, &mut out);
-    }
-    if rules.contains("D2") {
-        rule_d2(class, scanned, &mut out);
-    }
-    if rules.contains("C1") {
-        rule_c1(class, scanned, &mut out);
-    }
-    if rules.contains("C2") {
-        rule_c2(class, scanned, &mut out);
-    }
-    out.sort();
-    out.dedup();
-    out
+    lint_file_full(class, scanned, rules).violations
 }
 
-/// Shared per-site filter: test code and allow comments.
-fn suppressed(class: &FileClass, scanned: &ScannedFile, rule: &str, line: u32) -> bool {
-    class.is_test || scanned.is_test_line(line) || scanned.is_allowed(rule, line)
+/// Shared per-site filter: test code and allow comments. A suppression via
+/// an allow comment is recorded in `used` so W1 can spot stale allows.
+fn suppressed(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    rule: &str,
+    line: u32,
+    used: &mut BTreeSet<(u32, String)>,
+) -> bool {
+    if class.is_test || scanned.is_test_line(line) {
+        return true;
+    }
+    if let Some(allow_line) = scanned.allow_line(rule, line) {
+        used.insert((allow_line, rule.to_owned()));
+        return true;
+    }
+    false
 }
 
 fn push(
@@ -292,7 +344,12 @@ fn next_statement_sorts(tokens: &[Token], end: usize) -> bool {
     false
 }
 
-fn rule_d1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+fn rule_d1(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
     let tokens = &scanned.tokens;
     let hashed = hash_typed_idents(tokens);
     if hashed.is_empty() {
@@ -309,9 +366,6 @@ fn rule_d1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
             && hashed.contains(&tokens[i - 2].text)
         {
             let line = tokens[i].line;
-            if suppressed(class, scanned, "D1", line) {
-                continue;
-            }
             let (start, end) = statement_span(tokens, i);
             // Inside a `for` header the statement heuristic does not apply:
             // the loop body observes the order directly.
@@ -321,18 +375,21 @@ fn rule_d1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
                     .iter()
                     .any(|t| ORDER_INSENSITIVE.contains(&t.text.as_str()))
                     || next_statement_sorts(tokens, end));
-            if !exempt {
-                push(
-                    out,
-                    class,
-                    "D1",
-                    line,
-                    format!(
-                        "`{}.{}()` iterates a hash container in arbitrary order; use a BTreeMap/BTreeSet, sort the result, or collect into an unordered container",
-                        tokens[i - 2].text, tokens[i].text
-                    ),
-                );
+            // Exemption is decided before suppression so that an allow on
+            // an already-exempt site counts as unused (W1 flags it).
+            if exempt || suppressed(class, scanned, "D1", line, used) {
+                continue;
             }
+            push(
+                out,
+                class,
+                "D1",
+                line,
+                format!(
+                    "`{}.{}()` iterates a hash container in arbitrary order; use a BTreeMap/BTreeSet, sort the result, or collect into an unordered container",
+                    tokens[i - 2].text, tokens[i].text
+                ),
+            );
             continue;
         }
         // Pattern B: `for <pat> in [&][mut] <hash ident> {`.
@@ -381,7 +438,7 @@ fn rule_d1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
             };
             if let Some(hit) = direct.filter(|t| hashed.contains(&t.text)) {
                 let line = hit.line;
-                if !suppressed(class, scanned, "D1", line) {
+                if !suppressed(class, scanned, "D1", line, used) {
                     push(
                         out,
                         class,
@@ -400,7 +457,12 @@ fn rule_d1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
 
 // --- D2: entropy and wall-clock sources ----------------------------------
 
-fn rule_d2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+fn rule_d2(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
     if class.is_bench_crate {
         return;
     }
@@ -421,7 +483,7 @@ fn rule_d2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
             _ => None,
         };
         if let Some(message) = hit {
-            if !suppressed(class, scanned, "D2", line) {
+            if !suppressed(class, scanned, "D2", line, used) {
                 push(out, class, "D2", line, message);
             }
         }
@@ -430,7 +492,12 @@ fn rule_d2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
 
 // --- C1: panics in library code ------------------------------------------
 
-fn rule_c1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+fn rule_c1(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
     if !class.c1_scope {
         return;
     }
@@ -453,7 +520,7 @@ fn rule_c1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
             _ => None,
         };
         if let Some(message) = hit {
-            if !suppressed(class, scanned, "C1", line) {
+            if !suppressed(class, scanned, "C1", line, used) {
                 push(out, class, "C1", line, message);
             }
         }
@@ -462,7 +529,12 @@ fn rule_c1(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
 
 // --- C2: lossy `as` casts in ingest parsers ------------------------------
 
-fn rule_c2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
+fn rule_c2(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
     if !class.c2_scope {
         return;
     }
@@ -477,7 +549,7 @@ fn rule_c2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
             continue;
         }
         let line = tok.line;
-        if !suppressed(class, scanned, "C2", line) {
+        if !suppressed(class, scanned, "C2", line, used) {
             push(
                 out,
                 class,
@@ -485,6 +557,248 @@ fn rule_c2(class: &FileClass, scanned: &ScannedFile, out: &mut Vec<Violation>) {
                 line,
                 format!("numeric `as {ty}` cast in an ingest parser can silently truncate; use `{ty}::try_from` and surface the error"),
             );
+        }
+    }
+}
+
+// --- P1/P2: parallel-closure safety --------------------------------------
+
+/// Tokens that mean interior-mutable shared state inside a worker closure.
+const INTERIOR_MUTABLE: &[&str] = &["RefCell", "Cell", "borrow_mut", "UnsafeCell"];
+
+/// Mutating methods a worker must not call on captured state.
+const MUTATING_METHODS: &[&str] = &[
+    "push", "push_str", "insert", "extend", "append", "remove", "clear", "truncate", "pop",
+    "drain", "retain",
+];
+
+/// Compound-assignment operator heads (`op` in `x op= e`).
+const COMPOUND_OPS: &[&str] = &["+", "-", "*", "/", "%", "^", "&", "|"];
+
+/// Identifiers declared file-wide with a floating-point type: `name: f32`,
+/// `name: f64`, or `let [mut] name = <float literal>`.
+fn float_typed_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let is_float_literal = |s: &str| {
+        s.starts_with(|c: char| c.is_ascii_digit())
+            && (s.contains('.') || s.ends_with("f32") || s.ends_with("f64"))
+    };
+    for (i, tok) in tokens.iter().enumerate() {
+        let t = &tok.text;
+        if is_ident(t)
+            && text(i + 1) == Some(":")
+            && matches!(text(i + 2), Some("f32") | Some("f64"))
+        {
+            names.insert(t.clone());
+        }
+        if t == "let" {
+            let mut j = i + 1;
+            if text(j) == Some("mut") {
+                j += 1;
+            }
+            let Some(name) = text(j).filter(|s| is_ident(s)).map(str::to_owned) else {
+                continue;
+            };
+            if text(j + 1) == Some("=") && text(j + 2).is_some_and(is_float_literal) {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+/// P1 — parallel closures must not capture interior-mutable state, use
+/// relaxed atomic orderings, or mutate captured bindings. P2 — the one
+/// race the 1-thread parity suites can never catch: floating-point
+/// accumulation into shared state, where even a *data-race-free* reduction
+/// changes the result because FP addition is not associative. Mutations of
+/// float-typed captures fire P2; everything else fires P1.
+fn rule_p1_p2(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    rules: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
+    if class.is_test {
+        return;
+    }
+    let tokens = &scanned.tokens;
+    let floats = float_typed_idents(tokens);
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for region in crate::scan::parallel_regions(tokens) {
+        if scanned.is_test_line(region.line) {
+            continue;
+        }
+        let (lo, hi) = region.body;
+        for (k, tok) in tokens
+            .iter()
+            .enumerate()
+            .take(hi.min(tokens.len()))
+            .skip(lo)
+        {
+            let t = tok.text.as_str();
+            let line = tok.line;
+            // Interior mutability and relaxed atomics: shared state a
+            // worker could observe or mutate in a schedule-dependent way.
+            if rules.contains("P1") {
+                if INTERIOR_MUTABLE.contains(&t) {
+                    if !suppressed(class, scanned, "P1", line, used) {
+                        push(
+                            out,
+                            class,
+                            "P1",
+                            line,
+                            format!(
+                                "`{t}` inside a parallel closure (trigger `{}`); workers must communicate only through their disjoint per-index output",
+                                region.trigger
+                            ),
+                        );
+                    }
+                    continue;
+                }
+                if t == "Relaxed" {
+                    if !suppressed(class, scanned, "P1", line, used) {
+                        push(
+                            out,
+                            class,
+                            "P1",
+                            line,
+                            format!(
+                                "relaxed atomic ordering inside a parallel closure (trigger `{}`); Relaxed gives no cross-thread ordering — use the ordered per-index buffer, or justify why the schedule cannot leak into the result",
+                                region.trigger
+                            ),
+                        );
+                    }
+                    continue;
+                }
+            }
+            // Mutation of a captured binding.
+            if !is_ident(t) || region.locals.contains(t) {
+                continue;
+            }
+            let compound = text(k + 1).is_some_and(|op| COMPOUND_OPS.contains(&op))
+                && text(k + 2) == Some("=")
+                && text(k + 3) != Some("=");
+            let plain = text(k + 1) == Some("=")
+                && !matches!(text(k + 2), Some("=") | Some(">"))
+                && (k == 0
+                    || !matches!(
+                        text(k - 1),
+                        Some("=")
+                            | Some("<")
+                            | Some(">")
+                            | Some("!")
+                            | Some("let")
+                            | Some(".")
+                            | Some("mut")
+                    ));
+            let method_mut = text(k + 1) == Some(".")
+                && text(k + 2).is_some_and(|m| MUTATING_METHODS.contains(&m))
+                && text(k + 3) == Some("(");
+            if !(compound || plain || method_mut) {
+                continue;
+            }
+            let arithmetic =
+                compound && matches!(text(k + 1), Some("+") | Some("-") | Some("*") | Some("/"));
+            if arithmetic && floats.contains(t) {
+                if rules.contains("P2") && !suppressed(class, scanned, "P2", line, used) {
+                    push(
+                        out,
+                        class,
+                        "P2",
+                        line,
+                        format!(
+                            "floating-point accumulation into captured `{t}` inside a parallel closure; FP addition is not associative, so even a race-free shared reduce is schedule-dependent — write per-index values into an ordered buffer and reduce serially"
+                        ),
+                    );
+                }
+            } else if rules.contains("P1") && !suppressed(class, scanned, "P1", line, used) {
+                push(
+                    out,
+                    class,
+                    "P1",
+                    line,
+                    format!(
+                        "parallel closure mutates captured `{t}`; workers must write only through their own disjoint per-index slot"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// --- U1: unsafe hygiene ---------------------------------------------------
+
+/// Every `unsafe` keyword in non-test code needs an adjacent `// SAFETY:`
+/// comment. The workspace is currently unsafe-free, so this rule ratchets
+/// that invariant: new unsafe code must arrive justified.
+fn rule_u1(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
+    for tok in &scanned.tokens {
+        if tok.text != "unsafe" {
+            continue;
+        }
+        let line = tok.line;
+        if scanned.has_safety_comment(line) || suppressed(class, scanned, "U1", line, used) {
+            continue;
+        }
+        push(
+            out,
+            class,
+            "U1",
+            line,
+            "`unsafe` without an adjacent `// SAFETY:` comment; state the invariant that makes this sound (and why safe code cannot express it)".to_owned(),
+        );
+    }
+}
+
+// --- W1: unused suppressions ----------------------------------------------
+
+/// An allow comment that suppresses nothing is itself a violation: stale
+/// allows otherwise accumulate and hide real regressions at the same site
+/// later. Only allows naming *known, enabled* rules are judged — doc text
+/// illustrating the syntax (`allow(RULE, …)`) names no real rule and is
+/// ignored.
+fn rule_w1(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    enabled: &BTreeSet<String>,
+    used: &BTreeSet<(u32, String)>,
+    out: &mut Vec<Violation>,
+) {
+    if class.is_test {
+        return;
+    }
+    for (&line, rules) in &scanned.allows {
+        if scanned.is_test_line(line) {
+            continue;
+        }
+        for rule in rules {
+            if !ALL_RULES.contains(&rule.as_str()) || !enabled.contains(rule) {
+                continue;
+            }
+            // A1 runs at tree level (its suppressions are not visible
+            // here); lint_tree performs the equivalent W1 accounting.
+            if rule == "A1" {
+                continue;
+            }
+            if !used.contains(&(line, rule.clone())) {
+                push(
+                    out,
+                    class,
+                    "W1",
+                    line,
+                    format!(
+                        "unused suppression: `allow({rule})` matches no {rule} finding on this or the next line; delete the stale comment"
+                    ),
+                );
+            }
         }
     }
 }
@@ -608,6 +922,113 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "C2");
         assert!(run("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_flags_interior_mutability_and_relaxed_atomics() {
+        let src = "
+fn f(xs: &[u64], cell: &std::cell::RefCell<u64>, n: &AtomicUsize) -> Vec<u64> {
+    parallel_map_indexed(xs.len(), 4, |i| {
+        *cell.borrow_mut() += xs[i];
+        n.fetch_add(1, Ordering::Relaxed);
+        xs[i]
+    })
+}";
+        let v = run("crates/core/src/x.rs", src);
+        let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert!(rules.iter().all(|r| *r == "P1"), "{v:?}");
+        // borrow_mut inside the closure + Relaxed; the RefCell in the
+        // signature sits outside the parallel region and is fine.
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn p1_flags_captured_mutation_but_not_locals() {
+        let src = "
+fn f(out: &mut Vec<u64>, xs: &[u64]) {
+    scope.spawn(move |_| {
+        let mut acc = 0u64;
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            acc += 1;
+            *slot = Some(k);
+        }
+        out.push(acc);
+    });
+}";
+        let v = run("crates/graph/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "P1");
+        assert!(v[0].message.contains("out"), "{v:?}");
+    }
+
+    #[test]
+    fn p2_flags_shared_float_accumulator() {
+        let src = "
+fn f(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    parallel_map_indexed(xs.len(), 4, |i| {
+        total += xs[i];
+    });
+    total
+}";
+        let v = run("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "P2");
+    }
+
+    #[test]
+    fn p_rules_ignore_the_sanctioned_per_index_pattern() {
+        let src = "
+fn f(xs: &[f64], threads: usize) -> f64 {
+    let parts = parallel_map_indexed(xs.len(), threads, |i| xs[i] * 2.0);
+    parts.iter().sum()
+}";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn u1_requires_safety_comments() {
+        let bare = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let v = run("crates/core/src/x.rs", bare);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "U1");
+        let justified = "
+// SAFETY: caller guarantees p is valid for reads.
+pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert!(run("crates/core/src/x.rs", justified).is_empty());
+    }
+
+    #[test]
+    fn w1_flags_stale_allows_and_spares_used_ones() {
+        let src = "
+fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    // segugio-lint: allow(D1, deliberately unordered probe output)
+    m.keys().copied().collect()
+}
+fn g() -> u32 {
+    // segugio-lint: allow(D2, nothing here reads a clock)
+    7
+}";
+        let v = run("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "W1");
+        assert_eq!(v[0].line, 7);
+        assert!(v[0].message.contains("allow(D2)"), "{v:?}");
+    }
+
+    #[test]
+    fn w1_ignores_doc_text_and_disabled_rules() {
+        // `allow(RULE, …)` in doc text names no real rule; an allow for a
+        // rule not enabled in this run is not judged.
+        let src = "
+//! Suppress with `// segugio-lint: allow(RULE, reason)` comments.
+fn g() -> u32 {
+    // segugio-lint: allow(D2, stale but D2 is disabled in this run)
+    7
+}";
+        let only_w1: BTreeSet<String> = ["W1".to_owned()].into_iter().collect();
+        let v = lint_file(&classify("crates/core/src/x.rs"), &scan(src), &only_w1);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -6,9 +6,14 @@
 //! yields identifier/symbol tokens tagged with their 1-based line number.
 //! It additionally extracts:
 //!
-//! - `// segugio-lint: allow(RULE, reason)` suppression comments, and
+//! - `// segugio-lint: allow(RULE, reason)` suppression comments,
+//! - `// SAFETY:` justification comments (consumed by rule U1),
 //! - the line ranges covered by `#[cfg(test)]` / `#[test]` items, so rules
-//!   can skip unit-test code embedded in library files.
+//!   can skip unit-test code embedded in library files, and
+//! - [`parallel_regions`]: the closure bodies handed to `parallel_map*` /
+//!   `scope.spawn(…)`, with the identifiers they bind locally, so the
+//!   concurrency rules (P1/P2) can tell captured state from worker-local
+//!   state without a full parser.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -28,6 +33,8 @@ pub struct ScannedFile {
     pub tokens: Vec<Token>,
     /// `line -> rules` suppressed by an allow comment on that line.
     pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Lines whose comment carries a `SAFETY:` justification.
+    pub safety_lines: BTreeSet<u32>,
     /// Inclusive line ranges belonging to `#[cfg(test)]` / `#[test]` items.
     pub test_ranges: Vec<(u32, u32)>,
 }
@@ -43,9 +50,26 @@ impl ScannedFile {
     /// Whether `rule` is suppressed at `line` (an allow comment on the
     /// violating line itself or on the line directly above it).
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allow_line(rule, line).is_some()
+    }
+
+    /// The line of the allow comment suppressing `rule` at `line`, if any —
+    /// the violating line itself or the line directly above it. Rules use
+    /// this to record *which* suppression fired, so W1 can flag the ones
+    /// that never do.
+    pub fn allow_line(&self, rule: &str, line: u32) -> Option<u32> {
         [line, line.saturating_sub(1)]
-            .iter()
-            .any(|l| self.allows.get(l).is_some_and(|rules| rules.contains(rule)))
+            .into_iter()
+            .find(|l| self.allows.get(l).is_some_and(|rules| rules.contains(rule)))
+    }
+
+    /// Whether an `// SAFETY:` comment sits on `line` or up to two lines
+    /// above it (the comment conventionally precedes the unsafe block).
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        self.safety_lines
+            .range(line.saturating_sub(2)..=line)
+            .next()
+            .is_some()
     }
 }
 
@@ -68,7 +92,7 @@ pub fn scan(src: &str) -> ScannedFile {
             while i < bytes.len() && bytes[i] != b'\n' {
                 i += 1;
             }
-            record_allow(&src[start..i], line, &mut out.allows);
+            record_comment(&src[start..i], line, line, &mut out);
         } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
             let start_line = line;
             let start = i;
@@ -88,7 +112,7 @@ pub fn scan(src: &str) -> ScannedFile {
                     i += 1;
                 }
             }
-            record_allow(&src[start..i], start_line, &mut out.allows);
+            record_comment(&src[start..i], start_line, line, &mut out);
         } else if c == b'"' {
             i = skip_string(bytes, i + 1, &mut line);
         } else if c == b'\'' {
@@ -234,6 +258,16 @@ fn try_skip_prefixed_string(bytes: &[u8], i: usize, line: &mut u32) -> Option<us
     }
 }
 
+/// Records the directives a comment may carry: `segugio-lint: allow(…)`
+/// suppressions (anchored at the comment's first line) and `SAFETY:`
+/// justifications (anchored at its last line, nearest the code below).
+fn record_comment(comment: &str, start_line: u32, end_line: u32, out: &mut ScannedFile) {
+    record_allow(comment, start_line, &mut out.allows);
+    if comment.contains("SAFETY:") {
+        out.safety_lines.insert(end_line);
+    }
+}
+
 /// Extracts `segugio-lint: allow(RULE, reason)` directives from a comment.
 fn record_allow(comment: &str, line: u32, allows: &mut BTreeMap<u32, BTreeSet<String>>) {
     let mut rest = comment;
@@ -315,6 +349,213 @@ fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     ranges
 }
 
+// --- parallel-closure tracker --------------------------------------------
+
+/// A closure body that runs on a worker thread: the argument of a
+/// `parallel_map*` call or of a scoped `*.spawn(…)`.
+#[derive(Debug, Clone)]
+pub struct ParallelRegion {
+    /// Line of the triggering call.
+    pub line: u32,
+    /// The triggering callee (`parallel_map_indexed`, `spawn`).
+    pub trigger: String,
+    /// Token index range (half-open) of the closure body.
+    pub body: (usize, usize),
+    /// Identifiers bound *inside* the region: closure parameters, `let` /
+    /// `for` pattern bindings, `mut` pattern bindings, and the parameters
+    /// of nested closures. Anything else the body names is captured.
+    pub locals: BTreeSet<String>,
+}
+
+/// Keywords and primitives that can never be capture bindings.
+fn is_binding_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && !matches!(
+            s,
+            "mut"
+                | "ref"
+                | "let"
+                | "for"
+                | "in"
+                | "if"
+                | "else"
+                | "while"
+                | "match"
+                | "move"
+                | "return"
+                | "break"
+                | "continue"
+                | "fn"
+                | "as"
+                | "use"
+                | "self"
+                | "Self"
+                | "true"
+                | "false"
+                | "loop"
+                | "where"
+                | "impl"
+                | "dyn"
+        )
+}
+
+/// Index of the token matching the opener at `open` (`(`/`[`/`{`), or the
+/// end of the stream if unbalanced.
+fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Tries to parse a closure parameter list starting at the `|` at `bar`.
+/// Returns the bound identifiers and the index just past the closing `|`.
+/// Aborts (returns `None`) on tokens a parameter pattern cannot contain —
+/// that `|` was a bitwise-or or a pattern alternative, not a closure.
+fn parse_closure_params(
+    tokens: &[Token],
+    bar: usize,
+    limit: usize,
+) -> Option<(BTreeSet<String>, usize)> {
+    let mut params = BTreeSet::new();
+    let mut j = bar + 1;
+    // Parameter lists are short; a runaway scan means this was not one.
+    let fence = (bar + 48).min(limit);
+    while j < fence {
+        let t = tokens[j].text.as_str();
+        match t {
+            "|" => return Some((params, j + 1)),
+            "(" | ")" | "," | "&" | ":" | "_" | "<" | ">" | "::" | "[" | "]" => {}
+            _ if is_binding_ident(t) || t == "mut" || t == "ref" => {}
+            _ => return None,
+        }
+        if is_binding_ident(t) {
+            params.insert(t.to_owned());
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collects the identifiers bound inside a closure body: `let` and `for`
+/// patterns, `mut` pattern bindings (covers match arms like
+/// `Some(mut x) => …`), and nested closure parameters.
+fn collect_locals(tokens: &[Token], start: usize, end: usize, locals: &mut BTreeSet<String>) {
+    let mut k = start;
+    while k < end {
+        match tokens[k].text.as_str() {
+            "let" => {
+                // Bindings up to the `=` (or `;` for `let x;`). Type
+                // annotations after `:` contribute harmless extra names.
+                let mut j = k + 1;
+                while j < end && j < k + 32 {
+                    match tokens[j].text.as_str() {
+                        "=" | ";" => break,
+                        t if is_binding_ident(t) => {
+                            locals.insert(t.to_owned());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                k = j;
+            }
+            "for" => {
+                let mut j = k + 1;
+                while j < end && j < k + 32 && tokens[j].text != "in" {
+                    if is_binding_ident(&tokens[j].text) {
+                        locals.insert(tokens[j].text.clone());
+                    }
+                    j += 1;
+                }
+                k = j;
+            }
+            "mut" => {
+                if let Some(t) = tokens.get(k + 1) {
+                    if is_binding_ident(&t.text) {
+                        locals.insert(t.text.clone());
+                    }
+                }
+                k += 1;
+            }
+            "|" => {
+                if let Some((params, next)) = parse_closure_params(tokens, k, end) {
+                    locals.extend(params);
+                    k = next;
+                } else {
+                    k += 1;
+                }
+            }
+            _ => k += 1,
+        }
+    }
+}
+
+/// Finds every parallel-closure region in a token stream.
+///
+/// Triggers are calls to an identifier starting with `parallel_map` and
+/// method calls `.spawn(…)` (scoped threads — `crossbeam::thread::scope`
+/// and `std::thread::scope` both hand work to workers through `spawn`).
+/// The region is the closure argument's body; calls that pass a plain
+/// function instead of a closure yield no region.
+pub fn parallel_regions(tokens: &[Token]) -> Vec<ParallelRegion> {
+    let mut out = Vec::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for i in 0..tokens.len() {
+        let t = tokens[i].text.as_str();
+        let is_pm = t.starts_with("parallel_map");
+        let is_spawn = t == "spawn" && i >= 1 && text(i - 1) == Some(".");
+        if !(is_pm || is_spawn) || text(i + 1) != Some("(") {
+            continue;
+        }
+        let call_end = matching_close(tokens, i + 1);
+        // Locate the closure argument: the first parseable `|…|` list.
+        let mut j = i + 2;
+        let parsed = loop {
+            if j >= call_end {
+                break None;
+            }
+            if tokens[j].text == "|" {
+                if let Some(p) = parse_closure_params(tokens, j, call_end) {
+                    break Some(p);
+                }
+            }
+            j += 1;
+        };
+        let Some((params, after_params)) = parsed else {
+            continue;
+        };
+        let body = if text(after_params) == Some("{") {
+            (after_params + 1, matching_close(tokens, after_params))
+        } else {
+            (after_params, call_end)
+        };
+        let mut locals = params;
+        collect_locals(tokens, body.0, body.1, &mut locals);
+        out.push(ParallelRegion {
+            line: tokens[i].line,
+            trigger: t.to_owned(),
+            body,
+            locals,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +614,61 @@ mod tests {
         let s = scan(src);
         assert!(s.is_test_line(2));
         assert!(!s.is_test_line(3));
+    }
+
+    #[test]
+    fn safety_comments_are_recorded() {
+        let s = scan("// SAFETY: disjoint slices\nunsafe { x() }\nplain();\n");
+        assert!(s.has_safety_comment(2));
+        assert!(
+            !s.has_safety_comment(3) || s.has_safety_comment(1),
+            "window is small"
+        );
+        let none = scan("// just a comment\nunsafe { x() }\n");
+        assert!(!none.has_safety_comment(2));
+    }
+
+    #[test]
+    fn parallel_regions_track_closure_locals() {
+        let src = "
+fn f(xs: &[u64], threads: usize) -> Vec<u64> {
+    parallel_map_indexed(xs.len(), threads, |i| {
+        let double = xs[i] * 2;
+        double
+    })
+}";
+        let regions = parallel_regions(&scan(src).tokens);
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        assert_eq!(regions[0].trigger, "parallel_map_indexed");
+        assert!(regions[0].locals.contains("i"));
+        assert!(regions[0].locals.contains("double"));
+        assert!(!regions[0].locals.contains("xs"), "xs is captured");
+    }
+
+    #[test]
+    fn spawn_regions_cover_for_and_mut_bindings() {
+        let src = "
+fn f() {
+    scope.spawn(move |_| {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = Some(base + k);
+        }
+        match x { Some(mut row) => row = 3, None => {} }
+    });
+}";
+        let regions = parallel_regions(&scan(src).tokens);
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        for local in ["k", "slot", "row"] {
+            assert!(regions[0].locals.contains(local), "missing local {local}");
+        }
+        assert!(!regions[0].locals.contains("out"));
+        assert!(!regions[0].locals.contains("base"));
+    }
+
+    #[test]
+    fn function_arguments_yield_no_region() {
+        let src = "fn f() { parallel_map_indexed(n, t, square) }";
+        assert!(parallel_regions(&scan(src).tokens).is_empty());
     }
 
     #[test]

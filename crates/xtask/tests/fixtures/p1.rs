@@ -1,0 +1,41 @@
+//! P1 fixture: shared mutable state inside parallel worker closures.
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn shares_a_cell(xs: &[u32]) -> u32 {
+    let cell = RefCell::new(0u32);
+    parallel_map_indexed(xs.len(), 4, |i| {
+        *cell.borrow_mut() += xs[i];
+        xs[i]
+    });
+    cell.into_inner()
+}
+
+pub fn relaxed_counter(xs: &[u32]) -> u32 {
+    let n = AtomicU32::new(0);
+    parallel_map_indexed(xs.len(), 4, |i| {
+        n.fetch_add(xs[i], Ordering::Relaxed);
+        xs[i]
+    });
+    n.into_inner()
+}
+
+pub fn mutates_a_capture(xs: &[u32], seen: &mut Vec<u32>) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            seen.push(xs[0]);
+        });
+    });
+}
+
+pub fn per_index_slots_are_fine(xs: &[u32], out: &mut [u32]) {
+    std::thread::scope(|s| {
+        for (chunk, vals) in out.chunks_mut(2).zip(xs.chunks(2)) {
+            s.spawn(move || {
+                for (slot, x) in chunk.iter_mut().zip(vals) {
+                    *slot = x + 1;
+                }
+            });
+        }
+    });
+}

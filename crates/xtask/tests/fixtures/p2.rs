@@ -1,0 +1,39 @@
+//! P2 fixture: floating-point accumulation through a shared accumulator.
+//! FP addition is not associative, so even a race-free shared reduce is
+//! schedule-dependent; the sanctioned pattern is an ordered per-index
+//! buffer reduced serially.
+
+pub fn shared_float_accumulator(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    parallel_map_indexed(xs.len(), 4, |i| {
+        total += xs[i];
+    });
+    total
+}
+
+pub fn annotated_float_accumulator(xs: &[f64]) -> f64 {
+    let mut acc: f64 = 0.0;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            acc += xs[0];
+        });
+    });
+    acc
+}
+
+pub fn integer_accumulator_is_p1(xs: &[u64]) -> u64 {
+    let mut count = 0u64;
+    parallel_map_indexed(xs.len(), 4, |i| {
+        count += xs[i];
+    });
+    count
+}
+
+pub fn ordered_buffer_is_fine(xs: &[f64]) -> f64 {
+    let parts = parallel_map_indexed(xs.len(), 4, |i| xs[i] * xs[i]);
+    let mut total = 0.0;
+    for p in parts {
+        total += p;
+    }
+    total
+}

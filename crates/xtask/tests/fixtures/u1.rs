@@ -1,0 +1,14 @@
+//! U1 fixture: `unsafe` must arrive with a `// SAFETY:` justification.
+
+pub fn bare_unsafe(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn justified_unsafe(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points to a live, initialized byte.
+    unsafe { *p }
+}
+
+pub fn safe_code_never_fires() -> u8 {
+    7
+}

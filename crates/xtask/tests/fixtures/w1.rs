@@ -1,0 +1,21 @@
+//! W1 fixture: allow comments that suppress nothing are themselves stale.
+use std::collections::HashMap;
+
+pub fn live_allow(m: &HashMap<u32, u32>) -> u64 {
+    let mut n = 0u64;
+    // segugio-lint: allow(D1, summation commutes so iteration order cannot matter)
+    for (_, v) in m {
+        n += u64::from(*v);
+    }
+    n
+}
+
+pub fn stale_allow() -> u32 {
+    // segugio-lint: allow(D2, nothing on the next line reads a clock)
+    7
+}
+
+pub fn doc_text_is_ignored() -> u32 {
+    // The syntax is `segugio-lint: allow(RULE, reason)` — not a real rule.
+    9
+}

@@ -93,6 +93,39 @@ fn allow_comments_suppress_with_reasons() {
 }
 
 #[test]
+fn p1_fixture_fires_exactly() {
+    // borrow_mut inside the closure, a Relaxed atomic op, and a push on a
+    // captured Vec; the disjoint per-index slot pattern must not fire.
+    assert_eq!(
+        fire("p1.rs", "crates/core/src/p1.rs"),
+        vec![("P1", 8), ("P1", 17), ("P1", 26)]
+    );
+}
+
+#[test]
+fn p2_fixture_fires_exactly() {
+    // Shared float accumulators fire P2 (both literal-inferred and
+    // annotated); the integer accumulator is a plain P1 capture mutation;
+    // the ordered-buffer serial reduce is the sanctioned pattern.
+    assert_eq!(
+        fire("p2.rs", "crates/core/src/p2.rs"),
+        vec![("P2", 9), ("P2", 18), ("P1", 27)]
+    );
+}
+
+#[test]
+fn u1_fixture_fires_exactly() {
+    assert_eq!(fire("u1.rs", "crates/core/src/u1.rs"), vec![("U1", 4)]);
+}
+
+#[test]
+fn w1_fixture_fires_exactly() {
+    // Only the allow that suppresses nothing fires; the live D1 allow and
+    // the doc-text `allow(RULE, …)` illustration are spared.
+    assert_eq!(fire("w1.rs", "crates/core/src/w1.rs"), vec![("W1", 14)]);
+}
+
+#[test]
 fn clean_fixture_is_silent_everywhere() {
     for path in [
         "crates/core/src/clean.rs",
@@ -198,4 +231,237 @@ fn exit_codes_clean_injected_and_ratchet() {
     };
     assert_eq!(run_lint(&update), 0);
     assert_eq!(run_lint(&strict), 0);
+}
+
+// --- the shared exit-code table, pinned through the real binary ----------
+
+fn xtask(args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("spawn xtask")
+}
+
+#[test]
+fn exit_code_table_is_pinned_end_to_end() {
+    let root = synthetic_tree("exit-table", CLEAN_LIB);
+    let root_str = root.to_str().unwrap();
+
+    // 0 clean — for lint and audit alike.
+    assert_eq!(xtask(&["lint", "--root", root_str]).status.code(), Some(0));
+    assert_eq!(xtask(&["audit", "--root", root_str]).status.code(), Some(0));
+
+    // help documents the table and exits 0.
+    let help = xtask(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&help.stdout);
+    for needle in [
+        "EXIT CODES",
+        "0    clean",
+        "1    violations",
+        "2    usage",
+        "3    io",
+    ] {
+        assert!(text.contains(needle), "help is missing `{needle}`:\n{text}");
+    }
+
+    // 1 violations — beyond the (absent) baseline.
+    fs::write(root.join("crates/core/src/lib.rs"), ONE_VIOLATION).unwrap();
+    assert_eq!(xtask(&["lint", "--root", root_str]).status.code(), Some(1));
+    assert_eq!(xtask(&["audit", "--root", root_str]).status.code(), Some(1));
+
+    // Audit is always strict: a stale baseline entry also exits 1 where
+    // plain lint tolerates it.
+    assert_eq!(
+        xtask(&["lint", "--root", root_str, "--update-baseline"])
+            .status
+            .code(),
+        Some(0)
+    );
+    fs::write(root.join("crates/core/src/lib.rs"), CLEAN_LIB).unwrap();
+    assert_eq!(xtask(&["lint", "--root", root_str]).status.code(), Some(0));
+    assert_eq!(xtask(&["audit", "--root", root_str]).status.code(), Some(1));
+
+    // 2 usage — unknown task, unknown flag, malformed rule list.
+    assert_eq!(xtask(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(xtask(&["lint", "--bogus"]).status.code(), Some(2));
+    assert_eq!(xtask(&["audit", "--rules", "Z9"]).status.code(), Some(2));
+    assert_eq!(xtask(&[]).status.code(), Some(2));
+
+    // 3 io — unreadable tree.
+    let missing = root.join("no-such-dir");
+    let missing = missing.to_str().unwrap();
+    assert_eq!(xtask(&["lint", "--root", missing]).status.code(), Some(3));
+    assert_eq!(xtask(&["audit", "--root", missing]).status.code(), Some(3));
+}
+
+#[test]
+fn baseline_growth_prints_a_diff_style_message() {
+    let root = synthetic_tree("diff-style", ONE_VIOLATION);
+    let out = xtask(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--- lint-baseline.toml"), "{text}");
+    assert!(text.contains("+++ working tree"), "{text}");
+    assert!(
+        text.contains("+ D2 crates/core/src/lib.rs: 1 violations (baseline 0)"),
+        "{text}"
+    );
+}
+
+// --- audit: deterministic JSON report ------------------------------------
+
+#[test]
+fn audit_json_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let root_str = root.to_str().unwrap();
+    let a = xtask(&["audit", "--json", "--root", root_str]);
+    let b = xtask(&["audit", "--json", "--root", root_str]);
+    assert_eq!(
+        a.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert_eq!(a.stdout, b.stdout, "audit --json must be deterministic");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("\"schema\": \"segugio-audit/1\""), "{text}");
+    assert!(text.contains("\"clean\": true"), "{text}");
+}
+
+#[test]
+fn audit_out_writes_the_report_file() {
+    let root = synthetic_tree("audit-out", CLEAN_LIB);
+    let out_path = root.join("audit.json");
+    let status = xtask(&[
+        "audit",
+        "--root",
+        root.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(status.status.code(), Some(0));
+    let json = fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"files_scanned\": 1"), "{json}");
+}
+
+// --- A1 end to end: a deliberate layering violation ----------------------
+
+/// Builds a tree whose `graph` crate illegally reaches up into `eval`,
+/// both in its manifest and in source.
+fn layered_tree(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/xtask")).unwrap();
+    fs::write(
+        root.join("crates/xtask/layering.toml"),
+        "[layers]\neval = \"model graph\"\ngraph = \"model\"\nmodel = \"\"\n",
+    )
+    .unwrap();
+    for (krate, deps) in [
+        ("model", ""),
+        ("eval", "segugio-model = { path = \"../model\" }\n"),
+        (
+            "graph",
+            "segugio-model = { path = \"../model\" }\nsegugio-eval = { path = \"../eval\" }\n",
+        ),
+    ] {
+        let dir = root.join("crates").join(krate);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        fs::write(
+            dir.join("Cargo.toml"),
+            format!("[package]\nname = \"segugio-{krate}\"\n\n[dependencies]\n{deps}"),
+        )
+        .unwrap();
+        fs::write(dir.join("src/lib.rs"), "pub fn f() -> u32 { 7 }\n").unwrap();
+    }
+    fs::write(
+        root.join("crates/graph/src/lib.rs"),
+        "use segugio_eval::f;\npub fn g() -> u32 { f() }\n",
+    )
+    .unwrap();
+    root
+}
+
+#[test]
+fn layering_violations_fire_in_manifest_and_source() {
+    let root = layered_tree("layering-e2e");
+    let report = lint_tree(&root, &all_rules()).unwrap();
+    let fired: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.file.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        fired,
+        vec![
+            ("A1", "crates/graph/Cargo.toml", 6),
+            ("A1", "crates/graph/src/lib.rs", 1),
+        ],
+        "{:?}",
+        report.violations
+    );
+    assert_eq!(run_lint(&opts(&root)), 1);
+}
+
+#[test]
+fn undeclared_crates_must_join_the_dag() {
+    let root = layered_tree("layering-undeclared");
+    let dir = root.join("crates/rogue");
+    fs::create_dir_all(dir.join("src")).unwrap();
+    fs::write(
+        dir.join("Cargo.toml"),
+        "[package]\nname = \"segugio-rogue\"\n",
+    )
+    .unwrap();
+    fs::write(dir.join("src/lib.rs"), "pub fn f() -> u32 { 7 }\n").unwrap();
+    let report = lint_tree(&root, &all_rules()).unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "A1" && v.file == "crates/rogue/Cargo.toml" && v.line == 1),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn stale_a1_allows_fire_w1_at_tree_level() {
+    let root = layered_tree("layering-stale-allow");
+    // Legal edge (eval -> model) carrying a pointless A1 allow: the allow
+    // suppresses nothing, so W1 must flag it even though A1 itself only
+    // runs at tree level.
+    fs::write(
+        root.join("crates/eval/src/lib.rs"),
+        "// segugio-lint: allow(A1, this edge is legal so this comment is stale)\nuse segugio_model::f;\npub fn g() -> u32 { f() }\n",
+    )
+    .unwrap();
+    // Make the graph crate legal so only the stale allow remains.
+    fs::write(
+        root.join("crates/graph/Cargo.toml"),
+        "[package]\nname = \"segugio-graph\"\n\n[dependencies]\nsegugio-model = { path = \"../model\" }\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/graph/src/lib.rs"),
+        "pub fn f() -> u32 { 7 }\n",
+    )
+    .unwrap();
+    let report = lint_tree(&root, &all_rules()).unwrap();
+    let fired: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.file.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        fired,
+        vec![("W1", "crates/eval/src/lib.rs", 1)],
+        "{:?}",
+        report.violations
+    );
+    // And the suppression inventory reports it as unused.
+    let stale: Vec<_> = report.suppressions.iter().filter(|s| !s.used).collect();
+    assert_eq!(stale.len(), 1, "{:?}", report.suppressions);
+    assert_eq!(stale[0].rule, "A1");
 }

@@ -60,7 +60,7 @@ fn eight_day_reports_match_at_every_width() {
         "reference run must detect something for the comparison to mean anything"
     );
 
-    for width in [1usize, 2, 4] {
+    for width in [1usize, 2, 4, 8] {
         let scratch = run_tracker(&cfg, 8, false, Some(width));
         assert_eq!(
             scratch, reference,
