@@ -1,0 +1,190 @@
+//! Scoring-throughput bench behind `BENCH_score.json`.
+//!
+//! Measures domains scored per second over one ISP day's unknown-domain
+//! rows, comparing four paths that must agree bit-for-bit:
+//!
+//! - **arena**: the pointer-chasing per-row walk of [`RandomForest`];
+//! - **flat**: [`FlatForest`]'s struct-of-arrays per-row walk;
+//! - **flat blocked**: [`FlatForest::score_rows`], trees outer / rows
+//!   inner over cache-sized row blocks;
+//! - **model**: the end-to-end [`SegugioModel::score_rows_with`] hot path
+//!   with a reused [`ScoreBuffer`] (includes detection assembly).
+//!
+//! Prints the JSON recorded in `BENCH_score.json`; set `SEGUGIO_BENCH_OUT`
+//! to also write it to a file and `SEGUGIO_BENCH_SCALE=ci` for the reduced
+//! population CI runs at.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segugio_core::{
+    build_training_set, config::ClassifierKind, ScoreBuffer, Segugio, SegugioConfig, SegugioModel,
+    SnapshotInput,
+};
+use segugio_ml::{Classifier, FlatForest, RandomForest};
+use segugio_traffic::{IspConfig, IspNetwork};
+
+/// Median wall-clock seconds over `n` runs of `f`.
+fn median_secs<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Day {
+    model: SegugioModel,
+    forest: RandomForest,
+    ids: Vec<segugio_model::DomainId>,
+    rows: Vec<[f32; segugio_core::FEATURE_COUNT]>,
+}
+
+/// Simulates an ISP, trains on one day, and materializes the next day's
+/// unknown-domain feature rows.
+fn build_day(machines: usize, config: &SegugioConfig) -> Day {
+    let isp_cfg = IspConfig {
+        name: format!("score-{machines}"),
+        machines,
+        ..IspConfig::small(77)
+    };
+    let mut isp = IspNetwork::new(isp_cfg);
+    isp.warm_up(15);
+
+    let mut engine = segugio_core::IncrementalEngine::new();
+    let train_day = isp.next_day();
+    let input = SnapshotInput {
+        day: train_day.day,
+        queries: &train_day.queries,
+        resolutions: &train_day.resolutions,
+        table: isp.table(),
+        pdns: isp.pdns(),
+        blacklist: isp.commercial_blacklist(),
+        whitelist: isp.whitelist(),
+        hidden: None,
+    };
+    let snapshot = engine.build_snapshot(&input, config);
+    let (full, _ids) = build_training_set(&snapshot, isp.activity(), config);
+    let model =
+        Segugio::train_prepared(&full, config).expect("warmed-up fixture seeds both classes");
+    // Refit the forest at the ml layer with the identical dataset and
+    // config: training is deterministic, so this clones the model's
+    // internal arena forest and gives the bench a raw per-row baseline.
+    let ClassifierKind::Forest(forest_cfg) = &config.classifier else {
+        panic!("score bench expects the default forest backend");
+    };
+    let forest = RandomForest::fit(&full, forest_cfg);
+
+    let test_day = isp.next_day();
+    let input2 = SnapshotInput {
+        day: test_day.day,
+        queries: &test_day.queries,
+        resolutions: &test_day.resolutions,
+        table: isp.table(),
+        pdns: isp.pdns(),
+        blacklist: isp.commercial_blacklist(),
+        whitelist: isp.whitelist(),
+        hidden: None,
+    };
+    let snapshot2 = engine.build_snapshot(&input2, config);
+    let features = engine.measure_day(&snapshot2, isp.activity(), config);
+    Day {
+        model,
+        forest,
+        ids: features.unknown_ids,
+        rows: features.unknown_rows,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let ci = std::env::var("SEGUGIO_BENCH_SCALE").is_ok_and(|s| s == "ci");
+    let machines = if ci { 2_000 } else { 10_000 };
+    let config = SegugioConfig::default();
+    let day = build_day(machines, &config);
+    let n = day.rows.len();
+    assert!(n > 0, "test day must surface unknown domains");
+
+    let flat = FlatForest::from_forest(&day.forest);
+    let mut out = vec![0.0f32; n];
+    flat.score_rows(&day.rows, &mut out);
+    // The refit forest, its flat repack, and the model's internal flat
+    // path must all agree bit-for-bit before any timing is trusted.
+    for (i, (row, &blocked)) in day.rows.iter().zip(&out).enumerate() {
+        let arena = day.forest.score(row);
+        assert_eq!(flat.score(row).to_bits(), arena.to_bits(), "row {i}");
+        assert_eq!(blocked.to_bits(), arena.to_bits(), "row {i} blocked");
+        assert_eq!(
+            day.model.score_features(row).to_bits(),
+            arena.to_bits(),
+            "row {i} model"
+        );
+    }
+
+    let runs = if ci { 5 } else { 9 };
+    let arena_s = median_secs(runs, || {
+        for row in &day.rows {
+            std::hint::black_box(day.forest.score(row));
+        }
+    });
+    let flat_s = median_secs(runs, || {
+        for row in &day.rows {
+            std::hint::black_box(flat.score(row));
+        }
+    });
+    let blocked_s = median_secs(runs, || {
+        flat.score_rows(&day.rows, &mut out);
+        std::hint::black_box(&out);
+    });
+    let mut buf = ScoreBuffer::new();
+    let model_s = median_secs(runs, || {
+        day.model.score_rows_with(&day.ids, &day.rows, &mut buf);
+        std::hint::black_box(buf.detections());
+    });
+
+    let per_s = |t: f64| n as f64 / t;
+    let json = format!(
+        "{{\n  \"machines\": {machines},\n  \"domains\": {n},\n  \
+         \"trees\": {},\n  \"runs\": {runs},\n  \
+         \"arena_domains_per_s\": {:.0},\n  \"flat_domains_per_s\": {:.0},\n  \
+         \"flat_blocked_domains_per_s\": {:.0},\n  \"model_domains_per_s\": {:.0},\n  \
+         \"speedup_flat_blocked_vs_arena\": {:.2}\n}}",
+        day.forest.tree_count(),
+        per_s(arena_s),
+        per_s(flat_s),
+        per_s(blocked_s),
+        per_s(model_s),
+        arena_s / blocked_s,
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("SEGUGIO_BENCH_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write SEGUGIO_BENCH_OUT");
+    }
+
+    let mut group = c.benchmark_group("score/throughput");
+    group.sample_size(10);
+    group.bench_function("arena_per_row", |b| {
+        b.iter(|| {
+            for row in &day.rows {
+                std::hint::black_box(day.forest.score(row));
+            }
+        })
+    });
+    group.bench_function("flat_blocked", |b| {
+        b.iter(|| {
+            flat.score_rows(&day.rows, &mut out);
+            std::hint::black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

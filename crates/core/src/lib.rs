@@ -76,7 +76,7 @@ pub use config::{ClassifierKind, HealthPolicy, SegugioConfig};
 pub use error::{TrackerError, TrainError};
 pub use features::{FeatureConfig, FeatureExtractor, FeatureGroup, FEATURE_COUNT, FEATURE_NAMES};
 pub use incremental::{DayFeatures, IncrementalEngine};
-pub use model::{Detection, Detector, SegugioModel};
+pub use model::{Detection, Detector, ScoreBuffer, SegugioModel};
 pub use snapshot::{DaySnapshot, SnapshotInput};
 pub use tracker::{DayOutcome, DayReport, Degradation, Tracker, TrackerConfig};
 pub use trainer::{build_training_set, Segugio};

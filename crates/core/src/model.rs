@@ -1,6 +1,8 @@
 //! The trained model and the detector.
 
-use segugio_ml::{Classifier, GradientBoosting, LogisticRegression, RandomForest, RocCurve};
+use segugio_ml::{
+    Classifier, FlatForest, GradientBoosting, LogisticRegression, RandomForest, RocCurve,
+};
 use segugio_model::{DomainId, Label, MachineId};
 use segugio_pdns::ActivityStore;
 
@@ -37,6 +39,36 @@ pub struct Detection {
     pub score: f32,
 }
 
+/// Reusable scoring scratch for the bulk entry points.
+///
+/// Holds the per-candidate score column and the assembled detections, so a
+/// long-running deployment (the [`Tracker`](crate::Tracker)'s daily loop)
+/// scores each day with zero heap allocations once the buffer has grown to
+/// the network's candidate count.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreBuffer {
+    scores: Vec<f32>,
+    detections: Vec<Detection>,
+}
+
+impl ScoreBuffer {
+    /// An empty buffer; capacity grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Detections from the most recent scoring call, sorted by descending
+    /// score with the domain id as tie-break.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Moves the detections out (the buffer keeps its score column).
+    pub fn take_detections(&mut self) -> Vec<Detection> {
+        std::mem::take(&mut self.detections)
+    }
+}
+
 /// A trained Segugio classifier: feature projection + scorer.
 ///
 /// Models are intentionally self-contained — they carry the feature windows
@@ -50,15 +82,32 @@ pub struct SegugioModel {
     /// Worker threads for bulk scoring; not persisted — a deployment
     /// property of this process, not of the trained model.
     parallelism: Option<usize>,
+    /// Breadth-ordered struct-of-arrays repack of a forest backend, with
+    /// the column projection baked into the node feature indices. Built at
+    /// construction/load; `None` for non-forest backends. Scores are
+    /// bit-for-bit identical to walking the arena.
+    flat: Option<FlatForest>,
 }
 
 impl SegugioModel {
     pub(crate) fn new(backend: ModelBackend, columns: Vec<usize>, features: FeatureConfig) -> Self {
+        let flat = match &backend {
+            ModelBackend::Forest(f) => {
+                debug_assert_eq!(
+                    f.n_features(),
+                    columns.len(),
+                    "trainer projects consistently"
+                );
+                Some(FlatForest::from_forest_mapped(f, &columns, FEATURE_COUNT))
+            }
+            _ => None,
+        };
         SegugioModel {
             backend,
             columns,
             features,
             parallelism: None,
+            flat,
         }
     }
 
@@ -175,25 +224,52 @@ impl SegugioModel {
         } else {
             return Err(ParseModelError::new("unknown backend header"));
         };
-        Ok(SegugioModel {
+        if let ModelBackend::Forest(f) = &backend {
+            // A forest whose arity disagrees with the column projection
+            // would index a projected row out of bounds at scoring time;
+            // reject it at load instead.
+            if f.n_features() != columns.len() {
+                return Err(ParseModelError::new(
+                    "forest feature count does not match columns line",
+                ));
+            }
+        }
+        if let ModelBackend::Boosting(b) = &backend {
+            // The boosting format carries no arity header, so bound-check
+            // its split features against the column projection here.
+            if b.n_features() > columns.len() {
+                return Err(ParseModelError::new(
+                    "boosting backend references features beyond columns line",
+                ));
+            }
+        }
+        Ok(SegugioModel::new(
             backend,
             columns,
-            features: FeatureConfig {
+            FeatureConfig {
                 activity_days,
                 abuse_window_days,
             },
-            parallelism: None,
-        })
+        ))
     }
 
     /// Scores a full 11-feature vector (projection applied internally).
     pub fn score_features(&self, features: &[f32]) -> f32 {
         debug_assert_eq!(features.len(), FEATURE_COUNT);
+        if let Some(flat) = &self.flat {
+            // Column remap is baked into the flat nodes: no projection.
+            return flat.score(features);
+        }
         if self.columns.len() == FEATURE_COUNT {
             self.backend.score(features)
         } else {
-            let projected: Vec<f32> = self.columns.iter().map(|&c| features[c]).collect();
-            self.backend.score(&projected)
+            // Stack-array projection for the non-forest backends: the
+            // projection is at most the full row, so no heap traffic.
+            let mut projected = [0.0f32; FEATURE_COUNT];
+            for (slot, &c) in projected.iter_mut().zip(&self.columns) {
+                *slot = features[c];
+            }
+            self.backend.score(&projected[..self.columns.len()])
         }
     }
 
@@ -207,6 +283,16 @@ impl SegugioModel {
         self.score_where(snapshot, activity, |label| label == Label::Unknown)
     }
 
+    /// [`score_unknown`](Self::score_unknown) into a reusable buffer.
+    pub fn score_unknown_with(
+        &self,
+        snapshot: &DaySnapshot,
+        activity: &ActivityStore,
+        buf: &mut ScoreBuffer,
+    ) {
+        self.score_where_with(snapshot, activity, |label| label == Label::Unknown, buf);
+    }
+
     /// Measures and scores every domain whose label satisfies `pred`.
     pub fn score_where<F>(
         &self,
@@ -217,6 +303,28 @@ impl SegugioModel {
     where
         F: Fn(Label) -> bool,
     {
+        let mut buf = ScoreBuffer::new();
+        self.score_where_with(snapshot, activity, pred, &mut buf);
+        buf.take_detections()
+    }
+
+    /// [`score_where`](Self::score_where) into a reusable buffer: the
+    /// sorted detections land in `buf` and no intermediate vectors are
+    /// allocated once the buffer has warmed up.
+    ///
+    /// With a forest backend, candidates are measured and scored in
+    /// [`SCORE_BLOCK`](segugio_ml::flat::SCORE_BLOCK)-row blocks so the
+    /// feature rows stay in cache while every tree walks them. Scores are
+    /// bit-for-bit identical to the per-row path at any parallelism.
+    pub fn score_where_with<F>(
+        &self,
+        snapshot: &DaySnapshot,
+        activity: &ActivityStore,
+        pred: F,
+        buf: &mut ScoreBuffer,
+    ) where
+        F: Fn(Label) -> bool,
+    {
         let extractor =
             FeatureExtractor::new(&snapshot.graph, activity, &snapshot.abuse, self.features);
         let candidates: Vec<_> = snapshot
@@ -225,22 +333,48 @@ impl SegugioModel {
             .filter(|&d| pred(snapshot.graph.domain_label(d)))
             .collect();
         // Each candidate is measured and scored independently; chunk over
-        // workers and merge in index order, then apply the usual stable
-        // sort — the result is identical at any parallelism.
+        // workers filling disjoint slices of the score column, then apply
+        // the usual stable sort — the result is identical at any
+        // parallelism.
         let threads = crate::parallel::resolve_parallelism(self.parallelism);
-        let scores = crate::parallel::parallel_map_indexed(candidates.len(), threads, |i| {
-            self.score_features(&extractor.measure(candidates[i]))
-        });
-        let mut out: Vec<Detection> = candidates
-            .iter()
-            .zip(scores)
-            .map(|(&d, score)| Detection {
-                domain: snapshot.graph.domain_id(d),
-                score,
-            })
-            .collect();
-        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
-        out
+        buf.scores.clear();
+        buf.scores.resize(candidates.len(), 0.0);
+        const BLOCK: usize = segugio_ml::flat::SCORE_BLOCK;
+        match &self.flat {
+            Some(flat) => {
+                crate::parallel::parallel_map_fill(&mut buf.scores, threads, |base, out| {
+                    let mut block = [[0.0f32; FEATURE_COUNT]; BLOCK];
+                    let mut done = 0usize;
+                    while done < out.len() {
+                        let take = (out.len() - done).min(BLOCK);
+                        for (k, row) in block[..take].iter_mut().enumerate() {
+                            *row = extractor.measure(candidates[base + done + k]);
+                        }
+                        flat.score_block(&block[..take], &mut out[done..done + take]);
+                        done += take;
+                    }
+                });
+            }
+            None => {
+                crate::parallel::parallel_map_fill(&mut buf.scores, threads, |base, out| {
+                    for (k, s) in out.iter_mut().enumerate() {
+                        *s = self.score_features(&extractor.measure(candidates[base + k]));
+                    }
+                });
+            }
+        }
+        buf.detections.clear();
+        buf.detections.extend(
+            candidates
+                .iter()
+                .zip(&buf.scores)
+                .map(|(&d, &score)| Detection {
+                    domain: snapshot.graph.domain_id(d),
+                    score,
+                }),
+        );
+        buf.detections
+            .sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
     }
 
     /// Scores pre-measured feature rows and returns detections sorted
@@ -251,19 +385,48 @@ impl SegugioModel {
     /// for unchanged domains — and hands them here; with identical rows the
     /// result is bit-for-bit what `score_where` would produce.
     pub fn score_rows(&self, ids: &[DomainId], rows: &[[f32; FEATURE_COUNT]]) -> Vec<Detection> {
+        let mut buf = ScoreBuffer::new();
+        self.score_rows_with(ids, rows, &mut buf);
+        buf.take_detections()
+    }
+
+    /// [`score_rows`](Self::score_rows) into a reusable buffer. The rows
+    /// are already contiguous, so the forest path hands each worker's chunk
+    /// straight to the flat forest's blocked scorer — no copies at all.
+    pub fn score_rows_with(
+        &self,
+        ids: &[DomainId],
+        rows: &[[f32; FEATURE_COUNT]],
+        buf: &mut ScoreBuffer,
+    ) {
         debug_assert_eq!(ids.len(), rows.len());
         let n = ids.len().min(rows.len());
         let threads = crate::parallel::resolve_parallelism(self.parallelism);
-        let scores =
-            crate::parallel::parallel_map_indexed(n, threads, |i| self.score_features(&rows[i]));
-        let mut out: Vec<Detection> = ids
-            .iter()
-            .take(n)
-            .zip(scores)
-            .map(|(&domain, score)| Detection { domain, score })
-            .collect();
-        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
-        out
+        buf.scores.clear();
+        buf.scores.resize(n, 0.0);
+        match &self.flat {
+            Some(flat) => {
+                crate::parallel::parallel_map_fill(&mut buf.scores, threads, |base, out| {
+                    flat.score_rows(&rows[base..base + out.len()], out);
+                });
+            }
+            None => {
+                crate::parallel::parallel_map_fill(&mut buf.scores, threads, |base, out| {
+                    for (k, s) in out.iter_mut().enumerate() {
+                        *s = self.score_features(&rows[base + k]);
+                    }
+                });
+            }
+        }
+        buf.detections.clear();
+        buf.detections.extend(
+            ids.iter()
+                .take(n)
+                .zip(&buf.scores)
+                .map(|(&domain, &score)| Detection { domain, score }),
+        );
+        buf.detections
+            .sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
     }
 }
 

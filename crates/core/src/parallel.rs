@@ -63,6 +63,41 @@ where
     merged
 }
 
+/// Fills `out` on `threads` workers, handing each worker one contiguous
+/// chunk as `fill(base_index, chunk)`.
+///
+/// The blocked-scoring counterpart of [`parallel_map_indexed`]: the caller
+/// owns the output storage (a reusable buffer), so repeated calls allocate
+/// nothing, and a worker can process its chunk in cache-sized blocks
+/// instead of one index at a time. Chunk boundaries only affect which
+/// worker computes an element, never its value, so the result equals the
+/// serial `fill(0, out)` exactly.
+pub fn parallel_map_fill<T, F>(out: &mut [T], threads: usize, fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = out.len();
+    let threads = threads.min(len).max(1);
+    if threads == 1 {
+        fill(0, out);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    let joined = crossbeam::thread::scope(|scope| {
+        for (w, slice) in out.chunks_mut(chunk).enumerate() {
+            let fill = &fill;
+            scope.spawn(move |_| {
+                fill(w * chunk, slice);
+            });
+        }
+    });
+    if let Err(payload) = joined {
+        // A worker panicked; propagate the original panic untouched.
+        std::panic::resume_unwind(payload);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +122,32 @@ mod tests {
     fn map_handles_empty_and_tiny_ranges() {
         assert!(parallel_map_indexed(0, 4, |i| i).is_empty());
         assert_eq!(parallel_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn fill_matches_serial_at_any_width() {
+        let mut serial = vec![0usize; 97];
+        parallel_map_fill(&mut serial, 1, |base, out| {
+            for (k, s) in out.iter_mut().enumerate() {
+                *s = (base + k) * (base + k);
+            }
+        });
+        for threads in [2, 3, 8, 97, 200] {
+            let mut par = vec![0usize; 97];
+            parallel_map_fill(&mut par, threads, |base, out| {
+                for (k, s) in out.iter_mut().enumerate() {
+                    *s = (base + k) * (base + k);
+                }
+            });
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fill_handles_empty_output() {
+        let mut empty: Vec<usize> = Vec::new();
+        parallel_map_fill(&mut empty, 4, |_, out| {
+            assert!(out.is_empty());
+        });
     }
 }

@@ -22,7 +22,7 @@ use crate::config::SegugioConfig;
 use crate::error::{TrackerError, TrainError};
 use crate::features::{FeatureGroup, FEATURE_COUNT};
 use crate::incremental::IncrementalEngine;
-use crate::model::{Detection, SegugioModel};
+use crate::model::{Detection, ScoreBuffer, SegugioModel};
 use crate::parallel::parallel_map_indexed;
 use crate::snapshot::{DaySnapshot, SnapshotInput};
 use crate::trainer::{build_training_set, Segugio};
@@ -145,6 +145,9 @@ pub struct Tracker {
     /// The most recent successfully processed day, enforcing ascending
     /// delivery.
     last_day: Option<Day>,
+    /// Reusable scoring scratch: the daily scoring pass fills this instead
+    /// of allocating fresh score/detection vectors every day.
+    score_buf: ScoreBuffer,
 }
 
 impl Tracker {
@@ -317,32 +320,42 @@ impl Tracker {
                 malware,
                 benign,
             };
-        let (retain, threshold, scored) = if let Some(retained) = stale {
+        let (retain, threshold) = if let Some(retained) = stale {
             degradation.push(Degradation::StaleModel {
                 trained_on: retained.trained_on,
             });
             self.engine.reset_cache();
-            let scored = retained.model.score_unknown(&snapshot, activity);
-            (None, retained.threshold, scored)
+            retained
+                .model
+                .score_unknown_with(&snapshot, activity, &mut self.score_buf);
+            (None, retained.threshold)
         } else if use_engine {
             let features = self.engine.measure_day(&snapshot, activity, train_config);
             let model =
                 Segugio::train_prepared(&features.train, train_config).map_err(map_train_err)?;
             let threshold = Self::calibrate(&model, &features.train, config);
-            let scored = model.score_rows(&features.unknown_ids, &features.unknown_rows);
-            (Some(model), threshold, scored)
+            model.score_rows_with(
+                &features.unknown_ids,
+                &features.unknown_rows,
+                &mut self.score_buf,
+            );
+            (Some(model), threshold)
         } else {
             let (train_set, _) = build_training_set(&snapshot, activity, train_config);
             let model = Segugio::train_prepared(&train_set, train_config).map_err(map_train_err)?;
             let threshold = Self::calibrate(&model, &train_set, config);
-            let scored = model.score_unknown(&snapshot, activity);
-            (Some(model), threshold, scored)
+            model.score_unknown_with(&snapshot, activity, &mut self.score_buf);
+            (Some(model), threshold)
         };
 
-        // 6. Detect.
-        let all_detections: Vec<Detection> = scored
-            .into_iter()
+        // 6. Detect. The scored detections live in the reusable buffer;
+        //    only those at/above threshold are copied out into the report.
+        let all_detections: Vec<Detection> = self
+            .score_buf
+            .detections()
+            .iter()
             .filter(|d| d.score >= threshold)
+            .copied()
             .collect();
         let mut new_detections = Vec::new();
         for det in &all_detections {

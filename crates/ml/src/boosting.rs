@@ -175,6 +175,24 @@ impl GradientBoosting {
         self.trees.len()
     }
 
+    /// Minimum feature-row width this model can score: one past the
+    /// highest feature index any split references.
+    ///
+    /// The boosting format does not carry an arity header, so a loader
+    /// that knows the expected row width should check it against this
+    /// bound — scoring a narrower row would index out of bounds.
+    pub fn n_features(&self) -> usize {
+        self.trees
+            .iter()
+            .flat_map(|t| &t.nodes)
+            .map(|node| match *node {
+                RNode::Leaf { .. } => 0,
+                RNode::Split { feature, .. } => feature as usize + 1,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Serializes the model into the line-oriented persistence format.
     pub fn write_text(&self, out: &mut String) {
         use std::fmt::Write as _;
@@ -221,7 +239,9 @@ impl GradientBoosting {
         let n: usize = persist::field(parts.next(), "boosting round count")?;
         let base: f64 = persist::field(parts.next(), "boosting base")?;
         let learning_rate: f64 = persist::field(parts.next(), "boosting learning rate")?;
-        let mut trees = Vec::with_capacity(n);
+        // Caps below keep a hostile header's claimed counts from driving a
+        // giant up-front allocation; the loops still error on missing lines.
+        let mut trees = Vec::with_capacity(n.min(1 << 12));
         for _ in 0..n {
             let th = persist::next_line(lines, "rtree header")?;
             let mut parts = th.split_whitespace();
@@ -229,7 +249,10 @@ impl GradientBoosting {
                 return Err(ParseModelError::new("expected `rtree` header"));
             }
             let n_nodes: usize = persist::field(parts.next(), "rtree node count")?;
-            let mut nodes = Vec::with_capacity(n_nodes);
+            if n_nodes == 0 {
+                return Err(ParseModelError::new("rtree must have nodes"));
+            }
+            let mut nodes = Vec::with_capacity(n_nodes.min(1 << 16));
             for _ in 0..n_nodes {
                 let line = persist::next_line(lines, "rtree node")?;
                 let mut parts = line.split_whitespace();
@@ -253,6 +276,11 @@ impl GradientBoosting {
                     }
                 }
             }
+            crate::tree::validate_topology(&nodes, |node| match *node {
+                RNode::Leaf { .. } => None,
+                RNode::Split { left, right, .. } => Some((left, right)),
+            })
+            .map_err(|e| e.context("rtree"))?;
             trees.push(RegressionTree { nodes });
         }
         Ok(GradientBoosting {
@@ -467,6 +495,22 @@ mod tests {
             assert_eq!(m.score(data.row(i)), m2.score(data.row(i)));
         }
         assert!(GradientBoosting::read_text(&mut "garbage".lines()).is_err());
+    }
+
+    #[test]
+    fn read_text_rejects_cyclic_and_empty_rtrees() {
+        // Self-loop: used to parse, then `predict` looped forever.
+        assert!(GradientBoosting::read_text(
+            &mut "boosting 1 0.0 0.1\nrtree 1\nS 0 0.5 0 0".lines()
+        )
+        .is_err());
+        // Zero-node rtree: `predict` would index out of bounds.
+        assert!(GradientBoosting::read_text(&mut "boosting 1 0.0 0.1\nrtree 0".lines()).is_err());
+        // Orphaned node.
+        assert!(GradientBoosting::read_text(
+            &mut "boosting 1 0.0 0.1\nrtree 4\nS 0 0.5 1 2\nL 0.2\nL 0.8\nL 0.9".lines()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Flat struct-of-arrays forest for cache-friendly batch scoring.
+//!
+//! The arena [`RandomForest`] stores every node as an `enum` with explicit
+//! child indices — scoring pointer-chases through a 16-byte-per-node heap
+//! layout in whatever order training happened to allocate. [`FlatForest`]
+//! re-packs a trained forest into breadth-ordered parallel arrays: one
+//! `u16` feature index, one `f32` threshold, and one `u32` child base per
+//! node, with a split's two children always adjacent (`left + 1 == right`).
+//! Leaves are flagged in `children` and reuse the `threshold` slot for the
+//! leaf probability, so a traversal touches three tight arrays instead of a
+//! tagged-union arena.
+//!
+//! [`FlatForest::score_rows`] additionally scores in fixed-size row blocks,
+//! trees outer / rows inner, so a block of feature rows stays resident in
+//! cache while every tree walks it. Scores are bit-for-bit identical to the
+//! arena forest: per row, leaf probabilities accumulate in tree order with
+//! `f32` adds and the same final division.
+
+use crate::forest::RandomForest;
+use crate::tree::Node;
+use crate::Classifier;
+
+/// Sentinel in [`FlatForest`]'s `children` array flagging a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// Row-block width for [`FlatForest::score_rows`]: 64 rows of 11 features
+/// is ~2.8 KiB, comfortably inside L1 alongside the hot node arrays.
+pub const SCORE_BLOCK: usize = 64;
+
+/// A trained [`RandomForest`] re-packed into breadth-ordered
+/// struct-of-arrays storage for batch scoring.
+///
+/// # Example
+///
+/// ```
+/// use segugio_ml::{Classifier, Dataset, FlatForest, ForestConfig, RandomForest};
+///
+/// let mut data = Dataset::new(1);
+/// for i in 0..100 {
+///     data.push(&[i as f32], i >= 50);
+/// }
+/// let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 10, ..Default::default() });
+/// let flat = FlatForest::from_forest(&forest);
+/// for i in 0..data.len() {
+///     assert_eq!(flat.score(data.row(i)), forest.score(data.row(i)));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    /// Per-node split feature (row index after any remap); unused on leaves.
+    feature_idx: Vec<u16>,
+    /// Per-node split threshold; holds the leaf probability on leaves.
+    threshold: Vec<f32>,
+    /// Per-node left-child index ([`LEAF`] flags a leaf); the right child
+    /// is always `children[i] + 1`.
+    children: Vec<u32>,
+    /// Root node index of each tree, in tree order.
+    roots: Vec<u32>,
+    /// Width of the feature rows this forest scores.
+    n_features: usize,
+}
+
+impl FlatForest {
+    /// Re-packs `forest` for rows of the same arity it was trained on.
+    pub fn from_forest(forest: &RandomForest) -> Self {
+        let identity: Vec<usize> = (0..forest.n_features()).collect();
+        Self::from_forest_mapped(forest, &identity, forest.n_features())
+    }
+
+    /// Re-packs `forest` for feature rows of `width` columns, translating
+    /// each tree feature `f` to row column `feature_map[f]` at build time.
+    /// This bakes a column projection into the node arrays, so scoring a
+    /// model trained on a feature subset needs no per-row projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_map` does not cover the forest's arity, maps out
+    /// of `width`, or `width` exceeds `u16` range.
+    pub fn from_forest_mapped(forest: &RandomForest, feature_map: &[usize], width: usize) -> Self {
+        assert_eq!(
+            feature_map.len(),
+            forest.n_features(),
+            "feature map must cover the forest's arity"
+        );
+        assert!(
+            feature_map.iter().all(|&c| c < width),
+            "feature map must stay inside the row width"
+        );
+        assert!(width <= u16::MAX as usize + 1, "row width exceeds u16");
+        let total: usize = forest.trees().iter().map(|t| t.node_count()).sum();
+        assert!((total as u64) < LEAF as u64, "forest too large for u32 ids");
+
+        let mut flat = FlatForest {
+            feature_idx: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            children: Vec::with_capacity(total),
+            roots: Vec::with_capacity(forest.tree_count()),
+            n_features: width,
+        };
+        // Breadth-first re-layout per tree: nodes are appended in visit
+        // order and a split's children are allocated as an adjacent pair,
+        // so sibling lookups share a cache line and `right` needs no slot.
+        let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for tree in forest.trees() {
+            let base = flat.children.len() as u32;
+            flat.roots.push(base);
+            // `queue` holds arena indices in flat-index order; `next` is the
+            // flat index the next allocated pair starts at.
+            queue.clear();
+            queue.push_back(0);
+            let mut next = base + 1;
+            while let Some(a) = queue.pop_front() {
+                match tree.nodes[a as usize] {
+                    Node::Leaf { probability } => {
+                        flat.feature_idx.push(0);
+                        flat.threshold.push(probability);
+                        flat.children.push(LEAF);
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        flat.feature_idx.push(feature_map[feature as usize] as u16);
+                        flat.threshold.push(threshold);
+                        flat.children.push(next);
+                        next += 2;
+                        queue.push_back(left);
+                        queue.push_back(right);
+                    }
+                }
+            }
+            debug_assert_eq!(flat.children.len() as u32, next, "pairs all emitted");
+        }
+        flat
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total node count across all trees.
+    pub fn node_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Width of the feature rows this forest scores.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    #[inline]
+    fn walk(&self, root: u32, row: &[f32]) -> f32 {
+        let mut i = root as usize;
+        loop {
+            let child = self.children[i];
+            if child == LEAF {
+                return self.threshold[i];
+            }
+            let go_left = row[self.feature_idx[i] as usize] <= self.threshold[i];
+            i = child as usize + usize::from(!go_left);
+        }
+    }
+
+    /// Scores one block of rows, trees outer / rows inner, accumulating
+    /// into `out` in tree order (the arena forest's summation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `W` is not the forest's row width or the slices disagree
+    /// in length.
+    pub fn score_block<const W: usize>(&self, rows: &[[f32; W]], out: &mut [f32]) {
+        assert_eq!(W, self.n_features, "feature arity mismatch");
+        assert_eq!(rows.len(), out.len(), "rows and output disagree");
+        for s in out.iter_mut() {
+            *s = 0.0;
+        }
+        for &root in &self.roots {
+            for (row, s) in rows.iter().zip(out.iter_mut()) {
+                *s += self.walk(root, row);
+            }
+        }
+        let n_trees = self.roots.len() as f32;
+        for s in out.iter_mut() {
+            *s /= n_trees;
+        }
+    }
+
+    /// Scores an arbitrary number of rows in [`SCORE_BLOCK`]-sized blocks
+    /// so each block stays cache-resident across all trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FlatForest::score_block`].
+    pub fn score_rows<const W: usize>(&self, rows: &[[f32; W]], out: &mut [f32]) {
+        assert_eq!(rows.len(), out.len(), "rows and output disagree");
+        for (rows, out) in rows.chunks(SCORE_BLOCK).zip(out.chunks_mut(SCORE_BLOCK)) {
+            self.score_block(rows, out);
+        }
+    }
+}
+
+impl Classifier for FlatForest {
+    fn score(&self, features: &[f32]) -> f32 {
+        assert_eq!(features.len(), self.n_features, "feature arity mismatch");
+        let mut sum = 0.0f32;
+        for &root in &self.roots {
+            sum += self.walk(root, features);
+        }
+        sum / self.roots.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forest::ForestConfig;
+
+    fn separable(n: usize) -> Dataset {
+        let mut d = Dataset::new(3);
+        for i in 0..n {
+            let x = i as f32 / n as f32;
+            d.push(&[x, (i % 7) as f32, (i % 3) as f32], x >= 0.5);
+        }
+        d
+    }
+
+    #[test]
+    fn flat_scores_match_arena_bit_for_bit() {
+        let data = separable(160);
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 12,
+                ..ForestConfig::default()
+            },
+        );
+        let flat = FlatForest::from_forest(&forest);
+        assert_eq!(flat.tree_count(), forest.tree_count());
+        assert_eq!(
+            flat.node_count(),
+            forest.trees().iter().map(|t| t.node_count()).sum::<usize>()
+        );
+        for i in 0..data.len() {
+            assert_eq!(
+                flat.score(data.row(i)).to_bits(),
+                forest.score(data.row(i)).to_bits(),
+                "row {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_scoring_matches_per_row() {
+        let data = separable(200);
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 9,
+                ..ForestConfig::default()
+            },
+        );
+        let flat = FlatForest::from_forest(&forest);
+        // 150 rows: two full blocks plus a ragged tail.
+        let rows: Vec<[f32; 3]> = (0..150)
+            .map(|i| {
+                let r = data.row(i);
+                [r[0], r[1], r[2]]
+            })
+            .collect();
+        let mut out = vec![0.0f32; rows.len()];
+        flat.score_rows(&rows, &mut out);
+        for (row, &s) in rows.iter().zip(&out) {
+            assert_eq!(s.to_bits(), forest.score(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn mapped_build_scores_wide_rows_without_projection() {
+        // Train on a 2-column projection [2, 0] of 5-wide rows.
+        let wide: Vec<[f32; 5]> = (0..120)
+            .map(|i| {
+                let x = i as f32 / 120.0;
+                [x, 99.0, (i % 5) as f32, -1.0, 7.0]
+            })
+            .collect();
+        let columns = [2usize, 0];
+        let mut data = Dataset::new(2);
+        for row in &wide {
+            data.push(&[row[2], row[0]], row[0] >= 0.5);
+        }
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 7,
+                ..ForestConfig::default()
+            },
+        );
+        let flat = FlatForest::from_forest_mapped(&forest, &columns, 5);
+        assert_eq!(flat.n_features(), 5);
+        for (i, row) in wide.iter().enumerate() {
+            let projected = [row[2], row[0]];
+            assert_eq!(
+                flat.score(row).to_bits(),
+                forest.score(&projected).to_bits(),
+                "row {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn wrong_width_is_rejected() {
+        let data = separable(40);
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 2,
+                ..ForestConfig::default()
+            },
+        );
+        let flat = FlatForest::from_forest(&forest);
+        flat.score(&[0.5, 1.0]);
+    }
+}

@@ -76,6 +76,7 @@ impl Default for ForestConfig {
 #[derive(Debug, Clone)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
+    n_features: usize,
 }
 
 impl RandomForest {
@@ -129,7 +130,10 @@ impl RandomForest {
             debug_assert_eq!(trees.len(), config.n_trees, "all trees trained");
             trees
         };
-        RandomForest { trees }
+        RandomForest {
+            trees,
+            n_features: data.n_features(),
+        }
     }
 
     fn fit_one(
@@ -207,7 +211,9 @@ impl RandomForest {
     ///
     /// # Errors
     ///
-    /// Returns [`ParseModelError`] on malformed input.
+    /// Returns [`ParseModelError`] on malformed input, including a file
+    /// whose trees disagree on feature arity (scoring such a forest would
+    /// index a feature row out of bounds).
     pub fn read_text<'a>(
         lines: &mut impl Iterator<Item = &'a str>,
     ) -> Result<Self, ParseModelError> {
@@ -223,12 +229,23 @@ impl RandomForest {
         let trees = (0..n)
             .map(|_| DecisionTree::read_text(lines))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(RandomForest { trees })
+        let n_features = trees[0].n_features();
+        if trees.iter().any(|t| t.n_features() != n_features) {
+            return Err(ParseModelError::new(
+                "forest trees disagree on feature count",
+            ));
+        }
+        Ok(RandomForest { trees, n_features })
     }
 
     /// Number of trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Feature arity every tree in the forest was trained for.
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// The individual trees.
@@ -432,6 +449,18 @@ mod tests {
             assert_eq!(f.score(data.row(i)), f2.score(data.row(i)));
         }
         assert!(RandomForest::read_text(&mut "forest 0".lines()).is_err());
+    }
+
+    #[test]
+    fn read_text_rejects_mixed_feature_counts() {
+        // An 11-feature tree next to a 2-feature tree used to load fine and
+        // then panic with an out-of-bounds feature index at scoring time.
+        let text = "forest 2\ntree 2 1\nL 0.5\ntree 11 1\nL 0.5";
+        assert!(RandomForest::read_text(&mut text.lines()).is_err());
+        // The consistent variant parses and records the arity.
+        let ok = "forest 2\ntree 2 1\nL 0.5\ntree 2 1\nL 0.25";
+        let f = RandomForest::read_text(&mut ok.lines()).unwrap();
+        assert_eq!(f.n_features(), 2);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   per-node feature subsampling;
 //! - [`RandomForest`] — bagged trees with optional class-balanced bootstrap,
 //!   trained in parallel with `crossbeam` scoped threads;
+//! - [`FlatForest`] — a trained forest re-packed into breadth-ordered
+//!   struct-of-arrays node storage for cache-friendly blocked batch scoring;
 //! - [`LogisticRegression`] — L2-regularized SGD on standardized features;
 //! - [`RocCurve`] — exact ROC from scored samples, with `TPR @ FPR`,
 //!   threshold selection, AUC and partial AUC;
@@ -22,6 +24,7 @@
 pub mod boosting;
 pub mod dataset;
 pub mod eval;
+pub mod flat;
 pub mod folds;
 pub mod forest;
 pub mod importance;
@@ -32,6 +35,7 @@ pub mod tree;
 pub use boosting::{BoostingConfig, GradientBoosting};
 pub use dataset::Dataset;
 pub use eval::RocCurve;
+pub use flat::FlatForest;
 pub use forest::{BootstrapMode, ForestConfig, OobEstimate, RandomForest};
 pub use importance::{permutation_importance, permutation_importance_by};
 pub use logistic::{LogisticConfig, LogisticRegression};

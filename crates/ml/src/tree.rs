@@ -1,4 +1,11 @@
 //! CART decision trees with Gini impurity.
+//!
+//! Training uses pre-sorted feature columns (the classic presort CART
+//! layout): every feature column is sorted once up front, and split search
+//! walks each node's range in sorted order instead of re-sorting its
+//! candidates. Splitting stably partitions every column's segment, so both
+//! children inherit sorted segments and the per-node cost drops from
+//! `O(k · m log m)` sorting to a linear scan.
 
 use rand::seq::index::sample as sample_indices;
 use rand::Rng;
@@ -33,7 +40,7 @@ impl Default for TreeConfig {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         probability: f32,
     },
@@ -67,7 +74,7 @@ enum Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     n_features: usize,
 }
 
@@ -99,8 +106,8 @@ impl DecisionTree {
             nodes: Vec::new(),
             n_features: data.n_features(),
         };
-        let mut work = indices.to_vec();
-        tree.grow(data, &mut work, 0, config, rng);
+        let mut columns = SortedColumns::new(data, indices);
+        tree.grow(&mut columns, 0, indices.len(), 0, config, rng);
         tree
     }
 
@@ -130,7 +137,8 @@ impl DecisionTree {
     /// # Errors
     ///
     /// Returns [`ParseModelError`] on malformed input (wrong header, node
-    /// count mismatch, child index out of range).
+    /// count mismatch, child index out of range, cyclic or disconnected
+    /// node topology).
     pub fn read_text<'a>(
         lines: &mut impl Iterator<Item = &'a str>,
     ) -> Result<Self, ParseModelError> {
@@ -144,7 +152,10 @@ impl DecisionTree {
         if n_features == 0 || n_nodes == 0 {
             return Err(ParseModelError::new("tree must have features and nodes"));
         }
-        let mut nodes = Vec::with_capacity(n_nodes);
+        // Cap the pre-allocation: `n_nodes` is attacker-controlled text, and
+        // an absurd claimed count must fail on the missing node lines, not
+        // by attempting a giant up-front allocation.
+        let mut nodes = Vec::with_capacity(n_nodes.min(1 << 16));
         for _ in 0..n_nodes {
             let line = persist::next_line(lines, "tree node")?;
             let mut parts = line.split_whitespace();
@@ -183,6 +194,11 @@ impl DecisionTree {
                 }
             }
         }
+        validate_topology(&nodes, |node| match *node {
+            Node::Leaf { .. } => None,
+            Node::Split { left, right, .. } => Some((left, right)),
+        })
+        .map_err(|e| e.context("tree"))?;
         Ok(DecisionTree { nodes, n_features })
     }
 
@@ -191,30 +207,43 @@ impl DecisionTree {
         self.nodes.len()
     }
 
+    /// Feature arity the tree was trained for.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Maximum depth actually reached.
     pub fn depth(&self) -> usize {
-        fn depth_of(nodes: &[Node], i: u32) -> usize {
-            match nodes[i as usize] {
-                Node::Leaf { .. } => 0,
+        // Iterative: parsing bounds the node count, not the shape, so a
+        // path-shaped tree from a model file could overflow a recursive
+        // walk's call stack.
+        let mut max = 0usize;
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((i, d)) = stack.pop() {
+            match self.nodes[i as usize] {
+                Node::Leaf { .. } => max = max.max(d),
                 Node::Split { left, right, .. } => {
-                    1 + depth_of(nodes, left).max(depth_of(nodes, right))
+                    stack.push((left, d + 1));
+                    stack.push((right, d + 1));
                 }
             }
         }
-        depth_of(&self.nodes, 0)
+        max
     }
 
-    /// Grows a subtree over `indices`, returning its node index.
+    /// Grows a subtree over the positions `lo..hi` of `columns`, returning
+    /// its node index.
     fn grow<R: Rng>(
         &mut self,
-        data: &Dataset,
-        indices: &mut [u32],
+        columns: &mut SortedColumns,
+        lo: usize,
+        hi: usize,
         depth: usize,
         config: &TreeConfig,
         rng: &mut R,
     ) -> u32 {
-        let n = indices.len();
-        let pos = indices.iter().filter(|&&i| data.label(i as usize)).count();
+        let n = hi - lo;
+        let pos = columns.positives(lo, hi);
 
         let make_leaf = |nodes: &mut Vec<Node>| {
             // Laplace-smoothed leaf estimate: keeps large pure leaves more
@@ -230,22 +259,20 @@ impl DecisionTree {
             return make_leaf(&mut self.nodes);
         }
 
-        let Some(split) = self.best_split(data, indices, config, rng) else {
+        let Some(split) = best_split(columns, lo, hi, pos, config, rng) else {
             return make_leaf(&mut self.nodes);
         };
 
-        // Partition indices in place around the threshold.
-        let mid = partition(indices, |&i| {
-            data.row(i as usize)[split.feature as usize] <= split.threshold
-        });
-        debug_assert!(mid > 0 && mid < n, "split must separate samples");
+        // Partition every column's segment around the threshold; both
+        // children keep sorted segments.
+        let mid = columns.partition(lo, hi, split.feature as usize, split.threshold);
+        debug_assert!(mid > lo && mid < hi, "split must separate samples");
 
         // Reserve this node's slot before recursing.
         let node_idx = self.nodes.len() as u32;
         self.nodes.push(Node::Leaf { probability: 0.0 });
-        let (left_slice, right_slice) = indices.split_at_mut(mid);
-        let left = self.grow(data, left_slice, depth + 1, config, rng);
-        let right = self.grow(data, right_slice, depth + 1, config, rng);
+        let left = self.grow(columns, lo, mid, depth + 1, config, rng);
+        let right = self.grow(columns, mid, hi, depth + 1, config, rng);
         self.nodes[node_idx as usize] = Node::Split {
             feature: split.feature,
             threshold: split.threshold,
@@ -253,71 +280,6 @@ impl DecisionTree {
             right,
         };
         node_idx
-    }
-
-    fn best_split<R: Rng>(
-        &self,
-        data: &Dataset,
-        indices: &[u32],
-        config: &TreeConfig,
-        rng: &mut R,
-    ) -> Option<SplitCandidate> {
-        let n_features = data.n_features();
-        let mtry = config.mtry.unwrap_or(n_features).clamp(1, n_features);
-        let features: Vec<usize> = if mtry == n_features {
-            (0..n_features).collect()
-        } else {
-            sample_indices(rng, n_features, mtry).into_vec()
-        };
-
-        let n = indices.len();
-        let total_pos = indices.iter().filter(|&&i| data.label(i as usize)).count();
-        let parent_gini = gini(total_pos, n);
-
-        let mut best: Option<SplitCandidate> = None;
-        let mut column: Vec<(f32, bool)> = Vec::with_capacity(n);
-        for &f in &features {
-            column.clear();
-            column.extend(
-                indices
-                    .iter()
-                    .map(|&i| (data.row(i as usize)[f], data.label(i as usize))),
-            );
-            column.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-
-            let mut left_pos = 0usize;
-            for k in 0..n - 1 {
-                if column[k].1 {
-                    left_pos += 1;
-                }
-                let left_n = k + 1;
-                // Can only split between distinct values.
-                if column[k].0 == column[k + 1].0 {
-                    continue;
-                }
-                let right_n = n - left_n;
-                if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
-                    continue;
-                }
-                let right_pos = total_pos - left_pos;
-                let weighted = (left_n as f64 * gini(left_pos, left_n)
-                    + right_n as f64 * gini(right_pos, right_n))
-                    / n as f64;
-                // Zero-gain splits are accepted (best-effort, like CART on
-                // XOR-shaped data): recursion still terminates because both
-                // children are non-empty and depth is bounded.
-                let gain = parent_gini - weighted;
-                if gain > -1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
-                    let threshold = midpoint(column[k].0, column[k + 1].0);
-                    best = Some(SplitCandidate {
-                        feature: f as u16,
-                        threshold,
-                        gain,
-                    });
-                }
-            }
-        }
-        best
     }
 }
 
@@ -345,11 +307,215 @@ impl Classifier for DecisionTree {
     }
 }
 
+/// Checks that every node is reachable from node 0 exactly once, i.e. the
+/// arena encodes a proper tree. Rejects cycles (`S 0 0.5 0 0` would make
+/// scoring loop forever), shared children, and orphaned nodes. Shared with
+/// the boosted-tree reader via the `children` projection.
+pub(crate) fn validate_topology<N>(
+    nodes: &[N],
+    children: impl Fn(&N) -> Option<(u32, u32)>,
+) -> Result<(), ParseModelError> {
+    let mut seen = vec![false; nodes.len()];
+    let mut stack = vec![0u32];
+    while let Some(i) = stack.pop() {
+        let slot = &mut seen[i as usize];
+        if *slot {
+            return Err(ParseModelError::new(
+                "node reachable more than once (cycle or shared child)",
+            ));
+        }
+        *slot = true;
+        if let Some((left, right)) = children(&nodes[i as usize]) {
+            stack.push(left);
+            stack.push(right);
+        }
+    }
+    if seen.iter().any(|&v| !v) {
+        return Err(ParseModelError::new("unreachable nodes"));
+    }
+    Ok(())
+}
+
 #[derive(Debug, Clone, Copy)]
 struct SplitCandidate {
     feature: u16,
     threshold: f32,
     gain: f64,
+}
+
+/// Finds the best Gini split over `lo..hi`, scanning each candidate
+/// feature's pre-sorted segment. Feature subsampling consumes `rng` exactly
+/// as often as the previous per-node-sort implementation did, so trained
+/// trees are bit-for-bit unchanged.
+fn best_split<R: Rng>(
+    columns: &SortedColumns,
+    lo: usize,
+    hi: usize,
+    total_pos: usize,
+    config: &TreeConfig,
+    rng: &mut R,
+) -> Option<SplitCandidate> {
+    let n_features = columns.n_features;
+    let mtry = config.mtry.unwrap_or(n_features).clamp(1, n_features);
+    let features: Vec<usize> = if mtry == n_features {
+        (0..n_features).collect()
+    } else {
+        sample_indices(rng, n_features, mtry).into_vec()
+    };
+
+    let n = hi - lo;
+    let parent_gini = gini(total_pos, n);
+
+    let mut best: Option<SplitCandidate> = None;
+    for &f in &features {
+        let (order, vals) = columns.feature(f, lo, hi);
+        let mut left_pos = 0usize;
+        for k in 0..n - 1 {
+            let p = order[k] as usize;
+            if columns.labels[p] {
+                left_pos += 1;
+            }
+            let left_n = k + 1;
+            // Can only split between distinct values.
+            let v = vals[p];
+            let v_next = vals[order[k + 1] as usize];
+            if v == v_next {
+                continue;
+            }
+            let right_n = n - left_n;
+            if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                continue;
+            }
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / n as f64;
+            // Zero-gain splits are accepted (best-effort, like CART on
+            // XOR-shaped data): recursion still terminates because both
+            // children are non-empty and depth is bounded.
+            let gain = parent_gini - weighted;
+            if gain > -1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                let threshold = midpoint(v, v_next);
+                best = Some(SplitCandidate {
+                    feature: f as u16,
+                    threshold,
+                    gain,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Pre-sorted, column-major training workspace.
+///
+/// Positions `0..n` name the bootstrap draws (`indices[p]`), so repeated
+/// rows become distinct positions with identical values. For every feature
+/// the workspace keeps each node's positions in ascending value order;
+/// splitting stably partitions each feature's segment, so both children
+/// inherit sorted segments without re-sorting. Gain scans only evaluate
+/// boundaries between distinct values, where label prefix counts are
+/// invariant to how the unstable up-front sort ordered equal values — the
+/// chosen splits are bit-for-bit those of the per-node-sort implementation.
+struct SortedColumns {
+    /// Label per position.
+    labels: Vec<bool>,
+    /// Column-major values: `vals[f * n + p]` is feature `f` at position `p`.
+    vals: Vec<f32>,
+    /// Per-feature position orders: `order[f * n + lo..f * n + hi]` holds
+    /// the current node's positions sorted by feature `f`.
+    order: Vec<u32>,
+    /// Scratch for the right-hand side of the stable partition.
+    scratch: Vec<u32>,
+    /// Per-position split side for the node currently being partitioned.
+    goes_left: Vec<bool>,
+    n: usize,
+    n_features: usize,
+}
+
+impl SortedColumns {
+    fn new(data: &Dataset, indices: &[u32]) -> Self {
+        let n = indices.len();
+        let n_features = data.n_features();
+        let labels: Vec<bool> = indices.iter().map(|&i| data.label(i as usize)).collect();
+        let mut vals = vec![0.0f32; n_features * n];
+        for (p, &i) in indices.iter().enumerate() {
+            for (f, &v) in data.row(i as usize).iter().enumerate() {
+                vals[f * n + p] = v;
+            }
+        }
+        let mut order = vec![0u32; n_features * n];
+        for f in 0..n_features {
+            let col = &mut order[f * n..(f + 1) * n];
+            for (p, slot) in col.iter_mut().enumerate() {
+                *slot = p as u32;
+            }
+            let v = &vals[f * n..(f + 1) * n];
+            col.sort_unstable_by(|&a, &b| v[a as usize].total_cmp(&v[b as usize]));
+        }
+        SortedColumns {
+            labels,
+            vals,
+            order,
+            scratch: vec![0; n],
+            goes_left: vec![false; n],
+            n,
+            n_features,
+        }
+    }
+
+    /// Positive-label count among the positions of `lo..hi`.
+    fn positives(&self, lo: usize, hi: usize) -> usize {
+        // Every feature's segment holds the same position set; read
+        // feature 0's (offset 0).
+        self.order[lo..hi]
+            .iter()
+            .filter(|&&p| self.labels[p as usize])
+            .count()
+    }
+
+    /// Feature `f`'s sorted positions for `lo..hi`, plus its full value
+    /// column (indexed by position).
+    fn feature(&self, f: usize, lo: usize, hi: usize) -> (&[u32], &[f32]) {
+        (
+            &self.order[f * self.n + lo..f * self.n + hi],
+            &self.vals[f * self.n..(f + 1) * self.n],
+        )
+    }
+
+    /// Stably partitions every feature's `lo..hi` segment around
+    /// `vals[feature] <= threshold`; returns the first right-side index.
+    fn partition(&mut self, lo: usize, hi: usize, feature: usize, threshold: f32) -> usize {
+        let base = feature * self.n;
+        for k in lo..hi {
+            // Feature 0's segment (offset 0) names the node's position set.
+            let p = self.order[k] as usize;
+            self.goes_left[p] = self.vals[base + p] <= threshold;
+        }
+        let mut mid = lo;
+        for f in 0..self.n_features {
+            let start = f * self.n + lo;
+            let end = f * self.n + hi;
+            let mut left = start;
+            let mut right = 0usize;
+            for k in start..end {
+                let p = self.order[k];
+                if self.goes_left[p as usize] {
+                    // In-place prefix compaction: `left <= k`, so the slot
+                    // written was already read.
+                    self.order[left] = p;
+                    left += 1;
+                } else {
+                    self.scratch[right] = p;
+                    right += 1;
+                }
+            }
+            self.order[left..end].copy_from_slice(&self.scratch[..right]);
+            debug_assert!(f == 0 || mid == lo + (left - start), "segments agree");
+            mid = lo + (left - start);
+        }
+        mid
+    }
 }
 
 fn gini(pos: usize, n: usize) -> f64 {
@@ -369,19 +535,6 @@ fn midpoint(lo: f32, hi: f32) -> f32 {
     } else {
         mid
     }
-}
-
-/// In-place stable-order-free partition; returns the number of elements for
-/// which `pred` holds (they end up in the prefix).
-fn partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
-    let mut store = 0;
-    for i in 0..slice.len() {
-        if pred(&slice[i]) {
-            slice.swap(store, i);
-            store += 1;
-        }
-    }
-    store
 }
 
 #[cfg(test)]
@@ -524,13 +677,67 @@ L 0.5"
     }
 
     #[test]
-    fn partition_helper() {
-        let mut v = vec![5, 1, 4, 2, 3];
-        let k = partition(&mut v, |&x| x <= 2);
-        assert_eq!(k, 2);
-        let (left, right) = v.split_at(k);
-        assert!(left.iter().all(|&x| x <= 2));
-        assert!(right.iter().all(|&x| x > 2));
+    fn read_text_rejects_cycles_and_orphans() {
+        // Self-loop: used to parse, then `score()` looped forever and
+        // `depth()` blew the stack.
+        assert!(DecisionTree::read_text(&mut "tree 2 1\nS 0 0.5 0 0".lines()).is_err());
+        // Shared child: node 3 referenced twice.
+        assert!(DecisionTree::read_text(
+            &mut "tree 2 4\nS 0 0.5 1 2\nS 0 0.25 3 3\nL 0.5\nL 0.1".lines()
+        )
+        .is_err());
+        // Orphaned node: node 3 never referenced.
+        assert!(
+            DecisionTree::read_text(&mut "tree 2 4\nS 0 0.5 1 2\nL 0.2\nL 0.8\nL 0.9".lines())
+                .is_err()
+        );
+        // Back-edge to the root.
+        assert!(
+            DecisionTree::read_text(&mut "tree 2 3\nS 0 0.5 1 2\nL 0.2\nS 1 0.5 0 1".lines())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn depth_handles_path_shaped_trees() {
+        // A comb: each split's right child is the next split. Deep enough
+        // that a recursive depth walk would overflow the call stack.
+        let depth = 100_000;
+        let mut text = format!("tree 1 {}\n", 2 * depth + 1);
+        for i in 0..depth {
+            let leaf = 2 * i + 1;
+            let next = 2 * i + 2;
+            text.push_str(&format!("S 0 {i} {leaf} {next}\n"));
+            text.push_str("L 0.25\n");
+        }
+        text.push_str("L 0.75\n");
+        let t = DecisionTree::read_text(&mut text.lines()).unwrap();
+        assert_eq!(t.depth(), depth);
+        // Always greater than every threshold: walks the full comb.
+        assert_eq!(t.score(&[1e9]), 0.75);
+    }
+
+    #[test]
+    fn sorted_partition_keeps_column_order() {
+        let mut d = Dataset::new(2);
+        for i in 0..12 {
+            d.push(&[(i % 4) as f32, (11 - i) as f32], i % 2 == 0);
+        }
+        let indices: Vec<u32> = (0..12).collect();
+        let mut cols = SortedColumns::new(&d, &indices);
+        let mid = cols.partition(0, 12, 0, 1.5);
+        assert!(mid > 0 && mid < 12);
+        for f in 0..2 {
+            for (lo, hi) in [(0, mid), (mid, 12)] {
+                let (order, vals) = cols.feature(f, lo, hi);
+                assert!(order
+                    .windows(2)
+                    .all(|w| vals[w[0] as usize] <= vals[w[1] as usize]));
+            }
+        }
+        // The left side took exactly the positions with feature 0 <= 1.5.
+        let (order, vals) = cols.feature(0, 0, mid);
+        assert!(order.iter().all(|&p| vals[p as usize] <= 1.5));
     }
 
     #[test]

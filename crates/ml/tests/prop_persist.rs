@@ -1,0 +1,239 @@
+//! Property-based tests for model persistence and the flat scoring path.
+//!
+//! Three groups:
+//!
+//! 1. **Hostile input** — grammar-biased token soup fed to the
+//!    `read_text` parsers must either parse or return a typed
+//!    [`ParseModelError`]; it must never panic, hang, or over-allocate.
+//!    Whatever parses must also survive `depth()` and `score()` (the
+//!    topology validation at parse time is what makes traversal
+//!    termination safe to promise).
+//! 2. **Round-trips** — randomly shaped trees whose thresholds and leaf
+//!    probabilities include NaN, infinities and `-0.0` must round-trip
+//!    through the text format bit-for-bit (NaN-aware: Display collapses
+//!    NaN payloads to the one canonical quiet NaN the parser returns).
+//! 3. **Flat parity** — [`FlatForest`] scores random trained forests
+//!    bit-identically to the arena walk, per row and blocked.
+//!
+//! [`ParseModelError`]: segugio_ml::ParseModelError
+
+use proptest::prelude::*;
+
+use segugio_ml::{
+    Classifier, Dataset, DecisionTree, FlatForest, ForestConfig, GradientBoosting, RandomForest,
+};
+
+// ---------------------------------------------------------------------------
+// Group 1: hostile input.
+
+/// Tokens biased toward the persistence grammar so generated soup reaches
+/// deep parser states (node loops, child validation, topology checks)
+/// instead of dying at the first header.
+fn token() -> impl Strategy<Value = String> {
+    (0u32..20, 0u32..40, -2.0f32..2.0).prop_map(|(kind, n, x)| match kind {
+        0 => "tree".to_string(),
+        1 => "forest".to_string(),
+        2 => "boosting".to_string(),
+        3 => "rtree".to_string(),
+        4 => "logistic".to_string(),
+        5 => "L".to_string(),
+        6 => "S".to_string(),
+        7 => "NaN".to_string(),
+        8 => "inf".to_string(),
+        9 => "-inf".to_string(),
+        // Newlines are weighted up: the parsers are line-oriented, so soup
+        // without line breaks never leaves the header.
+        10..=13 => "\n".to_string(),
+        // Parses as usize but would be a ~1 TiB allocation if the readers
+        // trusted it for `Vec::with_capacity`.
+        14 => "68719476736".to_string(),
+        // Overflows usize on 64-bit: must surface as a malformed field.
+        15 => "99999999999999999999".to_string(),
+        16 => format!("{x}"),
+        17 => format!("-{n}"),
+        _ => n.to_string(),
+    })
+}
+
+fn hostile_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(token(), 0..150).prop_map(|tokens| tokens.join(" "))
+}
+
+// ---------------------------------------------------------------------------
+// Group 2: round-trips.
+
+/// f32 values weighted toward the edge cases the text format must keep.
+fn weird_f32() -> impl Strategy<Value = f32> {
+    (0u32..12, -1e6f32..1e6).prop_map(|(kind, v)| match kind {
+        6 => f32::NAN,
+        7 => f32::INFINITY,
+        8 => f32::NEG_INFINITY,
+        9 => -0.0,
+        10 => f32::MIN_POSITIVE,
+        _ => v,
+    })
+}
+
+/// A structurally valid tree with adversarial float payloads.
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf(f32),
+    Split(u16, f32, Box<Shape>, Box<Shape>),
+}
+
+const SHAPE_FEATURES: u16 = 5;
+
+/// Decodes a flat spec stream into a tree: odd kinds split (until the
+/// stream or the depth budget runs out), even kinds stop at a leaf.
+fn build_shape(spec: &[(u8, u16, f32)], pos: &mut usize, depth: usize) -> Shape {
+    let (kind, feature, value) = spec.get(*pos).copied().unwrap_or((0, 0, 0.5));
+    *pos += 1;
+    if depth >= 6 || kind % 2 == 0 {
+        Shape::Leaf(value)
+    } else {
+        let left = Box::new(build_shape(spec, pos, depth + 1));
+        let right = Box::new(build_shape(spec, pos, depth + 1));
+        Shape::Split(feature % SHAPE_FEATURES, value, left, right)
+    }
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    proptest::collection::vec((any::<u8>(), any::<u16>(), weird_f32()), 1..80)
+        .prop_map(|spec| build_shape(&spec, &mut 0, 0))
+}
+
+/// Emits `shape` as persistence-format node lines in DFS preorder,
+/// returning this node's index.
+fn emit(shape: &Shape, lines: &mut Vec<String>) -> u32 {
+    let at = lines.len();
+    match shape {
+        Shape::Leaf(p) => lines.push(format!("L {p}")),
+        Shape::Split(feature, threshold, left, right) => {
+            lines.push(String::new());
+            let l = emit(left, lines);
+            let r = emit(right, lines);
+            lines[at] = format!("S {feature} {threshold} {l} {r}");
+        }
+    }
+    at as u32
+}
+
+fn shape_text(shape: &Shape) -> String {
+    let mut lines = Vec::new();
+    emit(shape, &mut lines);
+    format!(
+        "tree {} {}\n{}\n",
+        SHAPE_FEATURES,
+        lines.len(),
+        lines.join("\n")
+    )
+}
+
+fn bits_match(a: f32, b: f32) -> bool {
+    if a.is_nan() {
+        b.is_nan()
+    } else {
+        a.to_bits() == b.to_bits()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group 3: flat parity.
+
+fn labeled_rows() -> impl Strategy<Value = Vec<(Vec<f32>, bool)>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(-50.0f32..50.0, 4), any::<bool>()),
+        8..60,
+    )
+    .prop_filter("need both classes", |rows| {
+        rows.iter().any(|(_, l)| *l) && rows.iter().any(|(_, l)| !*l)
+    })
+}
+
+proptest! {
+    /// Token soup never panics or hangs any of the parsers, and whatever
+    /// parses can be traversed: `depth()` and `score()` terminate because
+    /// parse-time topology validation rejected every cycle.
+    #[test]
+    #[cfg_attr(miri, ignore = "proptest case volume is too slow under Miri")]
+    fn hostile_text_is_rejected_or_usable(text in hostile_text()) {
+        if let Ok(tree) = DecisionTree::read_text(&mut text.lines()) {
+            let row = vec![0.25f32; tree.n_features()];
+            let _ = tree.depth();
+            let _ = tree.score(&row);
+        }
+        if let Ok(forest) = RandomForest::read_text(&mut text.lines()) {
+            let row = vec![0.25f32; forest.n_features()];
+            let arena = forest.score(&row);
+            // A forest that parses must also flatten and agree bit-for-bit.
+            let flat = FlatForest::from_forest(&forest);
+            prop_assert!(bits_match(flat.score(&row), arena));
+        }
+        if let Ok(boosting) = GradientBoosting::read_text(&mut text.lines()) {
+            // The format carries no arity header, so score with the widest
+            // row a u16 split feature can reference.
+            let row = vec![0.25f32; u16::MAX as usize + 1];
+            prop_assert!(boosting.n_features() <= row.len());
+            let _ = boosting.score(&row);
+        }
+    }
+
+    /// Structurally valid trees with NaN / ±inf / -0.0 payloads parse, and
+    /// one write/read cycle is a fixed point: the re-serialized text is
+    /// byte-identical and scores are bit-identical (NaN-aware).
+    #[test]
+    #[cfg_attr(miri, ignore = "proptest case volume is too slow under Miri")]
+    fn nonfinite_payloads_round_trip(
+        shape in shape(),
+        probe in proptest::collection::vec(-10.0f32..10.0, SHAPE_FEATURES as usize),
+    ) {
+        let text1 = shape_text(&shape);
+        let tree1 = DecisionTree::read_text(&mut text1.lines())
+            .expect("structurally valid tree parses");
+        let mut text2 = String::new();
+        tree1.write_text(&mut text2);
+        prop_assert_eq!(&text1, &text2, "write is the identity on parsed text");
+        let tree2 = DecisionTree::read_text(&mut text2.lines())
+            .expect("round-tripped tree parses");
+        prop_assert_eq!(tree1.node_count(), tree2.node_count());
+        prop_assert_eq!(tree1.depth(), tree2.depth());
+        prop_assert!(
+            bits_match(tree1.score(&probe), tree2.score(&probe)),
+            "scores diverged after round-trip"
+        );
+    }
+
+    /// FlatForest reproduces the arena forest bit-for-bit on random
+    /// trained forests, both per row and through the blocked path (cycled
+    /// past `SCORE_BLOCK` so block boundaries and the ragged tail run).
+    #[test]
+    #[cfg_attr(miri, ignore = "proptest case volume is too slow under Miri")]
+    fn flat_matches_arena_on_random_forests(
+        rows in labeled_rows(),
+        n_trees in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut data = Dataset::new(4);
+        for (x, y) in &rows {
+            data.push(x, *y);
+        }
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig { n_trees, seed, ..Default::default() },
+        );
+        let flat = FlatForest::from_forest(&forest);
+        let blocked_rows: Vec<[f32; 4]> = rows
+            .iter()
+            .cycle()
+            .take(150)
+            .map(|(x, _)| [x[0], x[1], x[2], x[3]])
+            .collect();
+        let mut out = vec![0.0f32; blocked_rows.len()];
+        flat.score_rows(&blocked_rows, &mut out);
+        for (row, &blocked) in blocked_rows.iter().zip(&out) {
+            let arena = forest.score(row);
+            prop_assert_eq!(flat.score(row).to_bits(), arena.to_bits());
+            prop_assert_eq!(blocked.to_bits(), arena.to_bits());
+        }
+    }
+}

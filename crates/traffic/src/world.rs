@@ -189,6 +189,10 @@ impl IspNetwork {
                 acc
             })
             .collect();
+        debug_assert!(
+            site_cdf.iter().all(|p| p.is_finite()),
+            "site CDF entries are finite by construction"
+        );
 
         let mega_fqds: Vec<DomainId> = sites
             .iter()
@@ -352,6 +356,10 @@ impl IspNetwork {
                 fam_acc
             })
             .collect();
+        debug_assert!(
+            fam_cdf.iter().all(|p| p.is_finite()),
+            "family CDF entries are finite by construction"
+        );
         let n_infected = world.cfg.expected_infected();
         let mut order: Vec<usize> = (0..world.cfg.machines).collect();
         order.shuffle(&mut world.rng);
@@ -840,9 +848,13 @@ impl IspNetwork {
 // -------------------------------------------------------------------
 
 /// Index of the first CDF entry ≥ `u`.
+///
+/// `total_cmp` keeps this total even on a hostile CDF — the finiteness
+/// invariant is asserted where the CDFs are built, not panicked on here
+/// (this is library code on the per-day hot path).
 fn sample_cdf(cdf: &[f64], u: f64) -> usize {
     debug_assert!(!cdf.is_empty());
-    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+    match cdf.binary_search_by(|p| p.total_cmp(&u)) {
         Ok(i) => i,
         Err(i) => i.min(cdf.len() - 1),
     }
