@@ -1,0 +1,204 @@
+//! Steady-state allocation-count bench behind `BENCH_alloc.json`.
+//!
+//! Installs [`segugio_alloc_probe::CountingAlloc`] as the global
+//! allocator, runs one warm-up ISP day through the full incremental
+//! pipeline, then brackets each phase of the *second* (steady-state) day
+//! with [`segugio_alloc_probe::measure`]:
+//!
+//! - **snapshot_build**: delta graph build + pruning + labeling;
+//! - **features**: incremental per-domain feature measurement;
+//! - **train**: training-set assembly + forest fit;
+//! - **calibrate**: threshold calibration over the training scores;
+//! - **score**: the reused-[`ScoreBuffer`] scoring hot path, which must
+//!   perform **zero** heap operations once warm — asserted here, and
+//!   ratcheted by `cargo xtask audit` against
+//!   `crates/xtask/alloc-budget.toml`.
+//!
+//! Prints the JSON recorded in `BENCH_alloc.json`; set `SEGUGIO_BENCH_OUT`
+//! to also write it to a file and `SEGUGIO_BENCH_SCALE=ci` for the reduced
+//! population CI runs at. Scoring parallelism is pinned to one thread so
+//! every count is exactly attributable to its phase.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use segugio_alloc_probe::{measure, CountingAlloc, PhaseCounts};
+use segugio_core::{build_training_set, ScoreBuffer, Segugio, SegugioConfig, SnapshotInput};
+use segugio_ml::RocCurve;
+use segugio_traffic::{IspConfig, IspNetwork};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The tracker's default deployment FP budget (`TrackerConfig::default`).
+const TARGET_FPR: f64 = 0.005;
+
+/// Parses the `[phases]` section of `alloc-budget.toml` (same tiny TOML
+/// subset as the xtask side; the bench must not depend on xtask).
+fn parse_budget(text: &str) -> BTreeMap<String, u64> {
+    let mut phases = BTreeMap::new();
+    let mut in_phases = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            in_phases = section.trim() == "phases";
+            continue;
+        }
+        if !in_phases {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once('=') {
+            let phase = name.trim().trim_matches('"');
+            if let Ok(count) = value.trim().parse::<u64>() {
+                phases.insert(phase.to_owned(), count);
+            }
+        }
+    }
+    phases
+}
+
+fn main() {
+    let ci = std::env::var("SEGUGIO_BENCH_SCALE").is_ok_and(|s| s == "ci");
+    let machines = if ci { 2_000 } else { 10_000 };
+    let config = SegugioConfig {
+        // One worker: exact single-thread phase attribution, and the
+        // serial scoring path is bit-for-bit the parallel one.
+        parallelism: Some(1),
+        ..SegugioConfig::default()
+    };
+
+    let isp_cfg = IspConfig {
+        name: format!("alloc-{machines}"),
+        machines,
+        ..IspConfig::small(77)
+    };
+    let mut isp = IspNetwork::new(isp_cfg);
+    isp.warm_up(15);
+
+    let mut engine = segugio_core::IncrementalEngine::new();
+    let mut buf = ScoreBuffer::new();
+
+    // --- Warm day: run every phase once so the engine's delta/feature
+    //     scratch and the score buffer reach steady-state capacity. ---
+    {
+        let day = isp.next_day();
+        let input = SnapshotInput {
+            day: day.day,
+            queries: &day.queries,
+            resolutions: &day.resolutions,
+            table: isp.table(),
+            pdns: isp.pdns(),
+            blacklist: isp.commercial_blacklist(),
+            whitelist: isp.whitelist(),
+            hidden: None,
+        };
+        let snap = engine.build_snapshot(&input, &config);
+        let features = engine.measure_day(&snap, isp.activity(), &config);
+        let (full, _ids) = build_training_set(&snap, isp.activity(), &config);
+        let model =
+            Segugio::train_prepared(&full, &config).expect("warmed-up fixture seeds both classes");
+        model.score_dataset_with(&full, &mut buf);
+        let roc = RocCurve::from_scores(buf.scores(), full.labels());
+        std::hint::black_box(roc.threshold_for_fpr(TARGET_FPR));
+        model.score_rows_with(&features.unknown_ids, &features.unknown_rows, &mut buf);
+    }
+
+    // --- Steady-state day: bracket each phase with the probe. ---
+    let mut phases: BTreeMap<&'static str, PhaseCounts> = BTreeMap::new();
+    let day = isp.next_day();
+    let input = SnapshotInput {
+        day: day.day,
+        queries: &day.queries,
+        resolutions: &day.resolutions,
+        table: isp.table(),
+        pdns: isp.pdns(),
+        blacklist: isp.commercial_blacklist(),
+        whitelist: isp.whitelist(),
+        hidden: None,
+    };
+    let (snap, c) = measure(|| engine.build_snapshot(&input, &config));
+    phases.insert("snapshot_build", c);
+
+    let (features, c) = measure(|| engine.measure_day(&snap, isp.activity(), &config));
+    phases.insert("features", c);
+    assert!(
+        !features.unknown_rows.is_empty(),
+        "steady-state day must surface unknown domains"
+    );
+
+    let ((model, full), c) = measure(|| {
+        let (full, _ids) = build_training_set(&snap, isp.activity(), &config);
+        let model =
+            Segugio::train_prepared(&full, &config).expect("warmed-up fixture seeds both classes");
+        (model, full)
+    });
+    phases.insert("train", c);
+
+    let (threshold, c) = measure(|| {
+        model.score_dataset_with(&full, &mut buf);
+        let roc = RocCurve::from_scores(buf.scores(), full.labels());
+        roc.threshold_for_fpr(TARGET_FPR)
+    });
+    phases.insert("calibrate", c);
+    std::hint::black_box(threshold);
+
+    // One warm pass sizes the buffer to this day's row count; the second,
+    // measured pass is the steady state the budget pins at zero.
+    model.score_rows_with(&features.unknown_ids, &features.unknown_rows, &mut buf);
+    let (n, c) = measure(|| {
+        model.score_rows_with(&features.unknown_ids, &features.unknown_rows, &mut buf);
+        buf.detections().len()
+    });
+    phases.insert("score", c);
+    std::hint::black_box(n);
+    assert_eq!(
+        (c.allocs, c.frees),
+        (0, 0),
+        "steady-state scoring must not touch the allocator: {c:?}"
+    );
+
+    // --- Report. ---
+    let mut body = String::new();
+    for (i, (name, c)) in phases.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ",\n" };
+        body.push_str(&format!(
+            "{sep}    \"{name}\": {{\"allocs\": {}, \"frees\": {}, \"bytes\": {}, \"peak_bytes\": {}}}",
+            c.allocs, c.frees, c.bytes, c.peak_bytes
+        ));
+    }
+    let json = format!("{{\n  \"machines\": {machines},\n  \"phases\": {{\n{body}\n  }}\n}}");
+    println!("{json}");
+    if let Ok(path) = std::env::var("SEGUGIO_BENCH_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write SEGUGIO_BENCH_OUT");
+    }
+
+    // --- Enforce the checked-in budget when present (the audit re-checks
+    //     this against the recorded JSON; failing here gives the developer
+    //     the context while the run is still on screen). ---
+    let budget_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../xtask/alloc-budget.toml");
+    if let Ok(text) = std::fs::read_to_string(&budget_path) {
+        let budget = parse_budget(&text);
+        for (name, c) in &phases {
+            match budget.get(*name) {
+                Some(&ceiling) => assert!(
+                    c.allocs <= ceiling,
+                    "phase `{name}`: {} allocations exceed the budgeted {ceiling}",
+                    c.allocs
+                ),
+                None => eprintln!(
+                    "warning: phase `{name}` has no entry in {}",
+                    budget_path.display()
+                ),
+            }
+        }
+        eprintln!("alloc budget respected: {}", budget_path.display());
+    } else {
+        eprintln!(
+            "no alloc budget at {}; skipping ceiling check",
+            budget_path.display()
+        );
+    }
+}

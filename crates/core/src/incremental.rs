@@ -95,6 +95,11 @@ pub struct IncrementalEngine {
     /// [`build_snapshot`](Self::build_snapshot) advance.
     touched: AbuseDelta,
     prev: Option<PrevDay>,
+    /// Dirty-set scratch (per-machine changed flags), reused across days.
+    machine_changed: Vec<bool>,
+    /// Dirty-set scratch (per-domain reusable cached rows), reused across
+    /// days.
+    reuse: Vec<Option<[f32; FEATURE_COUNT]>>,
 }
 
 impl IncrementalEngine {
@@ -128,6 +133,7 @@ impl IncrementalEngine {
         self.touched = self
             .rolling
             .advance(input.pdns, window, |d| input.seed_label(d));
+        // segugio-lint: allow(H2, the snapshot owns its abuse index while the rolling copy keeps advancing — one O(index) copy per day)
         finish_snapshot(unpruned, self.rolling.index().clone(), input, config)
     }
 
@@ -147,28 +153,42 @@ impl IncrementalEngine {
         let graph = &snapshot.graph;
         let extractor = FeatureExtractor::new(graph, activity, &snapshot.abuse, config.features);
 
+        // The dirty-set columns live in reusable engine scratch; the
+        // destructuring lets the closures below borrow the read-only fields
+        // while the scratch columns are filled.
+        let IncrementalEngine {
+            prev,
+            touched,
+            machine_changed,
+            reuse,
+            ..
+        } = self;
+
         // A machine's contribution to any feature is its label and — under
         // the hidden-label view — its malware degree; a machine absent
         // yesterday is trivially changed.
-        let machine_changed: Vec<bool> = match &self.prev {
-            None => vec![true; graph.machine_count()],
-            Some(prev) => graph
-                .machine_indices()
-                .map(|m| match prev.pruned.machine_idx(graph.machine_id(m)) {
+        machine_changed.clear();
+        match prev.as_ref() {
+            None => machine_changed.resize(graph.machine_count(), true),
+            Some(prev) => machine_changed.extend(graph.machine_indices().map(|m| {
+                match prev.pruned.machine_idx(graph.machine_id(m)) {
                     None => true,
                     Some(pm) => {
                         prev.pruned.machine_label(pm) != graph.machine_label(m)
                             || prev.pruned.machine_malware_degree(pm)
                                 != graph.machine_malware_degree(m)
                     }
-                })
-                .collect(),
-        };
+                }
+            })),
+        }
+        let machine_changed = &*machine_changed;
+        let prev_day = prev.as_ref();
+        let touched = &*touched;
 
         // Per domain: the cached row, if every input to its F1/F3 columns
         // is provably unchanged since it was measured.
         let clean_row = |d: DomainIdx| -> Option<[f32; FEATURE_COUNT]> {
-            let prev = self.prev.as_ref()?;
+            let prev = prev_day?;
             let id = graph.domain_id(d);
             let entry = prev.cache.get(&id)?;
             if entry.label != graph.domain_label(d) {
@@ -191,15 +211,15 @@ impl IncrementalEngine {
                 return None;
             }
             for &ip in graph.domain_ips(d) {
-                if self.touched.ips.contains(&ip) || self.touched.prefixes.contains(&ip.prefix24())
-                {
+                if touched.ips.contains(&ip) || touched.prefixes.contains(&ip.prefix24()) {
                     return None;
                 }
             }
             Some(entry.features)
         };
-        let reuse: Vec<Option<[f32; FEATURE_COUNT]>> =
-            graph.domain_indices().map(clean_row).collect();
+        reuse.clear();
+        reuse.extend(graph.domain_indices().map(clean_row));
+        let reuse = &*reuse;
         let reused = reuse.iter().filter(|r| r.is_some()).count();
 
         // Measure (or refresh) every domain in index order. Reused rows
@@ -251,6 +271,7 @@ impl IncrementalEngine {
             );
         }
         self.prev = Some(PrevDay {
+            // segugio-lint: allow(H2, the cache must own yesterday's pruned graph to diff tomorrow's against — one O(graph) copy per day)
             pruned: graph.clone(),
             cache,
         });

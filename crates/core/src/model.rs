@@ -41,14 +41,16 @@ pub struct Detection {
 
 /// Reusable scoring scratch for the bulk entry points.
 ///
-/// Holds the per-candidate score column and the assembled detections, so a
-/// long-running deployment (the [`Tracker`](crate::Tracker)'s daily loop)
-/// scores each day with zero heap allocations once the buffer has grown to
-/// the network's candidate count.
+/// Holds the candidate list, the per-candidate score column, and the
+/// assembled detections, so a long-running deployment (the
+/// [`Tracker`](crate::Tracker)'s daily loop) scores each day with zero
+/// heap allocations once the buffer has grown to the network's candidate
+/// count.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreBuffer {
     scores: Vec<f32>,
     detections: Vec<Detection>,
+    candidates: Vec<segugio_graph::DomainIdx>,
 }
 
 impl ScoreBuffer {
@@ -61,6 +63,14 @@ impl ScoreBuffer {
     /// score with the domain id as tie-break.
     pub fn detections(&self) -> &[Detection] {
         &self.detections
+    }
+
+    /// The raw score column from the most recent scoring call, in
+    /// candidate (or dataset-row) order — what
+    /// [`score_dataset_with`](SegugioModel::score_dataset_with) fills for
+    /// threshold calibration.
+    pub fn scores(&self) -> &[f32] {
+        &self.scores
     }
 
     /// Moves the detections out (the buffer keeps its score column).
@@ -327,22 +337,32 @@ impl SegugioModel {
     {
         let extractor =
             FeatureExtractor::new(&snapshot.graph, activity, &snapshot.abuse, self.features);
-        let candidates: Vec<_> = snapshot
-            .graph
-            .domain_indices()
-            .filter(|&d| pred(snapshot.graph.domain_label(d)))
-            .collect();
+        // The candidate list, score column, and detections all live in the
+        // reusable buffer: a warmed-up buffer makes the whole pass
+        // allocation-free. Destructure so the three columns can be
+        // borrowed independently across the worker closure.
+        let ScoreBuffer {
+            scores,
+            detections,
+            candidates,
+        } = buf;
+        candidates.clear();
+        candidates.extend(
+            snapshot
+                .graph
+                .domain_indices()
+                .filter(|&d| pred(snapshot.graph.domain_label(d))),
+        );
         // Each candidate is measured and scored independently; chunk over
-        // workers filling disjoint slices of the score column, then apply
-        // the usual stable sort — the result is identical at any
-        // parallelism.
+        // workers filling disjoint slices of the score column, then sort —
+        // the result is identical at any parallelism.
         let threads = crate::parallel::resolve_parallelism(self.parallelism);
-        buf.scores.clear();
-        buf.scores.resize(candidates.len(), 0.0);
+        scores.clear();
+        scores.resize(candidates.len(), 0.0);
         const BLOCK: usize = segugio_ml::flat::SCORE_BLOCK;
         match &self.flat {
             Some(flat) => {
-                crate::parallel::parallel_map_fill(&mut buf.scores, threads, |base, out| {
+                crate::parallel::parallel_map_fill(scores, threads, |base, out| {
                     let mut block = [[0.0f32; FEATURE_COUNT]; BLOCK];
                     let mut done = 0usize;
                     while done < out.len() {
@@ -356,25 +376,28 @@ impl SegugioModel {
                 });
             }
             None => {
-                crate::parallel::parallel_map_fill(&mut buf.scores, threads, |base, out| {
+                crate::parallel::parallel_map_fill(scores, threads, |base, out| {
                     for (k, s) in out.iter_mut().enumerate() {
                         *s = self.score_features(&extractor.measure(candidates[base + k]));
                     }
                 });
             }
         }
-        buf.detections.clear();
-        buf.detections.extend(
+        detections.clear();
+        detections.extend(
             candidates
                 .iter()
-                .zip(&buf.scores)
+                .zip(scores.iter())
                 .map(|(&d, &score)| Detection {
                     domain: snapshot.graph.domain_id(d),
                     score,
                 }),
         );
-        buf.detections
-            .sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
+        // Unstable sort: equal sort keys mean byte-identical `Detection`
+        // values (score *and* domain equal), so the order is still fully
+        // deterministic — and no sort scratch is allocated.
+        detections
+            .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
     }
 
     /// Scores pre-measured feature rows and returns detections sorted
@@ -425,8 +448,29 @@ impl SegugioModel {
                 .zip(&buf.scores)
                 .map(|(&domain, &score)| Detection { domain, score }),
         );
+        // Unstable for the same reason as `score_where_with`: ties are
+        // byte-identical detections, and the stable sort's merge scratch
+        // is the last allocation on this path.
         buf.detections
-            .sort_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
+            .sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.domain.cmp(&b.domain)));
+    }
+
+    /// Scores every row of a prepared training dataset into the buffer's
+    /// score column (no detections are assembled — dataset rows carry
+    /// hidden labels, not domain ids). This is the threshold-calibration
+    /// entry point: the [`Tracker`](crate::Tracker) scores the training
+    /// set here every morning and reads the column back via
+    /// [`ScoreBuffer::scores`]. Row order is preserved and scores are
+    /// bit-for-bit identical at any parallelism.
+    pub fn score_dataset_with(&self, data: &segugio_ml::Dataset, buf: &mut ScoreBuffer) {
+        let threads = crate::parallel::resolve_parallelism(self.parallelism);
+        buf.scores.clear();
+        buf.scores.resize(data.len(), 0.0);
+        crate::parallel::parallel_map_fill(&mut buf.scores, threads, |base, out| {
+            for (k, s) in out.iter_mut().enumerate() {
+                *s = self.score_features(data.row(base + k));
+            }
+        });
     }
 }
 
@@ -465,11 +509,30 @@ impl Detector {
     /// Scores the unknown domains of `snapshot` and returns those at or
     /// above the threshold (sorted by descending score).
     pub fn detect(&self, snapshot: &DaySnapshot, activity: &ActivityStore) -> Vec<Detection> {
-        self.model
-            .score_unknown(snapshot, activity)
-            .into_iter()
-            .filter(|d| d.score >= self.threshold)
-            .collect()
+        let mut buf = ScoreBuffer::new();
+        self.detect_with(snapshot, activity, &mut buf);
+        buf.take_detections()
+    }
+
+    /// [`detect`](Self::detect) into a reusable buffer: after the call,
+    /// [`ScoreBuffer::detections`] holds exactly the at-or-above-threshold
+    /// detections (sorted by descending score) and nothing was allocated
+    /// once the buffer has warmed up. Returns the detection count.
+    ///
+    /// The detections are sorted by descending score, so the threshold cut
+    /// is a truncation, not a filter pass.
+    pub fn detect_with(
+        &self,
+        snapshot: &DaySnapshot,
+        activity: &ActivityStore,
+        buf: &mut ScoreBuffer,
+    ) -> usize {
+        self.model.score_unknown_with(snapshot, activity, buf);
+        let keep = buf
+            .detections
+            .partition_point(|d| d.score >= self.threshold);
+        buf.detections.truncate(keep);
+        keep
     }
 
     /// The machines implied infected by a set of detections: every machine

@@ -23,7 +23,6 @@ use crate::error::{TrackerError, TrainError};
 use crate::features::{FeatureGroup, FEATURE_COUNT};
 use crate::incremental::IncrementalEngine;
 use crate::model::{Detection, ScoreBuffer, SegugioModel};
-use crate::parallel::parallel_map_indexed;
 use crate::snapshot::{DaySnapshot, SnapshotInput};
 use crate::trainer::{build_training_set, Segugio};
 
@@ -333,7 +332,7 @@ impl Tracker {
             let features = self.engine.measure_day(&snapshot, activity, train_config);
             let model =
                 Segugio::train_prepared(&features.train, train_config).map_err(map_train_err)?;
-            let threshold = Self::calibrate(&model, &features.train, config);
+            let threshold = Self::calibrate(&model, &features.train, config, &mut self.score_buf);
             model.score_rows_with(
                 &features.unknown_ids,
                 &features.unknown_rows,
@@ -343,7 +342,7 @@ impl Tracker {
         } else {
             let (train_set, _) = build_training_set(&snapshot, activity, train_config);
             let model = Segugio::train_prepared(&train_set, train_config).map_err(map_train_err)?;
-            let threshold = Self::calibrate(&model, &train_set, config);
+            let threshold = Self::calibrate(&model, &train_set, config, &mut self.score_buf);
             model.score_unknown_with(&snapshot, activity, &mut self.score_buf);
             (Some(model), threshold)
         };
@@ -421,19 +420,18 @@ impl Tracker {
         }
     }
 
-    /// Scores the training rows under the trained model and picks the
-    /// threshold hitting the target FPR on their hidden-label scores.
+    /// Scores the training rows under the trained model into the reusable
+    /// buffer and picks the threshold hitting the target FPR on their
+    /// hidden-label scores. The buffer's score column is transient here —
+    /// the day's scoring pass overwrites it right after.
     fn calibrate(
         model: &crate::model::SegugioModel,
         train_set: &segugio_ml::Dataset,
         config: &TrackerConfig,
+        buf: &mut ScoreBuffer,
     ) -> f32 {
-        let scores = parallel_map_indexed(
-            train_set.len(),
-            config.segugio.effective_parallelism(),
-            |i| model.score_features(train_set.row(i)),
-        );
-        let roc = RocCurve::from_scores(&scores, train_set.labels());
+        model.score_dataset_with(train_set, buf);
+        let roc = RocCurve::from_scores(buf.scores(), train_set.labels());
         roc.threshold_for_fpr(config.target_fpr)
     }
 }

@@ -12,7 +12,7 @@ use std::fmt;
 use std::time::Instant;
 
 use segugio_baselines::{cooccurrence_scores, BeliefConfig, BeliefPropagation};
-use segugio_core::Segugio;
+use segugio_core::{ScoreBuffer, Segugio};
 use segugio_ml::RocCurve;
 use segugio_model::{DomainId, Label};
 
@@ -100,12 +100,14 @@ pub fn run(scale: &Scale) -> BpReport {
     let train_snap = scenario.snapshot(w, &scale.config, &bl, Some(&hidden));
     let model = Segugio::train(&train_snap, activity, &scale.config)
         .expect("training day seeds both classes");
+    let mut buf = ScoreBuffer::new();
     // segugio-lint: allow(D2, score_ms is a reported measurement, not part of the deterministic result)
     let t = Instant::now();
-    let detections = model.score_where(&test_snap, activity, |l| l == Label::Unknown);
+    model.score_where_with(&test_snap, activity, |l| l == Label::Unknown, &mut buf);
     let seg_ms = t.elapsed().as_secs_f64() * 1e3;
-    let seg: BTreeMap<DomainId, f32> = detections
-        .into_iter()
+    let seg: BTreeMap<DomainId, f32> = buf
+        .detections()
+        .iter()
         .map(|d| (d.domain, d.score))
         .collect();
     cases.push(case_from("Segugio", &seg, &split, seg_ms));

@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-use segugio_core::{Detector, Segugio};
+use segugio_core::{Detector, ScoreBuffer, Segugio};
 use segugio_ml::RocCurve;
 use segugio_model::{Day, DomainId};
 
@@ -136,11 +136,14 @@ pub fn detect_day(
     let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config)
         .expect("training day seeds both classes");
 
+    // One scoring scratch for both passes of the day: validation scoring
+    // and the deployment detect below reuse the same buffer.
+    let mut buf = ScoreBuffer::new();
     let val_snap = scenario.snapshot(day, &scale.config, bl, Some(&hidden));
-    let detections = model.score_unknown(&val_snap, scenario.isp().activity());
+    model.score_unknown_with(&val_snap, scenario.isp().activity(), &mut buf);
     let mut scores = Vec::new();
     let mut labels = Vec::new();
-    for det in &detections {
+    for det in buf.detections() {
         if val.malware.contains(&det.domain) {
             scores.push(det.score);
             labels.push(true);
@@ -157,14 +160,14 @@ pub fn detect_day(
 
     // Deployment: score everything still unknown on the *unhidden* day.
     let snap = scenario.snapshot(day, &scale.config, bl, None);
-    let detected = detector.detect(&snap, scenario.isp().activity());
+    detector.detect_with(&snap, scenario.isp().activity(), &mut buf);
 
     // Keep detections that the blacklist later confirms.
     let mut seen: HashSet<DomainId> = HashSet::new();
     let mut hits = Vec::new();
     // Ordered map: the loop below iterates it into `hits`.
     let mut dedup: BTreeMap<DomainId, Day> = BTreeMap::new();
-    for det in detected {
+    for det in buf.detections() {
         if !seen.insert(det.domain) {
             continue;
         }

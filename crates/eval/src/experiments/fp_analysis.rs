@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use segugio_core::{FeatureExtractor, Segugio};
+use segugio_core::{FeatureExtractor, ScoreBuffer, Segugio};
 use segugio_ml::RocCurve;
 use segugio_model::psl;
 use segugio_model::DomainId;
@@ -170,12 +170,13 @@ pub fn analyze_case(
 
     let test_snap = test.snapshot(test_day, &scale.config, bl_test, Some(&hidden));
     let activity = test.isp().activity();
-    let detections = model.score_unknown(&test_snap, activity);
+    let mut buf = ScoreBuffer::new();
+    model.score_unknown_with(&test_snap, activity, &mut buf);
 
     let mut scores = Vec::new();
     let mut labels = Vec::new();
     let mut scored: Vec<(DomainId, f32, bool)> = Vec::new();
-    for det in detections {
+    for &det in buf.detections() {
         let is_mal = split.malware.contains(&det.domain);
         let is_ben = split.benign.contains(&det.domain);
         if is_mal || is_ben {

@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use segugio_baselines::{Notos, NotosConfig};
-use segugio_core::Segugio;
+use segugio_core::{ScoreBuffer, Segugio};
 use segugio_ml::RocCurve;
 use segugio_model::{Blacklist, Day, DomainId, Label};
 use segugio_pdns::AbuseIndex;
@@ -238,9 +238,16 @@ fn run_case(
         .collect();
     let test_snap =
         scenario.snapshot_with(t_test, &scale.config, &bl_at_test, &wl_top, Some(&hidden));
-    let seg_scored = segugio.score_where(&test_snap, isp.activity(), |l| l == Label::Unknown);
-    let seg_score: std::collections::HashMap<DomainId, f32> = seg_scored
-        .into_iter()
+    let mut buf = ScoreBuffer::new();
+    segugio.score_where_with(
+        &test_snap,
+        isp.activity(),
+        |l| l == Label::Unknown,
+        &mut buf,
+    );
+    let seg_score: std::collections::HashMap<DomainId, f32> = buf
+        .detections()
+        .iter()
         .map(|d| (d.domain, d.score))
         .collect();
 

@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use segugio_core::Segugio;
+use segugio_core::{ScoreBuffer, Segugio};
 use segugio_ml::RocCurve;
 use segugio_model::{Day, DomainId};
 
@@ -134,11 +134,12 @@ pub fn run(scale: &Scale) -> PublicBlacklistReport {
         let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config)
             .expect("training day seeds both classes");
         let test_snap = scenario.snapshot(test_day, &scale.config, &commercial, Some(&hidden));
-        let detections = model.score_unknown(&test_snap, scenario.isp().activity());
+        let mut buf = ScoreBuffer::new();
+        model.score_unknown_with(&test_snap, scenario.isp().activity(), &mut buf);
 
         let mut scores = Vec::new();
         let mut labels = Vec::new();
-        for det in detections {
+        for det in buf.detections() {
             if novel.contains(&det.domain) {
                 scores.push(det.score);
                 labels.push(true);

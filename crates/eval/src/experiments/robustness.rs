@@ -20,7 +20,7 @@
 
 use std::fmt;
 
-use segugio_core::{Detector, Segugio, SegugioConfig};
+use segugio_core::{Detector, ScoreBuffer, Segugio, SegugioConfig};
 use segugio_model::MachineId;
 use segugio_traffic::IspConfig;
 
@@ -220,13 +220,23 @@ pub fn enumeration_quality(scale: &Scale, target_fpr: f64) -> InfectionEnumerati
     let model = Segugio::train(&train_snap, scenario.isp().activity(), &scale.config)
         .expect("training day seeds both classes");
 
-    // Threshold from the held-out validation ROC, then deploy.
-    let out = crate::protocol::eval_model(&model, &scenario, w + 13, &split, &scale.config, &bl);
+    // Threshold from the held-out validation ROC, then deploy. Both the
+    // calibration scoring and the deployment detect share one buffer.
+    let mut buf = ScoreBuffer::new();
+    let out = crate::protocol::eval_model_with(
+        &model,
+        &scenario,
+        w + 13,
+        &split,
+        &scale.config,
+        &bl,
+        &mut buf,
+    );
     let threshold = out.roc.threshold_for_fpr(target_fpr);
     let snap = scenario.snapshot(w + 13, &scale.config, &bl, None);
     let detector = Detector::new(model, threshold);
-    let detections = detector.detect(&snap, scenario.isp().activity());
-    let implicated: Vec<MachineId> = detector.implied_infections(&snap, &detections);
+    detector.detect_with(&snap, scenario.isp().activity(), &mut buf);
+    let implicated: Vec<MachineId> = detector.implied_infections(&snap, buf.detections());
 
     let isp = scenario.isp();
     let truth = isp.truth();

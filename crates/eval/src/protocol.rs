@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use segugio_core::{Segugio, SegugioConfig, SegugioModel};
+use segugio_core::{ScoreBuffer, Segugio, SegugioConfig, SegugioModel};
 use segugio_ml::RocCurve;
 use segugio_model::{Blacklist, Day, DomainId, Label};
 
@@ -152,28 +152,57 @@ pub fn eval_model(
     config: &SegugioConfig,
     blacklist_test: &Blacklist,
 ) -> EvalOutcome {
+    let mut buf = ScoreBuffer::new();
+    eval_model_with(
+        model,
+        test_scenario,
+        test_day,
+        split,
+        config,
+        blacklist_test,
+        &mut buf,
+    )
+}
+
+/// [`eval_model`] scoring through a caller-owned [`ScoreBuffer`], so sweep
+/// experiments that evaluate many conditions reuse one scoring scratch
+/// instead of reallocating it per evaluation.
+#[allow(clippy::too_many_arguments)] // mirrors eval_model's natural arity
+pub fn eval_model_with(
+    model: &SegugioModel,
+    test_scenario: &Scenario,
+    test_day: u32,
+    split: &TestSplit,
+    config: &SegugioConfig,
+    blacklist_test: &Blacklist,
+    buf: &mut ScoreBuffer,
+) -> EvalOutcome {
     let hidden = split.hidden();
     let test_snap = test_scenario.snapshot(test_day, config, blacklist_test, Some(&hidden));
     let activity = test_scenario.isp().activity();
 
     // Score all unknown domains of the test graph, keep the test ones.
-    let detections = model.score_where(&test_snap, activity, |l| l == Label::Unknown);
+    model.score_where_with(&test_snap, activity, |l| l == Label::Unknown, buf);
     let mut scores = Vec::new();
+    let mut score_col = Vec::new();
+    let mut label_col = Vec::new();
     let mut tested_malware = 0usize;
     let mut tested_benign = 0usize;
-    for det in detections {
-        if split.malware.contains(&det.domain) {
+    for det in buf.detections() {
+        let is_malware = if split.malware.contains(&det.domain) {
             tested_malware += 1;
-            scores.push((det.domain, det.score, true));
+            true
         } else if split.benign.contains(&det.domain) {
             tested_benign += 1;
-            scores.push((det.domain, det.score, false));
-        }
+            false
+        } else {
+            continue;
+        };
+        scores.push((det.domain, det.score, is_malware));
+        score_col.push(det.score);
+        label_col.push(is_malware);
     }
-    let roc = RocCurve::from_scores(
-        &scores.iter().map(|&(_, s, _)| s).collect::<Vec<_>>(),
-        &scores.iter().map(|&(_, _, m)| m).collect::<Vec<_>>(),
-    );
+    let roc = RocCurve::from_scores(&score_col, &label_col);
     EvalOutcome {
         roc,
         scores,

@@ -87,6 +87,9 @@ pub struct RollingAbuseIndex {
     // the index's malware sets hold exactly the keys with nonzero count.
     malware_ip_refs: BTreeMap<Ipv4, u32>,
     malware_prefix_refs: BTreeMap<Prefix24, u32>,
+    /// Relabel worklist scratch, reused across advances so the daily
+    /// relabel pass allocates nothing once warmed up.
+    relabel_scratch: Vec<(DomainId, Label, Label)>,
 }
 
 impl RollingAbuseIndex {
@@ -127,30 +130,34 @@ impl RollingAbuseIndex {
             Some(old) if new_window.start() >= old.start() && new_window.end() >= old.end() => {
                 // 1. Relabel: a domain still in the window may have entered
                 //    the blacklist since yesterday; move its contributions.
-                let relabels: Vec<(DomainId, Label, Label, Vec<Ipv4>)> = self
-                    .domains
-                    .iter()
-                    .filter_map(|(&dom, state)| {
-                        let new_label = label_of(dom);
-                        (new_label != state.label).then(|| {
-                            (
-                                dom,
-                                state.label,
-                                new_label,
-                                state.ips.keys().copied().collect(),
-                            )
-                        })
-                    })
-                    .collect();
-                for (dom, old_label, new_label, ips) in relabels {
-                    if let Some(state) = self.domains.get_mut(&dom) {
-                        state.label = new_label;
-                    }
-                    for ip in ips {
+                //    The worklist lives in a reusable scratch vector, and
+                //    each relabeled domain's IP map is taken out of its
+                //    state (and put back) rather than copied, so the pass
+                //    itself allocates nothing.
+                let mut relabels = std::mem::take(&mut self.relabel_scratch);
+                relabels.clear();
+                relabels.extend(self.domains.iter().filter_map(|(&dom, state)| {
+                    let new_label = label_of(dom);
+                    (new_label != state.label).then_some((dom, state.label, new_label))
+                }));
+                for &(dom, old_label, new_label) in &relabels {
+                    let Some(state) = self.domains.get_mut(&dom) else {
+                        continue;
+                    };
+                    state.label = new_label;
+                    let ips = std::mem::take(&mut state.ips);
+                    for &ip in ips.keys() {
+                        // add_pair/remove_pair only touch the index and the
+                        // refcount maps, never `domains`, so the taken map
+                        // can be restored to the same entry afterwards.
                         self.remove_pair(old_label, ip, &mut delta);
                         self.add_pair(new_label, ip, &mut delta);
                     }
+                    if let Some(state) = self.domains.get_mut(&dom) {
+                        state.ips = ips;
+                    }
                 }
+                self.relabel_scratch = relabels;
                 // 2. Evict the days that left: [old.start, min(old.end, new.start)).
                 let leaving = DayWindow::new(old.start(), old.end().min(new_window.start()));
                 for day in leaving.iter() {

@@ -16,6 +16,7 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+use crate::allocbudget::AllocState;
 use crate::baseline::{Counts, Ratchet};
 use crate::{rules, LintReport};
 
@@ -53,11 +54,12 @@ pub fn render_json(
     base: &Counts,
     ratchet: &Ratchet,
     enabled: &BTreeSet<String>,
+    alloc: &AllocState,
 ) -> String {
-    let clean = ratchet.is_clean() && ratchet.stale.is_empty();
+    let clean = ratchet.is_clean() && ratchet.stale.is_empty() && alloc.is_clean();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"segugio-audit/1\",\n");
+    out.push_str("  \"schema\": \"segugio-audit/2\",\n");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"clean\": {clean},");
 
@@ -134,8 +136,69 @@ pub fn render_json(
     render_drift(&mut out, &ratchet.grown);
     out.push_str("],\n    \"stale\": [");
     render_drift(&mut out, &ratchet.stale);
-    out.push_str("]\n  }\n}\n");
+    out.push_str("]\n  },\n");
+
+    // Allocation-budget state: the runtime counterpart of the H rules.
+    render_alloc(&mut out, alloc);
+    out.push_str("}\n");
     out
+}
+
+/// Renders the `alloc` section: budget/measurement presence, the measured
+/// per-phase counts with their ceilings, and the three drift classes.
+fn render_alloc(out: &mut String, alloc: &AllocState) {
+    out.push_str("  \"alloc\": {\n");
+    let _ = writeln!(out, "    \"budget_present\": {},", alloc.budget.is_some());
+    let _ = writeln!(out, "    \"measured\": {},", alloc.measured.is_some());
+    let _ = writeln!(out, "    \"clean\": {},", alloc.is_clean());
+    out.push_str("    \"phases\": [");
+    let mut first = true;
+    if let Some(measured) = &alloc.measured {
+        for (phase, counts) in &measured.phases {
+            let sep = if first { "\n" } else { ",\n" };
+            first = false;
+            let budget = alloc
+                .budget
+                .as_ref()
+                .and_then(|b| b.phases.get(phase))
+                .map_or("null".to_owned(), |n| n.to_string());
+            let _ = write!(
+                out,
+                "{sep}      {{\"phase\": \"{}\", \"budget\": {budget}, \"allocs\": {}, \"frees\": {}, \"bytes\": {}, \"peak_bytes\": {}}}",
+                escape(phase),
+                counts.allocs,
+                counts.frees,
+                counts.bytes,
+                counts.peak_bytes
+            );
+        }
+    }
+    out.push_str(if first { "],\n" } else { "\n    ],\n" });
+
+    out.push_str("    \"over\": [");
+    for (i, (phase, budget, measured)) in alloc.drift.over.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            out,
+            "{sep}{{\"phase\": \"{}\", \"budget\": {budget}, \"measured\": {measured}}}",
+            escape(phase)
+        );
+    }
+    out.push_str("],\n    \"stale\": [");
+    for (i, phase) in alloc.drift.stale.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}\"{}\"", escape(phase));
+    }
+    out.push_str("],\n    \"unbudgeted\": [");
+    for (i, (phase, measured)) in alloc.drift.unbudgeted.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            out,
+            "{sep}{{\"phase\": \"{}\", \"measured\": {measured}}}",
+            escape(phase)
+        );
+    }
+    out.push_str("]\n  }\n");
 }
 
 fn render_drift(out: &mut String, entries: &[(String, String, usize, usize)]) {
@@ -182,9 +245,11 @@ mod tests {
         let base = Counts::new();
         let ratchet = crate::baseline::compare(&base, &report.counts);
         let enabled: BTreeSet<String> = rules::ALL_RULES.iter().map(|s| s.to_string()).collect();
-        let a = render_json(&report, &base, &ratchet, &enabled);
-        let b = render_json(&report, &base, &ratchet, &enabled);
+        let alloc = AllocState::default();
+        let a = render_json(&report, &base, &ratchet, &enabled, &alloc);
+        let b = render_json(&report, &base, &ratchet, &enabled, &alloc);
         assert_eq!(a, b, "byte-identical across runs");
+        assert!(a.contains("\"schema\": \"segugio-audit/2\""), "{a}");
         assert!(a.contains("\\\"quotes\\\""), "{a}");
         assert!(a.contains("\\n"), "{a}");
         assert!(a.contains("\"clean\": false"));
@@ -202,8 +267,43 @@ mod tests {
         let base = Counts::new();
         let ratchet = crate::baseline::compare(&base, &report.counts);
         let enabled: BTreeSet<String> = rules::ALL_RULES.iter().map(|s| s.to_string()).collect();
-        let json = render_json(&report, &base, &ratchet, &enabled);
+        let json = render_json(&report, &base, &ratchet, &enabled, &AllocState::default());
         assert!(json.contains("\"violations\": [],"), "{json}");
         assert!(json.contains("\"clean\": true"), "{json}");
+        assert!(json.contains("\"budget_present\": false"), "{json}");
+    }
+
+    #[test]
+    fn alloc_drift_marks_the_report_unclean() {
+        let report = LintReport {
+            files_scanned: 0,
+            violations: Vec::new(),
+            counts: Counts::new(),
+            suppressions: Vec::new(),
+        };
+        let base = Counts::new();
+        let ratchet = crate::baseline::compare(&base, &report.counts);
+        let enabled: BTreeSet<String> = rules::ALL_RULES.iter().map(|s| s.to_string()).collect();
+        let budget = crate::allocbudget::parse("[phases]\n\"score\" = 0\n").unwrap();
+        let measured = crate::allocbudget::parse_measured(
+            r#"{"machines": 1, "phases": {"score": {"allocs": 9, "frees": 0, "bytes": 1, "peak_bytes": 1}}}"#,
+        )
+        .unwrap();
+        let drift = crate::allocbudget::compare(&budget, &measured);
+        let alloc = AllocState {
+            budget: Some(budget),
+            measured: Some(measured),
+            drift,
+        };
+        let json = render_json(&report, &base, &ratchet, &enabled, &alloc);
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(
+            json.contains("{\"phase\": \"score\", \"budget\": 0, \"measured\": 9}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"phase\": \"score\", \"budget\": 0, \"allocs\": 9"),
+            "{json}"
+        );
     }
 }

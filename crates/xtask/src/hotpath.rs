@@ -1,0 +1,605 @@
+//! H family — hot-path allocation discipline.
+//!
+//! The per-day pipeline functions (CSR delta build, abuse-index rolls,
+//! feature measurement, forest scoring) run once per ISP day over millions
+//! of domains; PR 6 made the scoring leg allocation-free, and these rules
+//! keep the whole set that way. The checked-in `crates/xtask/hotpath.toml`
+//! declares the hot regions — `"crates/<c>/src/<f>.rs" = "fn fn …"`
+//! entries under a `[hot]` section — and three rules fire inside them:
+//!
+//! * **H1** — allocation constructors (`Vec::new`, `with_capacity`,
+//!   `vec![…]`, `String::new`, `format!`, `Box::new`, hash/tree container
+//!   constructors) inside `for`/`while`/`loop` bodies: a per-iteration
+//!   allocation multiplies by the day's element count.
+//! * **H2** — `.clone()` / `.to_owned()` / `.to_vec()` / `.to_string()`
+//!   anywhere in a hot region: deep copies on the per-day path. Cheap
+//!   `Copy`-type clones are suppressed with a reasoned allow.
+//! * **H3** — `.collect()` into a fresh container while a reusable buffer
+//!   is in scope — the hot function takes `&mut self` (the receiver can
+//!   hold scratch fields, the `ScoreBuffer` pattern) or a `&mut`
+//!   buffer-typed parameter. Route the result through the buffer instead.
+//!
+//! All three are suppressible with `// segugio-lint: allow(Hn, reason)`
+//! and participate in the ratchet baseline; like A1 they run at tree
+//! level, with W1 accounting for their allows done in [`crate::lint_tree`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+use crate::rules::{FileClass, Violation};
+use crate::scan::{matching_close, ScannedFile, Token};
+
+/// The declared hot regions: workspace-relative file -> hot function names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hotpath {
+    /// `"crates/graph/src/delta.rs" -> {advance}`-style map.
+    pub hot: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Hotpath {
+    /// The hot function names declared for `path`, if any.
+    pub fn functions(&self, path: &str) -> Option<&BTreeSet<String>> {
+        self.hot.get(path)
+    }
+}
+
+/// Parses the `hotpath.toml` format: a single `[hot]` section holding
+/// `"file" = "fn fn …"` entries (the same deliberately tiny TOML subset as
+/// the layering DAG and the ratchet baseline).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input.
+pub fn parse(text: &str) -> Result<Hotpath, String> {
+    let mut hotpath = Hotpath::default();
+    let mut in_hot = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            in_hot = section.trim() == "hot";
+            continue;
+        }
+        if !in_hot {
+            return Err(format!("line {}: entry outside the [hot] section", idx + 1));
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {}: expected `\"file\" = \"fn fn …\"`",
+                idx + 1
+            ));
+        };
+        let file = name
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: file path must be double-quoted", idx + 1))?;
+        let fns = value
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: fn list must be double-quoted", idx + 1))?;
+        let set: BTreeSet<String> = fns.split_whitespace().map(str::to_owned).collect();
+        if set.is_empty() {
+            return Err(format!("line {}: empty fn list for `{file}`", idx + 1));
+        }
+        if hotpath.hot.insert(file.to_owned(), set).is_some() {
+            return Err(format!("line {}: duplicate file `{file}`", idx + 1));
+        }
+    }
+    Ok(hotpath)
+}
+
+/// Loads `<root>/crates/xtask/hotpath.toml`. Returns `Ok(None)` when the
+/// file does not exist — trees without declared hot regions (synthetic
+/// test trees) simply skip the H family.
+///
+/// # Errors
+///
+/// Returns a message when the file exists but cannot be read or parsed.
+pub fn load(root: &Path) -> Result<Option<Hotpath>, String> {
+    let path = root.join("crates/xtask/hotpath.toml");
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text)
+        .map(Some)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// One declared hot function located in a token stream.
+#[derive(Debug, Clone)]
+struct HotRegion {
+    /// The declared function name.
+    name: String,
+    /// Token index range (half-open) of the function body.
+    body: (usize, usize),
+    /// Whether a reusable buffer is in scope: the function takes
+    /// `&mut self` or a `&mut` parameter of a buffer-shaped type
+    /// (`Vec`, `String`, `VecDeque`, or an ident ending in
+    /// `Buffer`/`Scratch`).
+    reusable_buffer: bool,
+}
+
+/// Whether a parameter-list token names a reusable-buffer type.
+fn is_buffer_type(t: &str) -> bool {
+    matches!(t, "Vec" | "String" | "VecDeque") || t.ends_with("Buffer") || t.ends_with("Scratch")
+}
+
+/// Scans a parameter-list token group (exclusive of the delimiters) for a
+/// reusable buffer: `&mut self`, or `&mut` followed (within the same
+/// parameter) by a buffer-shaped type.
+fn has_reusable_buffer(params: &[Token]) -> bool {
+    let text = |k: usize| params.get(k).map(|t| t.text.as_str());
+    for k in 0..params.len() {
+        if text(k) != Some("&") {
+            continue;
+        }
+        // Skip a lifetime between `&` and `mut` (scan drops `'a`, so the
+        // next token is already `mut` when one was present).
+        if text(k + 1) != Some("mut") {
+            continue;
+        }
+        if text(k + 2) == Some("self") {
+            return true;
+        }
+        // Look through the rest of this parameter (up to the next `,` at
+        // depth 0) for a buffer-shaped type token.
+        let mut depth = 0i32;
+        for t in &params[k + 2..] {
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "," if depth <= 0 => break,
+                s if is_buffer_type(s) => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Locates the declared hot functions in a token stream. For each `fn
+/// <name>` whose name is declared, the body is the brace group after the
+/// signature (skipping balanced `(…)`/`[…]` groups, so parenthesized
+/// bounds in generics and the parameter list itself do not confuse the
+/// walk).
+fn hot_regions(tokens: &[Token], names: &BTreeSet<String>) -> Vec<HotRegion> {
+    let mut out = Vec::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for i in 0..tokens.len() {
+        if tokens[i].text != "fn" {
+            continue;
+        }
+        let Some(name) = text(i + 1).filter(|n| names.contains(*n)) else {
+            continue;
+        };
+        // Walk the signature to the body `{`, skipping balanced round and
+        // square groups; the first skipped `(…)` is the parameter list.
+        let mut j = i + 2;
+        let mut params: Option<(usize, usize)> = None;
+        let open = loop {
+            match text(j) {
+                Some("(") | Some("[") => {
+                    let close = matching_close(tokens, j);
+                    if params.is_none() && text(j) == Some("(") {
+                        params = Some((j + 1, close));
+                    }
+                    j = close + 1;
+                }
+                Some("{") => break Some(j),
+                Some(";") | None => break None, // trait method declaration
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else { continue };
+        let close = matching_close(tokens, open);
+        let reusable_buffer = params
+            .map(|(lo, hi)| has_reusable_buffer(&tokens[lo..hi.min(tokens.len())]))
+            .unwrap_or(false);
+        out.push(HotRegion {
+            name: name.to_owned(),
+            body: (open + 1, close),
+            reusable_buffer,
+        });
+    }
+    out
+}
+
+/// Token index ranges (half-open) of `for`/`while`/`loop` bodies inside
+/// `[lo, hi)`. Rust forbids bare struct literals in loop headers, so the
+/// first depth-0 `{` after the keyword (skipping balanced groups) opens
+/// the body.
+fn loop_bodies(tokens: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut i = lo;
+    while i < hi {
+        if !matches!(tokens[i].text.as_str(), "for" | "while" | "loop") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let open = loop {
+            if j >= hi {
+                break None;
+            }
+            match text(j) {
+                Some("(") | Some("[") => j = matching_close(tokens, j) + 1,
+                Some("{") => break Some(j),
+                Some(";") => break None, // `loop_label;`-style false hit
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let close = matching_close(tokens, open);
+        out.push((open + 1, close.min(hi)));
+        // Keep scanning inside the body too: nested loops get their own
+        // (overlapping) ranges, which is harmless for membership tests.
+        i = open + 1;
+    }
+    out
+}
+
+/// Allocation-constructor types H1 watches for `::new` / `::with_capacity`
+/// / `::from` inside loop bodies.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet",
+];
+
+/// Constructor names that allocate.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Allocating macros H1 watches inside loop bodies.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Deep-copy methods H2 watches anywhere in a hot region.
+const COPY_METHODS: &[&str] = &["clone", "to_owned", "to_vec", "to_string"];
+
+/// Emits one H-family finding unless suppressed: test code is skipped, an
+/// allow on the firing line (or on the `macro_rules!` definition line when
+/// the site sits inside a macro body) suppresses and is recorded in
+/// `used`, and the reported line is remapped to the macro definition.
+#[allow(clippy::too_many_arguments)] // mirrors the tree-level A1 shape
+fn fire(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    rule: &'static str,
+    line: u32,
+    message: String,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
+    if crate::rules::suppressed(class, scanned, rule, line, used) {
+        return;
+    }
+    out.push(Violation {
+        file: class.path.clone(),
+        line: scanned.macro_def_line(line).unwrap_or(line),
+        rule,
+        message,
+    });
+}
+
+/// Runs the H family over one scanned source file. Only files with
+/// declared hot functions are in scope; `enabled` selects which of
+/// H1/H2/H3 actually fire. Suppressions are recorded in `used` for the
+/// tree-level W1 accounting in [`crate::lint_tree`].
+pub fn check_source(
+    class: &FileClass,
+    scanned: &ScannedFile,
+    hotpath: &Hotpath,
+    enabled: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+    used: &mut BTreeSet<(u32, String)>,
+) {
+    let Some(names) = hotpath.functions(&class.path) else {
+        return;
+    };
+    if class.is_test {
+        return;
+    }
+    let tokens = &scanned.tokens;
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    for region in hot_regions(tokens, names) {
+        let (lo, hi) = region.body;
+        let loops = loop_bodies(tokens, lo, hi);
+        let in_loop = |k: usize| loops.iter().any(|&(a, b)| a <= k && k < b);
+        for (k, tok) in tokens
+            .iter()
+            .enumerate()
+            .take(hi.min(tokens.len()))
+            .skip(lo)
+        {
+            let t = tok.text.as_str();
+            let line = tok.line;
+            // H1: allocation constructors in loop bodies. A turbofish
+            // between the type and the constructor
+            // (`Vec::<u32>::with_capacity`) still allocates, so skip
+            // balanced `<…>` generic args before looking for the ctor.
+            if enabled.contains("H1") && in_loop(k) {
+                let ctor_at = || -> Option<usize> {
+                    if !ALLOC_TYPES.contains(&t) || text(k + 1) != Some("::") {
+                        return None;
+                    }
+                    let mut j = k + 2;
+                    if text(j) == Some("<") {
+                        let mut depth = 1u32;
+                        j += 1;
+                        while depth > 0 {
+                            match text(j)? {
+                                "<" => depth += 1,
+                                ">" => depth -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if text(j) != Some("::") {
+                            return None;
+                        }
+                        j += 1;
+                    }
+                    text(j).filter(|c| ALLOC_CTORS.contains(c)).map(|_| j)
+                };
+                let ctor = ctor_at();
+                let alloc_macro = ALLOC_MACROS.contains(&t) && text(k + 1) == Some("!");
+                if ctor.is_some() || alloc_macro {
+                    let what = if let Some(j) = ctor {
+                        format!("`{t}::{}`", text(j).unwrap_or(""))
+                    } else {
+                        format!("`{t}!`")
+                    };
+                    fire(
+                        class,
+                        scanned,
+                        "H1",
+                        line,
+                        format!(
+                            "{what} allocates inside a loop in hot fn `{}`; hoist the allocation out of the loop or reuse a scratch buffer",
+                            region.name
+                        ),
+                        out,
+                        used,
+                    );
+                    continue;
+                }
+            }
+            // H2: deep copies anywhere in the hot region.
+            if enabled.contains("H2")
+                && COPY_METHODS.contains(&t)
+                && k >= 1
+                && text(k - 1) == Some(".")
+                && text(k + 1) == Some("(")
+            {
+                fire(
+                    class,
+                    scanned,
+                    "H2",
+                    line,
+                    format!(
+                        "`.{t}()` deep-copies on the per-day path in hot fn `{}`; borrow, move, or hold the data in a reusable buffer (allow with a reason if the receiver is `Copy`-cheap)",
+                        region.name
+                    ),
+                    out,
+                    used,
+                );
+                continue;
+            }
+            // H3: collect into a fresh container while a reusable buffer
+            // is in scope.
+            if enabled.contains("H3")
+                && region.reusable_buffer
+                && t == "collect"
+                && k >= 1
+                && text(k - 1) == Some(".")
+                && (text(k + 1) == Some("(")
+                    || (text(k + 1) == Some("::") && text(k + 2) == Some("<")))
+            {
+                fire(
+                    class,
+                    scanned,
+                    "H3",
+                    line,
+                    format!(
+                        "`.collect()` allocates a fresh container each call in hot fn `{}` although a reusable buffer (`&mut self` scratch or a `&mut` buffer parameter) is in scope; clear-and-extend the buffer instead",
+                        region.name
+                    ),
+                    out,
+                    used,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::classify;
+    use crate::scan::scan;
+
+    fn hot(text: &str) -> Hotpath {
+        parse(text).unwrap()
+    }
+
+    fn check(path: &str, src: &str, hp: &Hotpath) -> Vec<Violation> {
+        let enabled: BTreeSet<String> = ["H1", "H2", "H3"].iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let mut used = BTreeSet::new();
+        check_source(
+            &classify(path),
+            &scan(src),
+            hp,
+            &enabled,
+            &mut out,
+            &mut used,
+        );
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn parse_round_trips_hot_regions() {
+        let hp = hot("[hot]\n\"crates/graph/src/delta.rs\" = \"advance\"\n");
+        assert_eq!(
+            hp.functions("crates/graph/src/delta.rs").map(|s| s.len()),
+            Some(1)
+        );
+        assert!(hp.functions("crates/core/src/model.rs").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("\"f\" = \"g\"").is_err(), "entry before section");
+        assert!(parse("[hot]\nf = \"g\"").is_err(), "unquoted file");
+        assert!(parse("[hot]\n\"f\" = bare").is_err(), "unquoted fn list");
+        assert!(parse("[hot]\n\"f\" = \"\"").is_err(), "empty fn list");
+        assert!(
+            parse("[hot]\n\"f\" = \"g\"\n\"f\" = \"h\"").is_err(),
+            "duplicate file"
+        );
+    }
+
+    #[test]
+    fn h1_fires_only_in_hot_loops() {
+        let hp = hot("[hot]\n\"crates/graph/src/x.rs\" = \"advance\"\n");
+        let src = "
+fn advance(xs: &[u32]) -> Vec<u32> {
+    let top = Vec::new(); // fn-level: fine
+    for x in xs {
+        let per = Vec::with_capacity(4);
+        let s = format!(\"{x}\");
+    }
+    top
+}
+fn cold(xs: &[u32]) {
+    for _x in xs {
+        let v = Vec::new(); // not a declared hot fn
+    }
+}";
+        let v = check("crates/graph/src/x.rs", src, &hp);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "H1"), "{v:?}");
+        assert_eq!(v[0].line, 5);
+        assert_eq!(v[1].line, 6);
+    }
+
+    #[test]
+    fn h2_fires_anywhere_in_hot_region() {
+        let hp = hot("[hot]\n\"crates/core/src/x.rs\" = \"roll\"\n");
+        let src = "
+fn roll(s: &State) -> State {
+    let copy = s.clone();
+    let owned = s.name.to_owned();
+    copy
+}
+fn cold(s: &State) -> State { s.clone() }";
+        let v = check("crates/core/src/x.rs", src, &hp);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "H2"), "{v:?}");
+    }
+
+    #[test]
+    fn h3_requires_a_reusable_buffer_in_scope() {
+        let hp = hot("[hot]\n\"crates/core/src/x.rs\" = \"score_with score_plain\"\n");
+        let src = "
+fn score_with(xs: &[u32], buf: &mut ScoreBuffer) -> usize {
+    let fresh: Vec<u32> = xs.iter().copied().collect();
+    fresh.len()
+}
+fn score_plain(xs: &[u32]) -> Vec<u32> {
+    xs.iter().copied().collect()
+}";
+        let v = check("crates/core/src/x.rs", src, &hp);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "H3");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn h3_counts_mut_self_as_a_buffer() {
+        let hp = hot("[hot]\n\"crates/core/src/x.rs\" = \"advance\"\n");
+        let src = "
+impl Engine {
+    fn advance(&mut self, xs: &[u32]) -> Vec<u32> {
+        xs.iter().map(|x| x + 1).collect()
+    }
+}";
+        let v = check("crates/core/src/x.rs", src, &hp);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "H3");
+    }
+
+    #[test]
+    fn allows_suppress_and_are_recorded_as_used() {
+        let hp = hot("[hot]\n\"crates/core/src/x.rs\" = \"advance\"\n");
+        let src = "
+fn advance(&mut self, xs: &[u32]) -> Vec<u32> {
+    // segugio-lint: allow(H3, ownership transfers into the snapshot)
+    xs.iter().map(|x| x + 1).collect()
+}";
+        let enabled: BTreeSet<String> = ["H3".to_owned()].into_iter().collect();
+        let mut out = Vec::new();
+        let mut used = BTreeSet::new();
+        check_source(
+            &classify("crates/core/src/x.rs"),
+            &scan(src),
+            &hp,
+            &enabled,
+            &mut out,
+            &mut used,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        assert!(used.contains(&(3, "H3".to_owned())), "{used:?}");
+    }
+
+    #[test]
+    fn turbofish_collect_is_detected() {
+        let hp = hot("[hot]\n\"crates/core/src/x.rs\" = \"advance\"\n");
+        let src = "
+fn advance(&mut self, xs: &[u32]) -> Vec<u32> {
+    xs.iter().copied().collect::<Vec<u32>>()
+}";
+        let v = check("crates/core/src/x.rs", src, &hp);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "H3");
+    }
+
+    #[test]
+    fn test_code_in_hot_files_is_exempt() {
+        let hp = hot("[hot]\n\"crates/core/src/x.rs\" = \"advance\"\n");
+        let src = "
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn advance(&mut self, xs: &[u32]) -> Vec<u32> {
+        xs.iter().copied().collect()
+    }
+}";
+        assert!(check("crates/core/src/x.rs", src, &hp).is_empty());
+    }
+
+    #[test]
+    fn macro_body_firings_report_the_definition_line() {
+        let hp = hot("[hot]\n\"crates/core/src/x.rs\" = \"advance\"\n");
+        let src = "
+macro_rules! per_day {
+    ($xs:expr) => {
+        fn advance(&mut self, xs: &[u32]) -> Vec<u32> {
+            $xs.iter().copied().collect()
+        }
+    };
+}";
+        let v = check("crates/core/src/x.rs", src, &hp);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2, "attributed to the macro definition line");
+    }
+}

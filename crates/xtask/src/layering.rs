@@ -167,13 +167,18 @@ pub fn check_manifests(root: &Path, layering: &Layering) -> Result<Vec<Violation
             if !in_dependencies {
                 continue;
             }
-            let Some(dep) = line
-                .strip_prefix("segugio-")
-                .map(|rest| rest.split(['.', ' ', '=']).next().unwrap_or(""))
-            else {
+            // Package names use hyphens where crate directories (and the
+            // DAG keys) use underscores: `segugio-alloc-probe` lives in
+            // `crates/alloc_probe`.
+            let Some(dep) = line.strip_prefix("segugio-").map(|rest| {
+                rest.split(['.', ' ', '='])
+                    .next()
+                    .unwrap_or("")
+                    .replace('-', "_")
+            }) else {
                 continue;
             };
-            if !dep.is_empty() && !layering.permits(&name, dep) {
+            if !dep.is_empty() && !layering.permits(&name, &dep) {
                 out.push(Violation {
                     file: rel.clone(),
                     line: u32::try_from(idx + 1).unwrap_or(u32::MAX),

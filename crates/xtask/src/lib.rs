@@ -2,9 +2,10 @@
 //!
 //! Two tasks share one static-analysis engine:
 //!
-//! * `lint` — enforce the repo's determinism, concurrency, layering, and
-//!   unsafe-hygiene invariants (see [`rules`]) against a checked-in
-//!   ratchet baseline (see [`baseline`]).
+//! * `lint` — enforce the repo's determinism, concurrency, layering,
+//!   hot-path allocation (see [`hotpath`]), and unsafe-hygiene invariants
+//!   (see [`rules`]) against a checked-in ratchet baseline (see
+//!   [`baseline`]).
 //! * `audit` — emit the same pass as a deterministic machine-readable
 //!   report (see [`audit`]), uploaded as a CI artifact on every run.
 //!
@@ -18,8 +19,10 @@
 //! Both tasks share one exit-code table (pinned by integration test):
 //! `0` clean, `1` violations, `2` usage, `3` I/O.
 
+pub mod allocbudget;
 pub mod audit;
 pub mod baseline;
+pub mod hotpath;
 pub mod layering;
 pub mod rules;
 pub mod scan;
@@ -48,9 +51,10 @@ USAGE:
     cargo run -p xtask -- <TASK> [OPTIONS]
 
 TASKS:
-    lint     enforce the determinism/concurrency/layering rules against
-             the ratchet baseline (lint-baseline.toml)
+    lint     enforce the determinism/concurrency/layering/hot-path rules
+             against the ratchet baseline (lint-baseline.toml)
     audit    emit the same pass as a deterministic JSON report
+             (segugio-audit/2, including the allocation-budget section)
     help     print this message
 
 COMMON OPTIONS (lint and audit):
@@ -71,7 +75,9 @@ AUDIT OPTIONS:
 EXIT CODES (shared by lint and audit):
     0    clean — no findings beyond the baseline
     1    violations — findings beyond the baseline; for audit (always
-         strict) and `lint --strict`, stale baseline entries too
+         strict) and `lint --strict`, stale baseline entries too, and
+         for audit any allocation-budget drift (alloc-budget.toml vs
+         BENCH_alloc.json)
     2    usage — unknown task, flag, or malformed value
     3    io — unreadable tree or baseline, or unwritable output
 ";
@@ -287,6 +293,12 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
     } else {
         None
     };
+    let h_enabled = ["H1", "H2", "H3"].iter().any(|r| enabled.contains(*r));
+    let hot = if h_enabled {
+        hotpath::load(root)?
+    } else {
+        None
+    };
     let files = workspace::rust_files(root)?;
     let mut violations = Vec::new();
     let mut suppressions = Vec::new();
@@ -304,12 +316,16 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
         if let Some(dag) = &layering {
             layering::check_source(&class, &scanned, dag, &mut violations, &mut used);
         }
+        if let Some(hot) = &hot {
+            hotpath::check_source(&class, &scanned, hot, enabled, &mut violations, &mut used);
+        }
         collect_suppressions(
             &class,
             &scanned,
             enabled,
             &used,
             layering.is_some(),
+            hot.is_some(),
             &mut suppressions,
             &mut violations,
         );
@@ -327,14 +343,17 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
 }
 
 /// Records every allow-comment site in non-test code with its usage state,
-/// and performs the tree-level W1 accounting for A1 that `rule_w1` defers
-/// (A1 suppressions are only visible after `check_source` runs).
+/// and performs the tree-level W1 accounting that `rule_w1` defers for A1
+/// and the H family (their suppressions are only visible after the
+/// tree-level `check_source` passes run).
+#[allow(clippy::too_many_arguments)] // internal helper mirroring lint_tree state
 fn collect_suppressions(
     class: &rules::FileClass,
     scanned: &scan::ScannedFile,
     enabled: &BTreeSet<String>,
     used: &BTreeSet<(u32, String)>,
     layering_active: bool,
+    hotpath_active: bool,
     suppressions: &mut Vec<Suppression>,
     violations: &mut Vec<Violation>,
 ) {
@@ -356,12 +375,15 @@ fn collect_suppressions(
                 rule: rule.clone(),
                 used: is_used,
             });
-            if rule == "A1" && layering_active && enabled.contains("W1") && !is_used {
+            let tree_level = (rule == "A1" && layering_active)
+                || (matches!(rule.as_str(), "H1" | "H2" | "H3") && hotpath_active);
+            if tree_level && enabled.contains("W1") && !is_used {
+                let what = if rule == "A1" { "layering" } else { "hot-path" };
                 violations.push(Violation {
                     file: class.path.clone(),
                     line,
                     rule: "W1",
-                    message: "unused suppression: `allow(A1)` matches no layering finding on this or the next line; delete the stale comment".to_owned(),
+                    message: format!("unused suppression: `allow({rule})` matches no {what} finding on this or the next line; delete the stale comment"),
                 });
             }
         }
@@ -479,7 +501,14 @@ pub fn run_audit(opts: &AuditOptions) -> i32 {
         Err(_) => Counts::new(),
     };
     let ratchet = baseline::compare(&base, &report.counts);
-    let json = audit::render_json(&report, &base, &ratchet, &opts.rules);
+    let alloc = match allocbudget::evaluate(&opts.root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_IO;
+        }
+    };
+    let json = audit::render_json(&report, &base, &ratchet, &opts.rules, &alloc);
 
     if let Some(out_path) = &opts.out {
         if let Err(e) = fs::write(out_path, &json) {
@@ -497,11 +526,30 @@ pub fn run_audit(opts: &AuditOptions) -> i32 {
             report.suppressions.len(),
             stale
         );
+        match (&alloc.budget, &alloc.measured) {
+            (Some(b), Some(_)) => {
+                println!(
+                    "  alloc budget: {} phases, {} over, {} stale, {} unbudgeted",
+                    b.phases.len(),
+                    alloc.drift.over.len(),
+                    alloc.drift.stale.len(),
+                    alloc.drift.unbudgeted.len()
+                );
+            }
+            (Some(b), None) => {
+                println!(
+                    "  alloc budget: {} phases, unmeasured (run the alloc bench with \
+                     SEGUGIO_BENCH_OUT=BENCH_alloc.json to check)",
+                    b.phases.len()
+                );
+            }
+            _ => {}
+        }
         if let Some(out_path) = &opts.out {
             println!("wrote {}", out_path.display());
         }
     }
-    if ratchet.is_clean() && ratchet.stale.is_empty() {
+    if ratchet.is_clean() && ratchet.stale.is_empty() && alloc.is_clean() {
         EXIT_CLEAN
     } else {
         EXIT_VIOLATIONS

@@ -8,6 +8,9 @@
 //! | C2   | `crates/ingest/src` parsers   | lossy `as` numeric casts (use `try_from`) |
 //! | P1   | all non-test code             | parallel closures capturing interior-mutable state (`RefCell`/`Cell`), relaxed atomics, or mutating captured bindings |
 //! | P2   | all non-test code             | floating-point accumulation into a captured binding inside a parallel closure (FP addition is non-associative) |
+//! | H1   | hot regions (`hotpath.toml`)  | allocation constructors (`Vec::new`, `vec![]`, `format!`, `Box::new`, …) inside loop bodies |
+//! | H2   | hot regions (`hotpath.toml`)  | `.clone()` / `.to_owned()` / `.to_vec()` / `.to_string()` |
+//! | H3   | hot regions (`hotpath.toml`)  | `.collect()` into a fresh container while a reusable buffer (`&mut self` scratch or `&mut` buffer parameter) is in scope |
 //! | A1   | crate manifests + lib code    | crate-dependency edges outside the layering DAG (`crates/xtask/layering.toml`) |
 //! | U1   | all non-test code             | `unsafe` without an adjacent `// SAFETY:` comment |
 //! | W1   | all non-test code             | `segugio-lint: allow(…)` comments that suppress no finding |
@@ -23,7 +26,9 @@ use std::collections::BTreeSet;
 use crate::scan::{ScannedFile, Token};
 
 /// All known rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["D1", "D2", "C1", "C2", "P1", "P2", "A1", "U1", "W1"];
+pub const ALL_RULES: &[&str] = &[
+    "D1", "D2", "C1", "C2", "P1", "P2", "H1", "H2", "H3", "A1", "U1", "W1",
+];
 
 /// How a file participates in linting, derived from its workspace-relative
 /// path (see [`classify`]).
@@ -154,6 +159,14 @@ pub fn lint_file_full(
     if rules.contains("W1") {
         rule_w1(class, scanned, rules, &used, &mut out);
     }
+    // Firings inside `macro_rules!` bodies are attributed to the macro's
+    // definition line: the body is a template, and the definition is the
+    // stable site a reader can act on.
+    for v in &mut out {
+        if let Some(def) = scanned.macro_def_line(v.line) {
+            v.line = def;
+        }
+    }
     out.sort();
     out.dedup();
     FileLint {
@@ -173,7 +186,10 @@ pub fn lint_file(
 
 /// Shared per-site filter: test code and allow comments. A suppression via
 /// an allow comment is recorded in `used` so W1 can spot stale allows.
-fn suppressed(
+/// Sites inside a `macro_rules!` body are attributed to the macro's
+/// definition line, so an allow comment there suppresses every firing in
+/// the body.
+pub(crate) fn suppressed(
     class: &FileClass,
     scanned: &ScannedFile,
     rule: &str,
@@ -183,7 +199,12 @@ fn suppressed(
     if class.is_test || scanned.is_test_line(line) {
         return true;
     }
-    if let Some(allow_line) = scanned.allow_line(rule, line) {
+    let allow = scanned.allow_line(rule, line).or_else(|| {
+        scanned
+            .macro_def_line(line)
+            .and_then(|def| scanned.allow_line(rule, def))
+    });
+    if let Some(allow_line) = allow {
         used.insert((allow_line, rule.to_owned()));
         return true;
     }
@@ -783,9 +804,10 @@ fn rule_w1(
             if !ALL_RULES.contains(&rule.as_str()) || !enabled.contains(rule) {
                 continue;
             }
-            // A1 runs at tree level (its suppressions are not visible
-            // here); lint_tree performs the equivalent W1 accounting.
-            if rule == "A1" {
+            // A1 and the H family run at tree level (their suppressions
+            // are not visible here); lint_tree performs the equivalent W1
+            // accounting.
+            if matches!(rule.as_str(), "A1" | "H1" | "H2" | "H3") {
                 continue;
             }
             if !used.contains(&(line, rule.clone())) {

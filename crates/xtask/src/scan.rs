@@ -37,6 +37,10 @@ pub struct ScannedFile {
     pub safety_lines: BTreeSet<u32>,
     /// Inclusive line ranges belonging to `#[cfg(test)]` / `#[test]` items.
     pub test_ranges: Vec<(u32, u32)>,
+    /// `(body_first_line, body_last_line, definition_line)` for every
+    /// `macro_rules!` body, so rule firings inside a macro body can be
+    /// attributed to the macro's definition line.
+    pub macro_bodies: Vec<(u32, u32, u32)>,
 }
 
 impl ScannedFile {
@@ -61,6 +65,17 @@ impl ScannedFile {
         [line, line.saturating_sub(1)]
             .into_iter()
             .find(|l| self.allows.get(l).is_some_and(|rules| rules.contains(rule)))
+    }
+
+    /// The `macro_rules!` definition line owning `line`, when `line` falls
+    /// inside a macro body. Rules report firings inside macro bodies at the
+    /// definition line — the body text is a template, and the definition is
+    /// the one stable site a reader (or an allow comment) can anchor to.
+    pub fn macro_def_line(&self, line: u32) -> Option<u32> {
+        self.macro_bodies
+            .iter()
+            .find(|&&(lo, hi, def)| lo <= line && line <= hi && line != def)
+            .map(|&(_, _, def)| def)
     }
 
     /// Whether an `// SAFETY:` comment sits on `line` or up to two lines
@@ -164,6 +179,35 @@ pub fn scan(src: &str) -> ScannedFile {
     }
 
     out.test_ranges = test_ranges(&out.tokens);
+    out.macro_bodies = macro_bodies(&out.tokens);
+    out
+}
+
+/// Finds every `macro_rules! name { … }` body as
+/// `(body_first_line, body_last_line, definition_line)`.
+fn macro_bodies(tokens: &[Token]) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if text(i) != Some("macro_rules") || text(i + 1) != Some("!") {
+            i += 1;
+            continue;
+        }
+        // `macro_rules ! name <open>` where the outer delimiter is usually
+        // `{` but may be `(` or `[`.
+        let open = i + 3;
+        if !matches!(text(open), Some("{") | Some("(") | Some("[")) {
+            i += 1;
+            continue;
+        }
+        let close = matching_close(tokens, open);
+        let def_line = tokens[i].line;
+        let body_start = tokens[open].line;
+        let body_end = tokens.get(close).map_or(u32::MAX, |t| t.line);
+        out.push((body_start, body_end, def_line));
+        i = close.max(open) + 1;
+    }
     out
 }
 
@@ -403,7 +447,7 @@ fn is_binding_ident(s: &str) -> bool {
 
 /// Index of the token matching the opener at `open` (`(`/`[`/`{`), or the
 /// end of the stream if unbalanced.
-fn matching_close(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn matching_close(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < tokens.len() {

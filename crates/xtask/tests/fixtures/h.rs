@@ -1,0 +1,36 @@
+//! H-family fixture: `measure` and `advance` are declared hot by the
+//! test's hotpath config; `cold` repeats the same patterns undeclared.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn measure(&mut self, xs: &[u32]) -> Vec<u32> {
+        for x in xs {
+            let v: Vec<u32> = Vec::with_capacity(4);
+            let s = format!("{x}");
+            drop((v, s.len()));
+        }
+        let owned = xs.to_vec();
+        let doubled: Vec<u32> = owned.iter().map(|x| x * 2).collect();
+        doubled
+    }
+
+    pub fn advance(&mut self, xs: &[u32]) -> Vec<u32> {
+        macro_rules! snap {
+            ($e:expr) => {
+                $e.to_vec()
+            };
+        }
+        snap!(xs)
+    }
+}
+
+pub fn cold(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for _x in xs {
+        out.extend(xs.to_vec());
+    }
+    let v: Vec<u32> = xs.iter().copied().collect();
+    drop(v);
+    out
+}

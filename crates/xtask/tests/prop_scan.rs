@@ -6,6 +6,7 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
+use xtask::hotpath;
 use xtask::rules::{classify, lint_file, ALL_RULES};
 use xtask::scan::scan;
 
@@ -137,5 +138,127 @@ proptest! {
     #[test]
     fn arbitrary_text_never_panics(src in "[ -~\n\t]{0,400}") {
         let _ = scan(&src);
+    }
+}
+
+// --- H family on hostile Rust ---------------------------------------------
+
+/// Statement fragments dense with allocation-shaped syntax the H rules
+/// must read correctly: turbofish collects, nested closures capturing
+/// `&mut` buffers, `vec![]` nested inside `format!` arguments.
+const H_SNIPPETS: &[&str] = &[
+    "let a = xs.iter().collect::<Vec<u32>>();\n",
+    "let b: Vec<u32> = xs.iter().map(|x| *x).collect();\n",
+    "let c = |buf: &mut Vec<u32>| { buf.clear(); buf.extend(xs.iter().map(|x| x + 1)); };\n",
+    "let d = format!(\"{:?}\", vec![1u32, 2, 3]);\n",
+    "let e = String::from(\"x\");\n",
+    "let f = xs.to_vec();\n",
+    "let g = Vec::<u32>::with_capacity(xs.len());\n",
+    "let h = xs.first().cloned();\n",
+    "let i = xs.iter().rev().collect::<Vec<_>>();\n",
+    "let j = Box::new(xs.len());\n",
+];
+
+/// Renders a function body from snippet indices, optionally wrapped in a
+/// loop over `xs`.
+fn h_body(picks: &[usize], looped: bool) -> String {
+    let stmts: String = picks
+        .iter()
+        .map(|&i| format!("        {}", H_SNIPPETS[i % H_SNIPPETS.len()]))
+        .collect();
+    if looped {
+        format!("    for _round in 0..2 {{\n{stmts}    }}\n")
+    } else {
+        stmts
+    }
+}
+
+/// Runs the H checker over `src` at a fixed path with `fns` declared hot.
+fn h_fire(src: &str, fns: &str) -> Vec<(&'static str, u32)> {
+    let hp = hotpath::parse(&format!(
+        "[hot]\n\"crates/core/src/hostile.rs\" = \"{fns}\"\n"
+    ))
+    .unwrap();
+    let mut out = Vec::new();
+    let mut used = BTreeSet::new();
+    hotpath::check_source(
+        &classify("crates/core/src/hostile.rs"),
+        &scan(src),
+        &hp,
+        &all_rules(),
+        &mut out,
+        &mut used,
+    );
+    out.into_iter().map(|v| (v.rule, v.line)).collect()
+}
+
+fn h_picks() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..H_SNIPPETS.len(), 0..8)
+}
+
+proptest! {
+    /// However allocation-dense the body, a function that is not declared
+    /// hot may never fire an H rule — the discipline is scoped by
+    /// hotpath.toml, not by syntax.
+    #[test]
+    fn h_rules_never_fire_outside_declared_hot_regions(
+        picks in h_picks(),
+        looped in any::<bool>(),
+    ) {
+        let src = format!(
+            "pub fn cold_fn(xs: &[u32], out: &mut Vec<u32>) {{\n{}}}\n",
+            h_body(&picks, looped)
+        );
+        let fired = h_fire(&src, "hot_fn");
+        prop_assert!(fired.is_empty(), "false firing {:?} in:\n{}", fired, src);
+    }
+
+    /// Inside a hot region, H1 is strictly a *loop-body* rule: the same
+    /// constructors outside any loop must not fire it (H2/H3 may).
+    #[test]
+    fn h1_only_fires_inside_loops(picks in h_picks()) {
+        let src = format!(
+            "pub fn hot_fn(xs: &[u32], out: &mut Vec<u32>) {{\n{}}}\n",
+            h_body(&picks, false)
+        );
+        let fired = h_fire(&src, "hot_fn");
+        prop_assert!(
+            fired.iter().all(|&(rule, _)| rule != "H1"),
+            "H1 outside a loop: {:?} in:\n{}",
+            fired,
+            src
+        );
+    }
+
+    /// The same body wrapped in a loop fires H1 for every allocation
+    /// constructor the snippets contain — closures and macro arguments do
+    /// not hide them.
+    #[test]
+    fn h1_fires_for_every_ctor_in_a_loop(picks in h_picks()) {
+        let src = format!(
+            "pub fn hot_fn(xs: &[u32], out: &mut Vec<u32>) {{\n{}}}\n",
+            h_body(&picks, true)
+        );
+        let fired = h_fire(&src, "hot_fn");
+        // Snippets with an H1 trigger: vec!/format! macros, Vec/String/Box
+        // constructors. (Index into H_SNIPPETS.)
+        let expected = picks
+            .iter()
+            .filter(|&&i| matches!(i % H_SNIPPETS.len(), 3 | 4 | 6 | 9))
+            .count();
+        let h1 = fired.iter().filter(|&&(rule, _)| rule == "H1").count();
+        // `format!("{:?}", vec![…])` is two constructors on one line.
+        let nested_vec = picks.iter().filter(|&&i| i % H_SNIPPETS.len() == 3).count();
+        prop_assert_eq!(h1, expected + nested_vec, "{:?} in:\n{}", fired, src);
+    }
+
+    /// Hot-region scanning must never panic on arbitrary text, declared
+    /// hot or not.
+    #[test]
+    fn h_checker_never_panics_on_arbitrary_text(
+        src in "[ -~\n\t]{0,400}",
+        names in proptest::collection::vec("[a-z_]{1,12}", 1..4),
+    ) {
+        let _ = h_fire(&src, &names.join(" "));
     }
 }
