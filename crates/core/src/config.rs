@@ -81,6 +81,16 @@ pub struct SegugioConfig {
     /// uses every available core; `Some(1)` forces the exact serial path.
     /// Output is bit-for-bit identical at every setting.
     pub parallelism: Option<usize>,
+    /// When set, from-scratch snapshot builds accumulate the day's query
+    /// edges in fixed-capacity sorted runs of this many observations
+    /// (spilled to a scratch file past the cap) and build the CSR via the
+    /// streamed counting-sort merge ([`GraphBuilder::from_runs`]
+    /// (segugio_graph::GraphBuilder::from_runs)) instead of the in-memory
+    /// builder. Output is bit-for-bit identical; the knob only bounds the
+    /// build's peak memory by the run capacity instead of the day's edge
+    /// count. `None` keeps the in-memory path. A scratch-file I/O failure
+    /// falls back to the in-memory builder.
+    pub chunk_run_capacity: Option<usize>,
     /// Whether multi-day drivers ([`Tracker`](crate::Tracker)) carry state
     /// from day to day — delta-built graphs, a rolling abuse index, and a
     /// dirty-set feature cache — instead of rebuilding everything from
@@ -103,6 +113,7 @@ impl Default for SegugioConfig {
             feature_columns: None,
             probe_filter: None,
             parallelism: None,
+            chunk_run_capacity: None,
             incremental: true,
             health: HealthPolicy::default(),
         }

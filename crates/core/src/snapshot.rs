@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use segugio_graph::labeling::apply_labels_with;
-use segugio_graph::{BehaviorGraph, GraphBuilder, PruneStats};
+use segugio_graph::{BehaviorGraph, EdgeRuns, GraphBuilder, PruneStats};
 use segugio_model::{Blacklist, Day, DomainId, DomainTable, Ipv4, Label, MachineId, Whitelist};
 use segugio_pdns::{AbuseIndex, PassiveDns};
 
@@ -82,6 +82,41 @@ impl DaySnapshot {
     /// pruning, and the abuse index.
     pub fn build(input: &SnapshotInput<'_>, config: &SegugioConfig) -> Self {
         let graph = build_unpruned_graph(input, config);
+        Self::from_unpruned_graph(graph, input, config)
+    }
+
+    /// Builds the snapshot from an already-accumulated chunk-run edge set
+    /// via the streamed counting-sort CSR path, without ever materializing
+    /// the day's edges in one buffer. `input.queries` is ignored (it may be
+    /// empty); the query edges come from `runs`.
+    ///
+    /// Bit-for-bit identical to [`build`](Self::build) over the same edge
+    /// set; peak memory is bounded by the run capacity, not the edge count.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from re-reading runs spilled to the scratch
+    /// file.
+    pub fn build_from_runs(
+        input: &SnapshotInput<'_>,
+        runs: &EdgeRuns,
+        config: &SegugioConfig,
+    ) -> std::io::Result<Self> {
+        let graph = GraphBuilder::from_runs(input.day, runs, input.resolutions, |d| {
+            input.table.e2ld_of(d)
+        })?;
+        Ok(Self::from_unpruned_graph(graph, input, config))
+    }
+
+    /// Finishes a snapshot around an unpruned graph built elsewhere (the
+    /// chunked path above, or a caller streaming its own accumulation):
+    /// abuse index, labeling, optional probe filter, and pruning — shared
+    /// verbatim with [`build`](Self::build).
+    pub fn from_unpruned_graph(
+        graph: BehaviorGraph,
+        input: &SnapshotInput<'_>,
+        config: &SegugioConfig,
+    ) -> Self {
         // IP-abuse index over the W days preceding the snapshot day,
         // labeled with the same (hidden-aware) seed labels.
         let window = input
@@ -99,6 +134,18 @@ pub(crate) fn build_unpruned_graph(
     input: &SnapshotInput<'_>,
     config: &SegugioConfig,
 ) -> BehaviorGraph {
+    if let Some(capacity) = config.chunk_run_capacity {
+        let mut runs = EdgeRuns::with_run_capacity(capacity);
+        runs.extend(input.queries.iter().copied());
+        let built = GraphBuilder::from_runs(input.day, &runs, input.resolutions, |d| {
+            input.table.e2ld_of(d)
+        });
+        if let Ok(graph) = built {
+            return graph;
+        }
+        // Scratch-file I/O failed; the queries are still resident in
+        // `input`, so the in-memory path below is an exact fallback.
+    }
     let mut builder = GraphBuilder::new(input.day);
     builder.set_parallelism(config.effective_parallelism());
     builder.add_queries(input.queries.iter().copied());
@@ -262,6 +309,67 @@ mod tests {
             "prober removed"
         );
         assert!(snap.graph.machine_idx(MachineId(1)).is_some());
+    }
+
+    #[test]
+    fn chunked_paths_match_in_memory_build() {
+        let (table, ids) = table_with(&["evil.example", "www.good.example", "other.example"]);
+        let mut blacklist = Blacklist::new();
+        blacklist.insert(ids[0], Day(0));
+        let mut whitelist = Whitelist::new();
+        whitelist.insert(table.e2ld_of(ids[1]));
+        let pdns = PassiveDns::new();
+        let mut queries = Vec::new();
+        for m in 0..6u32 {
+            for d in &ids {
+                queries.push((MachineId(m), *d));
+            }
+        }
+        let resolutions: Vec<(DomainId, Vec<Ipv4>)> = ids
+            .iter()
+            .map(|&d| (d, vec![Ipv4::from_octets(10, 0, 0, d.0 as u8)]))
+            .collect();
+        let input = SnapshotInput {
+            day: Day(3),
+            queries: &queries,
+            resolutions: &resolutions,
+            table: &table,
+            pdns: &pdns,
+            blacklist: &blacklist,
+            whitelist: &whitelist,
+            hidden: None,
+        };
+        let mut config = SegugioConfig::default();
+        config.prune.min_machine_degree = 2;
+        config.prune.popular_fraction = 2.0;
+        let reference = DaySnapshot::build(&input, &config);
+
+        // Capacity 4 forces several sealed (spilled) runs out of 18 edges.
+        let chunked = SegugioConfig {
+            chunk_run_capacity: Some(4),
+            ..config.clone()
+        };
+        let via_config = DaySnapshot::build(&input, &chunked);
+
+        let mut runs = EdgeRuns::with_run_capacity(4);
+        runs.extend(queries.iter().copied());
+        let empty_queries = SnapshotInput {
+            queries: &[],
+            ..input
+        };
+        let via_runs = DaySnapshot::build_from_runs(&empty_queries, &runs, &config).unwrap();
+
+        for snap in [&via_config, &via_runs] {
+            assert_eq!(
+                format!("{:?}", reference.graph),
+                format!("{:?}", snap.graph)
+            );
+            assert_eq!(reference.unpruned_counts, snap.unpruned_counts);
+            assert_eq!(
+                format!("{:?}", reference.prune_stats),
+                format!("{:?}", snap.prune_stats)
+            );
+        }
     }
 
     #[test]

@@ -250,15 +250,20 @@ impl GraphBuilder {
             .iter()
             .map(|d| self.e2ld.get(d).copied().unwrap_or(E2ldId(d.0)))
             .collect();
-        let domain_ips: Vec<Box<[Ipv4]>> = domains
-            .iter()
-            .map(|d| {
-                let mut ips = self.ips.remove(d).unwrap_or_default();
+        // Flat IP annotation pool: per-domain sorted deduped segments,
+        // delimited by `ip_off` (one backing allocation instead of one
+        // boxed slice per domain).
+        let mut ip_off: Vec<u32> = Vec::with_capacity(domains.len() + 1);
+        ip_off.push(0);
+        let mut ip_pool: Vec<Ipv4> = Vec::new();
+        for d in &domains {
+            if let Some(mut ips) = self.ips.remove(d) {
                 ips.sort_unstable();
                 ips.dedup();
-                ips.into_boxed_slice()
-            })
-            .collect();
+                ip_pool.extend_from_slice(&ips);
+            }
+            ip_off.push(ip_pool.len() as u32);
+        }
 
         let n_m = machines.len();
         let n_d = domains.len();
@@ -267,7 +272,8 @@ impl GraphBuilder {
             machines,
             domains,
             domain_e2ld,
-            domain_ips,
+            ip_off,
+            ip_pool,
             m_off,
             m_adj,
             d_off,
@@ -283,6 +289,155 @@ impl GraphBuilder {
             unreachable!("builder produced an invalid graph: {violation}");
         }
         graph
+    }
+
+    /// Builds a graph by streaming the merged edge runs twice — a
+    /// counting-sort CSR construction for paper-scale days.
+    ///
+    /// Where [`build`](Self::build) sorts one giant edge `Vec` and keys two
+    /// `HashMap`s for index assignment, this path replays the
+    /// already-sorted [`EdgeRuns`] stream: pass one counts per-raw-id
+    /// degrees (dense index assignment and both offset arrays fall out of a
+    /// prefix sum), pass two scatters both adjacency arrays directly —
+    /// per-node lists arrive ascending by construction, so no sort and no
+    /// hash lookups happen at all. Peak memory is the output CSR plus two
+    /// `max_raw_id`-sized counting arrays, never the full edge list.
+    ///
+    /// `e2ld_of` must return the annotation for every queried domain —
+    /// including the [sentinel](GraphBuilder) `E2ldId(d.0)` for domains the
+    /// equivalent in-memory builder would leave unannotated — and
+    /// `resolutions` the same `(domain, ips)` pairs that would have gone
+    /// through [`add_resolution`](Self::add_resolution). Under that
+    /// contract the output is bit-for-bit identical to [`build`](Self::build)
+    /// on the same observations (pinned by the crate's parity proptests).
+    ///
+    /// Errors surface only from replaying spilled runs; the accumulator is
+    /// untouched, so callers with the edge list still in memory can fall
+    /// back to the in-memory builder.
+    pub fn from_runs<F>(
+        day: Day,
+        runs: &crate::EdgeRuns,
+        resolutions: &[(DomainId, Vec<Ipv4>)],
+        e2ld_of: F,
+    ) -> std::io::Result<BehaviorGraph>
+    where
+        F: Fn(DomainId) -> E2ldId,
+    {
+        let Some((max_m, max_d)) = runs.max_ids() else {
+            return Ok(GraphBuilder::new(day).build());
+        };
+
+        // Pass 1: per-raw-id degrees over the merged deduplicated stream.
+        let mut m_deg = vec![0u32; max_m as usize + 1];
+        let mut d_deg = vec![0u32; max_d as usize + 1];
+        let mut edges = 0usize;
+        runs.for_each_merged(|m, d| {
+            m_deg[m.0 as usize] += 1;
+            d_deg[d.0 as usize] += 1;
+            edges += 1;
+        })?;
+
+        // Dense index assignment in ascending raw-id order (exactly the
+        // sorted order the in-memory builder produces) and CSR offsets by
+        // prefix sum over the counted degrees.
+        let mut machines: Vec<MachineId> = Vec::new();
+        let mut m_off: Vec<u32> = Vec::new();
+        m_off.push(0);
+        let mut m_total = 0u32;
+        for (raw, &deg) in m_deg.iter().enumerate() {
+            if deg > 0 {
+                machines.push(MachineId(raw as u32));
+                m_total += deg;
+                m_off.push(m_total);
+            }
+        }
+        // The domain degree array is reused as raw-id -> dense-rank map.
+        let mut domains: Vec<DomainId> = Vec::new();
+        let mut d_off: Vec<u32> = Vec::new();
+        d_off.push(0);
+        let mut d_rank = d_deg;
+        let mut d_total = 0u32;
+        for (raw, slot) in d_rank.iter_mut().enumerate() {
+            let deg = *slot;
+            if deg > 0 {
+                *slot = domains.len() as u32;
+                domains.push(DomainId(raw as u32));
+                d_total += deg;
+                d_off.push(d_total);
+            } else {
+                *slot = u32::MAX;
+            }
+        }
+
+        // Pass 2: scatter both adjacency arrays. The stream ascends by
+        // (machine, domain), so the machine adjacency is filled in place
+        // ascending, and every domain's machine list receives ascending
+        // ranks — no per-node sort needed.
+        let mut m_adj = vec![0u32; edges];
+        let mut d_adj = vec![0u32; edges];
+        let mut cursor: Vec<u32> = Vec::with_capacity(domains.len());
+        cursor.extend_from_slice(&d_off[..domains.len()]);
+        let mut pos = 0usize;
+        let mut m_rank = 0usize;
+        runs.for_each_merged(|m, d| {
+            while machines[m_rank] != m {
+                m_rank += 1;
+            }
+            let dr = d_rank[d.0 as usize] as usize;
+            m_adj[pos] = dr as u32;
+            pos += 1;
+            d_adj[cursor[dr] as usize] = m_rank as u32;
+            cursor[dr] += 1;
+        })?;
+
+        // Annotations, identical to the in-memory builder's sort+dedup.
+        let domain_e2ld: Vec<E2ldId> = domains.iter().map(|&d| e2ld_of(d)).collect();
+        let mut pairs: Vec<(DomainId, Ipv4)> = Vec::new();
+        for (d, ips) in resolutions {
+            // segugio-lint: allow(D1, ips is a Vec from the resolutions slice — deterministic order, and pairs are sorted below anyway)
+            for &ip in ips {
+                pairs.push((*d, ip));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut ip_off: Vec<u32> = Vec::with_capacity(domains.len() + 1);
+        ip_off.push(0);
+        let mut ip_pool: Vec<Ipv4> = Vec::with_capacity(pairs.len());
+        let mut pc = 0usize;
+        for &d in &domains {
+            while pc < pairs.len() && pairs[pc].0 < d {
+                pc += 1;
+            }
+            while pc < pairs.len() && pairs[pc].0 == d {
+                ip_pool.push(pairs[pc].1);
+                pc += 1;
+            }
+            ip_off.push(ip_pool.len() as u32);
+        }
+
+        let n_m = machines.len();
+        let n_d = domains.len();
+        let graph = BehaviorGraph {
+            day,
+            machines,
+            domains,
+            domain_e2ld,
+            ip_off,
+            ip_pool,
+            m_off,
+            m_adj,
+            d_off,
+            d_adj,
+            domain_labels: vec![Label::Unknown; n_d],
+            machine_labels: vec![Label::Unknown; n_m],
+            machine_malware_degree: vec![0; n_m],
+        };
+        #[cfg(debug_assertions)]
+        if let Err(violation) = graph.validate() {
+            unreachable!("streamed builder produced an invalid graph: {violation}");
+        }
+        Ok(graph)
     }
 }
 
@@ -326,5 +481,123 @@ mod tests {
         assert_eq!(g.domain_e2ld(d2), E2ldId(77));
         // Sentinel e2LD for unannotated domain.
         assert_eq!(g.domain_e2ld(d3), E2ldId(3));
+    }
+
+    /// Every stored field must match — the from_runs parity contract is
+    /// bit-for-bit, not just observational.
+    fn assert_identical(a: &BehaviorGraph, b: &BehaviorGraph) {
+        assert_eq!(a.day, b.day);
+        assert_eq!(a.machines, b.machines);
+        assert_eq!(a.domains, b.domains);
+        assert_eq!(a.domain_e2ld, b.domain_e2ld);
+        assert_eq!(a.ip_off, b.ip_off);
+        assert_eq!(a.ip_pool, b.ip_pool);
+        assert_eq!(a.m_off, b.m_off);
+        assert_eq!(a.m_adj, b.m_adj);
+        assert_eq!(a.d_off, b.d_off);
+        assert_eq!(a.d_adj, b.d_adj);
+        assert_eq!(a.domain_labels, b.domain_labels);
+        assert_eq!(a.machine_labels, b.machine_labels);
+        assert_eq!(a.machine_malware_degree, b.machine_malware_degree);
+    }
+
+    /// Builds the same observations through the in-memory builder and the
+    /// streamed run path (at `run_capacity`, tiny values forcing spill)
+    /// and checks bit-for-bit identity plus structural validity.
+    fn check_from_runs_parity(
+        queries: &[(MachineId, DomainId)],
+        resolutions: &[(DomainId, Vec<Ipv4>)],
+        e2ld: &[(DomainId, E2ldId)],
+        run_capacity: usize,
+    ) {
+        let mut b = GraphBuilder::new(Day(3));
+        b.add_queries(queries.iter().copied());
+        for (d, ips) in resolutions {
+            for &ip in ips {
+                b.add_resolution(*d, ip);
+            }
+        }
+        for &(d, e) in e2ld {
+            b.set_e2ld(d, e);
+        }
+        let reference = b.build();
+
+        let mut runs = crate::EdgeRuns::with_run_capacity(run_capacity);
+        runs.extend(queries.iter().copied());
+        // Last entry wins, mirroring repeated `set_e2ld` overwrites.
+        let streamed = GraphBuilder::from_runs(Day(3), &runs, resolutions, |d| {
+            e2ld.iter()
+                .rev()
+                .find(|&&(dd, _)| dd == d)
+                .map(|&(_, e)| e)
+                .unwrap_or(E2ldId(d.0))
+        })
+        .expect("in-memory or spilled replay must succeed");
+        streamed.validate().expect("streamed graph must validate");
+        assert_identical(&reference, &streamed);
+    }
+
+    #[test]
+    fn from_runs_matches_build_on_handwritten_day() {
+        let ip = |a: u8| Ipv4::from_octets(10, 0, 0, a);
+        let queries = [
+            (MachineId(7), DomainId(2)),
+            (MachineId(1), DomainId(9)),
+            (MachineId(7), DomainId(2)), // duplicate
+            (MachineId(1), DomainId(2)),
+            (MachineId(3), DomainId(40)),
+            (MachineId(7), DomainId(9)),
+        ];
+        let resolutions = vec![
+            (DomainId(2), vec![ip(4), ip(1), ip(4)]),
+            (DomainId(9), vec![ip(9)]),
+            (DomainId(77), vec![ip(5)]), // never queried: dropped by both
+        ];
+        let e2ld = [(DomainId(2), E2ldId(100)), (DomainId(9), E2ldId(100))];
+        // Capacity 2 forces several sealed (spilled) runs; a huge capacity
+        // exercises the single-open-run path.
+        for cap in [2, 1 << 20] {
+            check_from_runs_parity(&queries, &resolutions, &e2ld, cap);
+        }
+    }
+
+    #[test]
+    fn from_runs_empty_is_empty() {
+        let runs = crate::EdgeRuns::new();
+        let g = GraphBuilder::from_runs(Day(8), &runs, &[], |d| E2ldId(d.0)).expect("empty");
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.day(), Day(8));
+        g.validate().expect("empty graph validates");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random edge sets, annotations and run capacities (1..8 forces
+        /// heavy spilling): the streamed counting-sort path must be
+        /// bit-for-bit identical to the in-memory builder and always
+        /// structurally valid.
+        #[test]
+        #[cfg_attr(miri, ignore = "spill-file proptest volume is too slow under Miri")]
+        fn from_runs_always_matches_build(
+            queries in proptest::collection::vec((0u32..24, 0u32..32), 0..200),
+            resolved in proptest::collection::vec((0u32..40, proptest::collection::vec(0u32..50, 0..4)), 0..12),
+            e2lds in proptest::collection::vec((0u32..32, 0u32..6), 0..10),
+            run_capacity in 1usize..8,
+        ) {
+            let queries: Vec<(MachineId, DomainId)> = queries
+                .into_iter()
+                .map(|(m, d)| (MachineId(m), DomainId(d)))
+                .collect();
+            let resolutions: Vec<(DomainId, Vec<Ipv4>)> = resolved
+                .into_iter()
+                .map(|(d, ips)| (DomainId(d), ips.into_iter().map(Ipv4).collect()))
+                .collect();
+            let e2ld: Vec<(DomainId, E2ldId)> = e2lds
+                .into_iter()
+                .map(|(d, e)| (DomainId(d), E2ldId(e)))
+                .collect();
+            check_from_runs_parity(&queries, &resolutions, &e2ld, run_capacity);
+        }
     }
 }

@@ -63,6 +63,24 @@ struct DeltaScratch {
     pairs: Vec<(DomainId, Ipv4)>,
     /// Per-domain scatter cursor for the domain-CSR fill.
     cursor: Vec<u32>,
+    /// Surviving-edge degree per old machine / domain (step 2).
+    kept_m_deg: Vec<u32>,
+    kept_d_deg: Vec<u32>,
+    /// Added-edge degree per old machine / domain (step 3).
+    add_m_deg: Vec<u32>,
+    add_d_deg: Vec<u32>,
+    /// Machines / `(domain, degree)` pairs appearing for the first time
+    /// today (step 3).
+    new_machines: Vec<MachineId>,
+    new_domains: Vec<(DomainId, u32)>,
+    /// Old→next domain index remap, `u32::MAX` for dropped domains
+    /// (step 4).
+    remap_d: Vec<u32>,
+    /// Per next machine: its index in yesterday's machine list, or
+    /// `u32::MAX` when new (step 4).
+    m_prev_idx: Vec<u32>,
+    /// Merged (surviving + added) degree per next domain (step 4).
+    d_deg_next: Vec<u32>,
 }
 
 impl DeltaBuilder {
@@ -131,8 +149,12 @@ impl DeltaBuilder {
         added.dedup();
 
         // 2. Surviving-edge degrees per old node.
-        let mut kept_m_deg = vec![0u32; nm];
-        let mut kept_d_deg = vec![0u32; nd];
+        let kept_m_deg = &mut scratch.kept_m_deg;
+        kept_m_deg.clear();
+        kept_m_deg.resize(nm, 0);
+        let kept_d_deg = &mut scratch.kept_d_deg;
+        kept_d_deg.clear();
+        kept_d_deg.resize(nd, 0);
         let mut kept_edges = 0usize;
         for (mi, deg) in kept_m_deg.iter_mut().enumerate() {
             for pos in prev.m_off[mi] as usize..prev.m_off[mi + 1] as usize {
@@ -147,8 +169,11 @@ impl DeltaBuilder {
         // 3. Added-edge degrees, split between old nodes and brand-new ones.
         //    `added` is sorted by machine, so machine runs are contiguous and
         //    `new_machines` comes out sorted.
-        let mut add_m_deg = vec![0u32; nm];
-        let mut new_machines: Vec<MachineId> = Vec::new();
+        let add_m_deg = &mut scratch.add_m_deg;
+        add_m_deg.clear();
+        add_m_deg.resize(nm, 0);
+        let new_machines = &mut scratch.new_machines;
+        new_machines.clear();
         let mut i = 0;
         while i < added.len() {
             let m = added[i].0;
@@ -166,8 +191,11 @@ impl DeltaBuilder {
         add_domains.clear();
         add_domains.extend(added.iter().map(|&(_, d)| d));
         add_domains.sort_unstable();
-        let mut add_d_deg = vec![0u32; nd];
-        let mut new_domains: Vec<(DomainId, u32)> = Vec::new();
+        let add_d_deg = &mut scratch.add_d_deg;
+        add_d_deg.clear();
+        add_d_deg.resize(nd, 0);
+        let new_domains = &mut scratch.new_domains;
+        new_domains.clear();
         let mut i = 0;
         while i < add_domains.len() {
             let d = add_domains[i];
@@ -189,7 +217,8 @@ impl DeltaBuilder {
         let mut machines_next: Vec<MachineId> = Vec::with_capacity(nm + new_machines.len());
         // For each next machine: its index in `prev.machines`, or u32::MAX
         // if it is new today.
-        let mut m_prev_idx: Vec<u32> = Vec::with_capacity(nm + new_machines.len());
+        let m_prev_idx = &mut scratch.m_prev_idx;
+        m_prev_idx.clear();
         let (mut pi, mut ni) = (0usize, 0usize);
         while pi < nm || ni < new_machines.len() {
             let take_prev =
@@ -208,9 +237,12 @@ impl DeltaBuilder {
         }
 
         let mut domains_next: Vec<DomainId> = Vec::with_capacity(nd + new_domains.len());
-        let mut remap_d: Vec<u32> = vec![u32::MAX; nd];
+        let remap_d = &mut scratch.remap_d;
+        remap_d.clear();
+        remap_d.resize(nd, u32::MAX);
         // Degree of each next domain (surviving + added edges).
-        let mut d_deg_next: Vec<u32> = Vec::with_capacity(nd + new_domains.len());
+        let d_deg_next = &mut scratch.d_deg_next;
+        d_deg_next.clear();
         let (mut pi, mut ni) = (0usize, 0usize);
         while pi < nd || ni < new_domains.len() {
             let take_prev =
@@ -323,18 +355,19 @@ impl DeltaBuilder {
         );
         pairs.sort_unstable();
         pairs.dedup();
-        let mut domain_ips: Vec<Box<[Ipv4]>> = Vec::with_capacity(domains_next.len());
+        let mut ip_off: Vec<u32> = Vec::with_capacity(domains_next.len() + 1);
+        ip_off.push(0);
+        let mut ip_pool: Vec<Ipv4> = Vec::with_capacity(pairs.len());
         let mut pc = 0usize;
         for &d in &domains_next {
             while pc < pairs.len() && pairs[pc].0 < d {
                 pc += 1;
             }
-            let start = pc;
             while pc < pairs.len() && pairs[pc].0 == d {
+                ip_pool.push(pairs[pc].1);
                 pc += 1;
             }
-            // segugio-lint: allow(H3, each per-domain IP box is owned by the returned graph — output, not scratch)
-            domain_ips.push(pairs[start..pc].iter().map(|&(_, ip)| ip).collect());
+            ip_off.push(ip_pool.len() as u32);
         }
         // segugio-lint: allow(H3, the e2ld column moves into the returned graph — one exact-size output allocation)
         let domain_e2ld: Vec<E2ldId> = domains_next.iter().map(|&d| e2ld_of(d)).collect();
@@ -346,7 +379,8 @@ impl DeltaBuilder {
             machines: machines_next,
             domains: domains_next,
             domain_e2ld,
-            domain_ips,
+            ip_off,
+            ip_pool,
             m_off: m_off_next,
             m_adj: m_adj_next,
             d_off: d_off_next,
@@ -396,7 +430,8 @@ mod tests {
         assert_eq!(a.machines, b.machines);
         assert_eq!(a.domains, b.domains);
         assert_eq!(a.domain_e2ld, b.domain_e2ld);
-        assert_eq!(a.domain_ips, b.domain_ips);
+        assert_eq!(a.ip_off, b.ip_off);
+        assert_eq!(a.ip_pool, b.ip_pool);
         assert_eq!(a.m_off, b.m_off);
         assert_eq!(a.m_adj, b.m_adj);
         assert_eq!(a.d_off, b.d_off);

@@ -36,9 +36,14 @@ pub struct BehaviorGraph {
     // External identities, one per internal index.
     pub(crate) machines: Vec<MachineId>,
     pub(crate) domains: Vec<DomainId>,
-    // Domain annotations.
+    // Domain annotations. The resolved-IP sets live in one flat pool
+    // (`ip_pool`) with per-domain segment boundaries in `ip_off` — the
+    // same offsets-into-flat-storage shape as the CSR adjacency, so a
+    // million-domain graph costs two allocations here instead of one
+    // boxed slice per domain.
     pub(crate) domain_e2ld: Vec<E2ldId>,
-    pub(crate) domain_ips: Vec<Box<[Ipv4]>>,
+    pub(crate) ip_off: Vec<u32>,
+    pub(crate) ip_pool: Vec<Ipv4>,
     // CSR adjacency, machine -> domains.
     pub(crate) m_off: Vec<u32>,
     pub(crate) m_adj: Vec<u32>,
@@ -117,7 +122,9 @@ impl BehaviorGraph {
     /// The resolved-IP annotation of domain `d` (the IPs it mapped to during
     /// the observation day).
     pub fn domain_ips(&self, d: DomainIdx) -> &[Ipv4] {
-        &self.domain_ips[d.index()]
+        let lo = self.ip_off[d.index()] as usize;
+        let hi = self.ip_off[d.index() + 1] as usize;
+        &self.ip_pool[lo..hi]
     }
 
     /// The domains queried by machine `m`.

@@ -14,6 +14,9 @@
 //! - [`DeltaBuilder`] — day-over-day incremental construction that reuses
 //!   the previous day's sorted structure, bit-for-bit equal to a scratch
 //!   build;
+//! - [`EdgeRuns`] — bounded-memory edge accumulation in fixed-capacity
+//!   sorted runs (disk-spillable), consumed by the streamed counting-sort
+//!   builder [`GraphBuilder::from_runs`] for paper-scale days;
 //! - [`labeling`] — seed-label application and machine-label propagation;
 //! - [`pruning`] — the conservative filtering rules R1–R4 with the paper's
 //!   two exceptions (infected machines survive R1; known malware domains
@@ -28,6 +31,7 @@ pub mod graph;
 pub mod hiding;
 pub mod labeling;
 pub mod pruning;
+pub mod runs;
 pub mod stats;
 pub mod validate;
 
@@ -36,4 +40,5 @@ pub use delta::DeltaBuilder;
 pub use graph::{BehaviorGraph, DomainIdx, MachineIdx};
 pub use hiding::HiddenLabelView;
 pub use pruning::{PruneConfig, PruneStats};
+pub use runs::{EdgeRuns, DEFAULT_RUN_CAPACITY};
 pub use stats::{DegreeSummary, GraphStats};

@@ -11,11 +11,8 @@
 //!   `popular_fraction` of all machines in the network (θ_m): such
 //!   very-popular domains are overwhelmingly unlikely to be malware-control.
 
-use std::collections::HashMap;
+use segugio_model::{Ipv4, Label, MachineId};
 
-use segugio_model::Label;
-
-use crate::builder::GraphBuilder;
 use crate::graph::BehaviorGraph;
 use crate::labeling;
 
@@ -143,32 +140,44 @@ impl BehaviorGraph {
             })
             .collect();
 
-        // R4: distinct kept machines per e2LD.
+        // R4: distinct kept machines per e2LD. Domains are grouped by
+        // sorting `(e2ld, domain)` pairs — no hash maps — and each group's
+        // kept queriers are gathered into one reusable buffer that is
+        // sorted + deduped to count distinct machines.
         let theta_m = ((self.machine_count() as f64) * config.popular_fraction).ceil() as usize;
         stats.theta_m = theta_m;
-        let mut e2ld_machines: HashMap<u32, Vec<u32>> = HashMap::new();
-        for di in 0..self.domain_count() {
-            let e = self.domain_e2ld[di].0;
-            let lo = self.d_off[di] as usize;
-            let hi = self.d_off[di + 1] as usize;
-            e2ld_machines.entry(e).or_default().extend(
-                self.d_adj[lo..hi]
-                    .iter()
-                    .filter(|&&m| keep_machine[m as usize]),
-            );
-        }
-        let popular_e2ld: std::collections::HashSet<u32> = e2ld_machines
-            .into_iter()
-            .filter_map(|(e, mut ms)| {
-                ms.sort_unstable();
-                ms.dedup();
-                (ms.len() >= theta_m && theta_m > 0).then_some(e)
-            })
+        let mut by_e2ld: Vec<(u32, u32)> = (0..self.domain_count() as u32)
+            .map(|di| (self.domain_e2ld[di as usize].0, di))
             .collect();
+        by_e2ld.sort_unstable();
+        let mut group: Vec<u32> = Vec::new();
+        // Ascending, so membership below is a binary search.
+        let mut popular_e2ld: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        while i < by_e2ld.len() {
+            let e = by_e2ld[i].0;
+            group.clear();
+            while i < by_e2ld.len() && by_e2ld[i].0 == e {
+                let di = by_e2ld[i].1 as usize;
+                let lo = self.d_off[di] as usize;
+                let hi = self.d_off[di + 1] as usize;
+                for &m in &self.d_adj[lo..hi] {
+                    if keep_machine[m as usize] {
+                        group.push(m);
+                    }
+                }
+                i += 1;
+            }
+            group.sort_unstable();
+            group.dedup();
+            if group.len() >= theta_m && theta_m > 0 {
+                popular_e2ld.push(e);
+            }
+        }
 
         let mut keep_domain = vec![true; self.domain_count()];
         for (di, keep) in keep_domain.iter_mut().enumerate() {
-            if popular_e2ld.contains(&self.domain_e2ld[di].0) {
+            if popular_e2ld.binary_search(&self.domain_e2ld[di].0).is_ok() {
                 *keep = false;
                 stats.r4_popular_domains += 1;
             } else if kept_domain_degree[di] <= 1 && self.domain_labels[di] != Label::Malware {
@@ -181,41 +190,9 @@ impl BehaviorGraph {
             }
         }
 
-        // Rebuild the graph from surviving edges.
-        let mut builder = GraphBuilder::new(self.day);
-        for (mi, &keep) in keep_machine.iter().enumerate() {
-            if !keep {
-                continue;
-            }
-            let lo = self.m_off[mi] as usize;
-            let hi = self.m_off[mi + 1] as usize;
-            for &di in &self.m_adj[lo..hi] {
-                if keep_domain[di as usize] {
-                    builder.add_query(self.machines[mi], self.domains[di as usize]);
-                }
-            }
-        }
-        for (di, &keep) in keep_domain.iter().enumerate() {
-            if keep {
-                let id = self.domains[di];
-                builder.set_e2ld(id, self.domain_e2ld[di]);
-                for &ip in self.domain_ips[di].iter() {
-                    builder.add_resolution(id, ip);
-                }
-            }
-        }
-        let mut pruned = builder.build();
-
-        // Preserve domain labels by external id, then re-propagate. Every
-        // pruned domain comes from the source graph, so the lookup cannot
-        // miss; a miss would leave the label Unknown, which validate() and
-        // the label-preservation tests would surface.
-        for i in 0..pruned.domains.len() {
-            if let Ok(old_idx) = self.domains.binary_search(&pruned.domains[i]) {
-                pruned.domain_labels[i] = self.domain_labels[old_idx];
-            }
-        }
-        labeling::propagate_machine_labels(&mut pruned);
+        // Extract the surviving subgraph directly from the CSR arrays
+        // (domain labels carried over, machine labels re-propagated).
+        let pruned = self.keep_subgraph(&keep_machine, &keep_domain);
 
         stats.machines_after = pruned.machine_count();
         stats.domains_after = pruned.domain_count();
@@ -243,34 +220,133 @@ impl BehaviorGraph {
         if removed == 0 {
             return (self.clone(), 0);
         }
-        let mut builder = GraphBuilder::new(self.day);
-        for (mi, &is_probing) in probing.iter().enumerate() {
-            if is_probing {
+        let keep_machine: Vec<bool> = probing.iter().map(|&p| !p).collect();
+        // Domains with no surviving querier are dropped by the extraction
+        // itself, so every domain can be nominally kept here.
+        let keep_domain = vec![true; self.domain_count()];
+        let filtered = self.keep_subgraph(&keep_machine, &keep_domain);
+        (filtered, removed)
+    }
+
+    /// Extracts the subgraph induced by the kept machines × kept domains,
+    /// dropping nodes left without a single surviving edge (the same node
+    /// universe a [`GraphBuilder`](crate::GraphBuilder) rebuild from the
+    /// surviving edge list would produce, without materializing that list
+    /// or re-sorting anything — both remaps are monotone, so every CSR
+    /// adjacency stays ascending by construction).
+    ///
+    /// Domain labels are carried over from `self`; machine labels and
+    /// malware degrees are re-propagated from the surviving structure.
+    fn keep_subgraph(&self, keep_machine: &[bool], keep_domain: &[bool]) -> BehaviorGraph {
+        let nm = self.machines.len();
+        let nd = self.domains.len();
+
+        // Surviving degree per node: edges with both endpoints kept.
+        let mut m_deg = vec![0u32; nm];
+        let mut d_deg = vec![0u32; nd];
+        for mi in 0..nm {
+            if !keep_machine[mi] {
                 continue;
             }
-            let lo = self.m_off[mi] as usize;
-            let hi = self.m_off[mi + 1] as usize;
-            for &di in &self.m_adj[lo..hi] {
-                builder.add_query(self.machines[mi], self.domains[di as usize]);
+            for pos in self.m_off[mi] as usize..self.m_off[mi + 1] as usize {
+                let di = self.m_adj[pos] as usize;
+                if keep_domain[di] {
+                    m_deg[mi] += 1;
+                    d_deg[di] += 1;
+                }
             }
         }
-        for di in 0..self.domain_count() {
-            let id = self.domains[di];
-            builder.set_e2ld(id, self.domain_e2ld[di]);
-            for &ip in self.domain_ips[di].iter() {
-                builder.add_resolution(id, ip);
+
+        // Dense remaps over nodes that kept at least one edge, plus both
+        // offset arrays by prefix sum.
+        let mut machines: Vec<MachineId> = Vec::new();
+        let mut m_remap: Vec<u32> = vec![u32::MAX; nm];
+        let mut m_off: Vec<u32> = Vec::new();
+        m_off.push(0);
+        let mut m_total = 0u32;
+        for (mi, &deg) in m_deg.iter().enumerate() {
+            if deg > 0 {
+                m_remap[mi] = machines.len() as u32;
+                machines.push(self.machines[mi]);
+                m_total += deg;
+                m_off.push(m_total);
             }
         }
-        let mut filtered = builder.build();
-        // Filtering only removes machines, so every surviving domain exists
-        // in the source graph and the lookup cannot miss.
-        for i in 0..filtered.domains.len() {
-            if let Ok(old_idx) = self.domains.binary_search(&filtered.domains[i]) {
-                filtered.domain_labels[i] = self.domain_labels[old_idx];
+        let mut domains = Vec::new();
+        let mut d_remap: Vec<u32> = vec![u32::MAX; nd];
+        let mut d_off: Vec<u32> = Vec::new();
+        d_off.push(0);
+        let mut domain_e2ld = Vec::new();
+        let mut domain_labels = Vec::new();
+        let mut ip_off: Vec<u32> = Vec::new();
+        ip_off.push(0);
+        let mut ip_pool: Vec<Ipv4> = Vec::new();
+        let mut d_total = 0u32;
+        for (di, &deg) in d_deg.iter().enumerate() {
+            if deg > 0 {
+                d_remap[di] = domains.len() as u32;
+                domains.push(self.domains[di]);
+                d_total += deg;
+                d_off.push(d_total);
+                domain_e2ld.push(self.domain_e2ld[di]);
+                domain_labels.push(self.domain_labels[di]);
+                let lo = self.ip_off[di] as usize;
+                let hi = self.ip_off[di + 1] as usize;
+                ip_pool.extend_from_slice(&self.ip_pool[lo..hi]);
+                ip_off.push(ip_pool.len() as u32);
             }
         }
-        labeling::propagate_machine_labels(&mut filtered);
-        (filtered, removed)
+
+        // Filter + remap both adjacency directions; each per-node list is
+        // an in-order subset remapped monotonically, hence still ascending.
+        let edges = m_total as usize;
+        let mut m_adj: Vec<u32> = Vec::with_capacity(edges);
+        for (mi, &remapped) in m_remap.iter().enumerate().take(nm) {
+            if remapped == u32::MAX {
+                continue;
+            }
+            for pos in self.m_off[mi] as usize..self.m_off[mi + 1] as usize {
+                let r = d_remap[self.m_adj[pos] as usize];
+                if r != u32::MAX {
+                    m_adj.push(r);
+                }
+            }
+        }
+        let mut d_adj: Vec<u32> = Vec::with_capacity(edges);
+        for (di, &remapped) in d_remap.iter().enumerate().take(nd) {
+            if remapped == u32::MAX {
+                continue;
+            }
+            for pos in self.d_off[di] as usize..self.d_off[di + 1] as usize {
+                let r = m_remap[self.d_adj[pos] as usize];
+                if r != u32::MAX {
+                    d_adj.push(r);
+                }
+            }
+        }
+
+        let n_m = machines.len();
+        let mut graph = BehaviorGraph {
+            day: self.day,
+            machines,
+            domains,
+            domain_e2ld,
+            ip_off,
+            ip_pool,
+            m_off,
+            m_adj,
+            d_off,
+            d_adj,
+            domain_labels,
+            machine_labels: vec![Label::Unknown; n_m],
+            machine_malware_degree: vec![0; n_m],
+        };
+        labeling::propagate_machine_labels(&mut graph);
+        #[cfg(debug_assertions)]
+        if let Err(violation) = graph.validate() {
+            unreachable!("subgraph extraction produced an invalid graph: {violation}");
+        }
+        graph
     }
 }
 

@@ -19,9 +19,10 @@ impl BehaviorGraph {
     ///
     /// - `machines` and `domains` are strictly ascending (binary-search
     ///   lookup and dense-index assignment depend on this);
-    /// - every annotation vector (`domain_e2ld`, `domain_ips`,
-    ///   `domain_labels`, `machine_labels`, `machine_malware_degree`) has
-    ///   exactly one entry per node;
+    /// - every annotation vector (`domain_e2ld`, `domain_labels`,
+    ///   `machine_labels`, `machine_malware_degree`) has exactly one entry
+    ///   per node, and the flat IP pool offsets (`ip_off`) have `n + 1`
+    ///   nondecreasing entries starting at 0 and ending at the pool length;
     /// - both CSR offset arrays have `n + 1` entries, start at 0, are
     ///   nondecreasing, and end at the edge count;
     /// - both adjacency arrays have the same length (each edge appears in
@@ -43,7 +44,20 @@ impl BehaviorGraph {
         check_strictly_ascending(&self.domains, "domains")?;
 
         check_len("domain_e2ld", self.domain_e2ld.len(), n_d)?;
-        check_len("domain_ips", self.domain_ips.len(), n_d)?;
+        check_len("ip_off", self.ip_off.len(), n_d + 1)?;
+        if self.ip_off.first() != Some(&0) {
+            return Err("ip_off must start at 0".to_owned());
+        }
+        if self.ip_off.windows(2).any(|w| w[0] > w[1]) {
+            return Err("ip_off offsets decrease".to_owned());
+        }
+        if self.ip_off.last().map(|&o| o as usize) != Some(self.ip_pool.len()) {
+            return Err(format!(
+                "last ip_off {:?} != ip_pool length {}",
+                self.ip_off.last(),
+                self.ip_pool.len()
+            ));
+        }
         check_len("domain_labels", self.domain_labels.len(), n_d)?;
         check_len("machine_labels", self.machine_labels.len(), n_m)?;
         check_len(
@@ -210,6 +224,19 @@ mod tests {
         g.domain_e2ld.pop();
         let err = g.validate().unwrap_err();
         assert!(err.contains("domain_e2ld"), "{err}");
+    }
+
+    #[test]
+    fn detects_ip_pool_corruption() {
+        let mut g = sample();
+        g.ip_off.pop();
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("ip_off"), "{err}");
+
+        let mut g = sample();
+        *g.ip_off.last_mut().unwrap() += 1;
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("ip_pool"), "{err}");
     }
 
     #[test]

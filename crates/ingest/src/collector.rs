@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read};
 
+use segugio_graph::EdgeRuns;
 use segugio_model::{Day, DomainId, DomainTable, Ipv4, MachineId};
 use segugio_pdns::{ActivityStore, PassiveDns};
 
@@ -12,11 +13,11 @@ use crate::parser::LogRecord;
 use crate::quarantine::{IngestStats, QuarantinePolicy};
 
 /// One ingested day, ready for `segugio_core::SnapshotInput`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IngestedDay {
-    /// `(machine, domain)` query observations.
+    /// `(machine, domain)` query observations, sorted and duplicate-free.
     pub queries: Vec<(MachineId, DomainId)>,
-    /// Per-domain resolved IPs observed that day.
+    /// Per-domain resolved IPs observed that day, duplicate-free per domain.
     pub resolutions: Vec<(DomainId, Vec<Ipv4>)>,
 }
 
@@ -34,19 +35,44 @@ pub struct LogCollector {
     machines: Vec<String>,
     machine_ids: HashMap<String, MachineId>,
     days: BTreeMap<u32, DayAccumulator>,
+    // `None` = [`EdgeRuns`] default capacity.
+    run_capacity: Option<usize>,
 }
 
 #[derive(Debug, Clone, Default)]
 struct DayAccumulator {
-    queries: Vec<(MachineId, DomainId)>,
+    // Fixed-capacity sorted runs, spilled to scratch above the cap, so a
+    // paper-scale day never holds all query observations in one `Vec`.
+    queries: EdgeRuns,
     // Ordered so `LogCollector::day` emits resolutions deterministically.
+    // IPs accumulate with duplicates and are deduped once at finalization
+    // (the old per-record `contains` scan was O(n²) per domain).
     resolutions: BTreeMap<DomainId, Vec<Ipv4>>,
+}
+
+impl DayAccumulator {
+    fn with_run_capacity(capacity: Option<usize>) -> Self {
+        Self {
+            queries: capacity.map_or_else(EdgeRuns::new, EdgeRuns::with_run_capacity),
+            resolutions: BTreeMap::new(),
+        }
+    }
 }
 
 impl LogCollector {
     /// Creates an empty collector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty collector whose per-day query accumulators seal
+    /// (and spill to a scratch file) every `capacity` observations,
+    /// bounding resident memory for arbitrarily large days.
+    pub fn with_run_capacity(capacity: usize) -> Self {
+        Self {
+            run_capacity: Some(capacity),
+            ..Self::default()
+        }
     }
 
     /// Ingests one parsed record.
@@ -58,15 +84,15 @@ impl LogCollector {
         for &ip in &record.ips {
             self.pdns.record(domain, ip, record.day);
         }
-        let acc = self.days.entry(record.day.0).or_default();
-        acc.queries.push((machine, domain));
+        let capacity = self.run_capacity;
+        let acc = self
+            .days
+            .entry(record.day.0)
+            .or_insert_with(|| DayAccumulator::with_run_capacity(capacity));
+        acc.queries.push(machine, domain);
         if !record.ips.is_empty() {
             let ips = acc.resolutions.entry(domain).or_default();
-            for &ip in &record.ips {
-                if !ips.contains(&ip) {
-                    ips.push(ip);
-                }
-            }
+            ips.extend_from_slice(&record.ips);
         }
     }
 
@@ -209,15 +235,45 @@ impl LogCollector {
     }
 
     /// The ingested traffic of `day`, if any, as snapshot-ready lists.
+    ///
+    /// Convenience wrapper over [`try_day`](Self::try_day) that also maps a
+    /// scratch-file read failure (possible only once a day has spilled past
+    /// the run capacity) to `None`; callers that must distinguish "no
+    /// traffic" from "scratch read failed" should use `try_day`.
     pub fn day(&self, day: Day) -> Option<IngestedDay> {
-        self.days.get(&day.0).map(|acc| IngestedDay {
-            queries: acc.queries.clone(),
-            resolutions: acc
-                .resolutions
-                .iter()
-                .map(|(&d, ips)| (d, ips.clone()))
-                .collect(),
-        })
+        self.try_day(day).ok().flatten()
+    }
+
+    /// The ingested traffic of `day`, if any, as snapshot-ready lists.
+    ///
+    /// Queries come back sorted and deduplicated (the downstream graph
+    /// builder deduplicates anyway, so nothing pipeline-visible is lost);
+    /// per-domain IP lists are deduplicated here, once, instead of per
+    /// ingested record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from re-reading query runs that were spilled
+    /// to the scratch file.
+    pub fn try_day(&self, day: Day) -> std::io::Result<Option<IngestedDay>> {
+        let Some(acc) = self.days.get(&day.0) else {
+            return Ok(None);
+        };
+        let queries = acc.queries.collect_merged()?;
+        let resolutions = acc
+            .resolutions
+            .iter()
+            .map(|(&d, ips)| {
+                let mut ips = ips.clone();
+                ips.sort_unstable();
+                ips.dedup();
+                (d, ips)
+            })
+            .collect();
+        Ok(Some(IngestedDay {
+            queries,
+            resolutions,
+        }))
     }
 }
 
@@ -263,6 +319,34 @@ mod tests {
         let (_, ips) = &d1.resolutions[0];
         assert_eq!(ips.len(), 2);
         assert!(c.day(Day(7)).is_none());
+    }
+
+    #[test]
+    fn duplicate_ips_are_deduped_at_finalization() {
+        let c = collected();
+        let d0 = c.day(Day(0)).unwrap();
+        // www.example.com resolved to the same IP in two records; the
+        // finalized list carries it once.
+        let www = c.table().get_str("www.example.com").unwrap();
+        let (_, ips) = d0.resolutions.iter().find(|(d, _)| *d == www).unwrap();
+        assert_eq!(ips, &vec![Ipv4::from_octets(93, 184, 216, 34)]);
+    }
+
+    #[test]
+    fn spilled_days_match_resident_days() {
+        // Capacity 2 forces day 0 (three observations) through the
+        // seal-and-spill path; output must be identical either way.
+        let mut resident = LogCollector::new();
+        let mut spilled = LogCollector::with_run_capacity(2);
+        resident.ingest_reader(SAMPLE.as_bytes()).unwrap();
+        spilled.ingest_reader(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(resident.days(), spilled.days());
+        for day in resident.days() {
+            assert_eq!(
+                resident.try_day(day).unwrap(),
+                spilled.try_day(day).unwrap()
+            );
+        }
     }
 
     #[test]

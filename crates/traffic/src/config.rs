@@ -220,6 +220,31 @@ impl IspConfig {
         }
     }
 
+    /// The paper's actual deployment scale: a ≥1M-machine day (ISP_1
+    /// observed 1.6M machines/day). A full day is tens of millions of query
+    /// events — generate it with
+    /// [`IspNetwork::next_day_streamed`](crate::IspNetwork::next_day_streamed)
+    /// so the events never sit in one buffer. Used by the `scale` bench.
+    pub fn paper(seed: u64) -> Self {
+        IspConfig {
+            name: "paper-1M".to_owned(),
+            machines: 1_000_000,
+            benign_e2lds: 60_000,
+            max_fqds_per_e2ld: 5,
+            tail_pool: 600_000,
+            tail_rate: 0.8,
+            median_daily_domains: 35.0,
+            families: 200,
+            infected_fraction: 0.02,
+            domains_per_family: 9,
+            mega_popular_e2lds: 6,
+            free_hosting_e2lds: 8,
+            favorites: (10, 80),
+            public_noise: 20,
+            ..IspConfig::tiny(seed)
+        }
+    }
+
     /// Expected number of infected machines.
     pub fn expected_infected(&self) -> usize {
         (self.machines as f64 * self.infected_fraction).round() as usize
@@ -236,9 +261,12 @@ mod tests {
         let s = IspConfig::small(1);
         let i1 = IspConfig::isp1(1);
         let i2 = IspConfig::isp2(1);
+        let p = IspConfig::paper(1);
         assert!(t.machines < s.machines);
         assert!(s.machines < i1.machines);
         assert!(i1.machines < i2.machines);
+        assert!(i2.machines < p.machines);
+        assert!(p.machines >= 1_000_000, "paper preset is the 1M-day scale");
     }
 
     #[test]

@@ -462,22 +462,82 @@ impl IspNetwork {
     /// Simulates the current day in full, returning its traffic, and
     /// advances the clock.
     pub fn next_day(&mut self) -> DayTraffic {
+        let mut queries: Vec<(MachineId, DomainId)> = Vec::new();
+        let (day, resolutions) =
+            self.next_day_streamed(usize::MAX, |chunk| queries.extend_from_slice(chunk));
+        DayTraffic {
+            day,
+            queries,
+            resolutions,
+        }
+    }
+
+    /// Simulates the current day in machine-chunks: every `chunk_machines`
+    /// machines, the query observations generated so far are handed to
+    /// `sink` and the buffer is reused, so a paper-scale day never holds all
+    /// query events at once — peak memory is the largest chunk, not the
+    /// day's query count. Returns the day and its resolutions (one entry
+    /// per distinct queried domain, ascending).
+    ///
+    /// The emitted query sequence, the resolutions, and every history-store
+    /// side effect are bit-for-bit identical to [`next_day`](Self::next_day)
+    /// at any chunk size — `next_day` is this method with one infinite
+    /// chunk.
+    pub fn next_day_streamed<F>(
+        &mut self,
+        chunk_machines: usize,
+        mut sink: F,
+    ) -> (Day, Vec<(DomainId, Vec<Ipv4>)>)
+    where
+        F: FnMut(&[(MachineId, DomainId)]),
+    {
         let day = self.today;
         self.family_lifecycles(day);
 
-        let mut queries: Vec<(MachineId, DomainId)> = Vec::new();
+        // Domains seen today, as a growable bitmap over DomainId (the tail
+        // generator interns fresh ids mid-day). Walking it ascending at the
+        // end reproduces `sort + dedup` over the full query log exactly.
+        let mut seen: Vec<bool> = Vec::new();
+        fn flush<F: FnMut(&[(MachineId, DomainId)])>(
+            chunk: &mut Vec<(MachineId, DomainId)>,
+            seen: &mut Vec<bool>,
+            sink: &mut F,
+        ) {
+            for &(_, d) in chunk.iter() {
+                let i = d.index();
+                if i >= seen.len() {
+                    seen.resize(i + 1, false);
+                }
+                seen[i] = true;
+            }
+            sink(chunk);
+            chunk.clear();
+        }
+
+        let chunk_machines = chunk_machines.max(1);
+        let mut chunk: Vec<(MachineId, DomainId)> = Vec::new();
+        let mut in_chunk = 0usize;
         for m in 0..self.machines.len() {
-            self.machine_day(m, day, &mut queries);
+            self.machine_day(m, day, &mut chunk);
+            in_chunk += 1;
+            if in_chunk == chunk_machines {
+                flush(&mut chunk, &mut seen, &mut sink);
+                in_chunk = 0;
+            }
+        }
+        if !chunk.is_empty() {
+            flush(&mut chunk, &mut seen, &mut sink);
         }
 
         // Record history and resolutions for every domain seen today plus
         // all alive control domains (their authoritative records exist even
         // on a day a victim happens to skip them).
         let mut resolutions: Vec<(DomainId, Vec<Ipv4>)> = Vec::new();
-        let mut seen: Vec<DomainId> = queries.iter().map(|&(_, d)| d).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        for d in seen {
+        for (i, &was_seen) in seen.iter().enumerate() {
+            if !was_seen {
+                continue;
+            }
+            let d = DomainId(i as u32);
             let ips = self.resolve(d);
             self.activity.record(d, self.table.e2ld_of(d), day);
             for &ip in &ips {
@@ -498,11 +558,7 @@ impl IspNetwork {
         }
 
         self.today = day.next();
-        DayTraffic {
-            day,
-            queries,
-            resolutions,
-        }
+        (day, resolutions)
     }
 
     // ---------------------------------------------------------------
@@ -1068,6 +1124,30 @@ mod tests {
                 assert!(w.truth().is_infected(w.canonical_machine(m)));
             }
         }
+    }
+
+    #[test]
+    fn streamed_day_matches_next_day() {
+        let mut whole = IspNetwork::new(IspConfig::tiny(31));
+        let mut chunked = IspNetwork::new(IspConfig::tiny(31));
+        let t = whole.next_day();
+        let mut queries = Vec::new();
+        let mut chunks = 0usize;
+        let (day, resolutions) = chunked.next_day_streamed(64, |c| {
+            chunks += 1;
+            queries.extend_from_slice(c);
+        });
+        assert!(chunks > 1, "400 machines at chunk 64 must flush repeatedly");
+        assert_eq!(t.day, day);
+        assert_eq!(t.queries, queries);
+        assert_eq!(t.resolutions, resolutions);
+        // The history-store side effects are identical too.
+        assert_eq!(whole.pdns().len(), chunked.pdns().len());
+        assert_eq!(
+            whole.activity().tracked_fqds(),
+            chunked.activity().tracked_fqds()
+        );
+        assert_eq!(whole.today(), chunked.today());
     }
 
     #[test]

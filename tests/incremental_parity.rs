@@ -16,6 +16,7 @@ fn run_tracker(
     days: usize,
     incremental: bool,
     parallelism: Option<usize>,
+    chunk_run_capacity: Option<usize>,
 ) -> Vec<DayReport> {
     let mut isp = IspNetwork::new(cfg.clone());
     isp.warm_up(16);
@@ -26,6 +27,7 @@ fn run_tracker(
     };
     config.segugio.incremental = incremental;
     config.segugio.parallelism = parallelism;
+    config.segugio.chunk_run_capacity = chunk_run_capacity;
     let mut reports = Vec::with_capacity(days);
     for _ in 0..days {
         let traffic = isp.next_day();
@@ -54,24 +56,48 @@ fn run_tracker(
 #[test]
 fn eight_day_reports_match_at_every_width() {
     let cfg = IspConfig::tiny(90);
-    let reference = run_tracker(&cfg, 8, false, Some(1));
+    let reference = run_tracker(&cfg, 8, false, Some(1), None);
     assert!(
         reference.iter().any(|r| !r.new_detections.is_empty()),
         "reference run must detect something for the comparison to mean anything"
     );
 
     for width in [1usize, 2, 4, 8] {
-        let scratch = run_tracker(&cfg, 8, false, Some(width));
+        let scratch = run_tracker(&cfg, 8, false, Some(width), None);
         assert_eq!(
             scratch, reference,
             "from-scratch reports diverged at width {width}"
         );
-        let incremental = run_tracker(&cfg, 8, true, Some(width));
+        let incremental = run_tracker(&cfg, 8, true, Some(width), None);
         assert_eq!(
             incremental, reference,
             "incremental reports diverged at width {width}"
         );
     }
+}
+
+/// The chunked (seal/spill/merge) CSR path is a drop-in replacement: a
+/// tiny run capacity forces every from-scratch day through spilled runs
+/// and `GraphBuilder::from_runs`, and the reports still match the
+/// in-memory reference bit for bit.
+#[test]
+fn chunked_run_capacity_keeps_reports_identical() {
+    let cfg = IspConfig::tiny(93);
+    let reference = run_tracker(&cfg, 6, false, Some(1), None);
+    assert!(
+        reference.iter().any(|r| !r.new_detections.is_empty()),
+        "reference run must detect something for the comparison to mean anything"
+    );
+    // ~8k queries/day at capacity 512 ⇒ a dozen-plus spilled runs per day.
+    let chunked = run_tracker(&cfg, 6, false, Some(1), Some(512));
+    assert_eq!(chunked, reference, "chunked CSR path diverged");
+    // With incremental state on, only rebuild days route through the
+    // chunked path; the mix must still be identical.
+    let chunked_incremental = run_tracker(&cfg, 6, true, Some(1), Some(512));
+    assert_eq!(
+        chunked_incremental, reference,
+        "chunked + incremental mix diverged"
+    );
 }
 
 /// Randomized churn scenarios: heavy DHCP lease churn dilutes machine
@@ -101,8 +127,8 @@ fn churn_scenarios_keep_paths_identical() {
         ),
     ];
     for (name, cfg) in scenarios {
-        let scratch = run_tracker(&cfg, 7, false, Some(1));
-        let incremental = run_tracker(&cfg, 7, true, Some(1));
+        let scratch = run_tracker(&cfg, 7, false, Some(1), None);
+        let incremental = run_tracker(&cfg, 7, true, Some(1), None);
         assert_eq!(incremental, scratch, "scenario `{name}` diverged");
     }
 }
