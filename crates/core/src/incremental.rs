@@ -310,6 +310,127 @@ impl IncrementalEngine {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Serializes the engine's durable cross-day state — the delta
+    /// baseline (yesterday's unpruned graph), the rolling abuse window,
+    /// and the previous-day feature cache — as versioned text, appended to
+    /// `out`. The single-advance `touched` set and the dirty-set scratch
+    /// columns are deliberately skipped: the next
+    /// [`build_snapshot`](Self::build_snapshot) overwrites all of them
+    /// before anything reads them, so a resumed engine is parity-identical
+    /// to one that never stopped.
+    pub(crate) fn write_text(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("engine v1\n");
+        match &self.delta {
+            Some(delta) => {
+                out.push_str("delta 1\n");
+                segugio_graph::write_graph(delta.prev(), out);
+            }
+            None => out.push_str("delta 0\n"),
+        }
+        self.rolling.write_text(out);
+        match &self.prev {
+            Some(prev) => {
+                out.push_str("prev 1\n");
+                segugio_graph::write_graph(&prev.pruned, out);
+                let _ = writeln!(out, "cache {}", prev.cache.len());
+                for (id, entry) in &prev.cache {
+                    let label = match entry.label {
+                        Label::Malware => 'M',
+                        Label::Benign => 'B',
+                        Label::Unknown => 'U',
+                    };
+                    let _ = write!(out, "c {} {label}", id.0);
+                    for f in &entry.features {
+                        let _ = write!(out, " {:08x}", f.to_bits());
+                    }
+                    out.push('\n');
+                }
+            }
+            None => out.push_str("prev 0\n"),
+        }
+        out.push_str("end-engine\n");
+    }
+
+    /// Parses the state [`write_text`](Self::write_text) produced,
+    /// consuming lines through `end-engine`. The delta builder is
+    /// reconstructed from its serialized baseline graph via
+    /// [`DeltaBuilder::new`]; scratch state starts empty.
+    pub(crate) fn read_text<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<Self, String> {
+        let header = lines.next().ok_or("missing engine header")?;
+        if header != "engine v1" {
+            return Err(format!("bad engine header: {header:?}"));
+        }
+        let delta = match lines.next() {
+            Some("delta 0") => None,
+            Some("delta 1") => {
+                let graph = segugio_graph::read_graph(lines)?;
+                Some(DeltaBuilder::new(&graph))
+            }
+            other => return Err(format!("bad delta marker: {other:?}")),
+        };
+        let rolling = RollingAbuseIndex::read_text(lines)?;
+        let prev = match lines.next() {
+            Some("prev 0") => None,
+            Some("prev 1") => {
+                let pruned = segugio_graph::read_graph(lines)?;
+                let cache_line = lines.next().ok_or("missing cache header")?;
+                let count: usize = cache_line
+                    .strip_prefix("cache ")
+                    .ok_or_else(|| format!("bad cache header: {cache_line:?}"))?
+                    .parse()
+                    .map_err(|e| format!("bad cache count: {e}"))?;
+                let mut cache = BTreeMap::new();
+                for _ in 0..count {
+                    let line = lines.next().ok_or("truncated cache section")?;
+                    let mut parts = line.split_ascii_whitespace();
+                    if parts.next() != Some("c") {
+                        return Err(format!("bad cache line: {line:?}"));
+                    }
+                    let id: u32 = parts
+                        .next()
+                        .ok_or("cache line missing domain id")?
+                        .parse()
+                        .map_err(|e| format!("bad cache domain id: {e}"))?;
+                    let label = match parts.next() {
+                        Some("M") => Label::Malware,
+                        Some("B") => Label::Benign,
+                        Some("U") => Label::Unknown,
+                        other => return Err(format!("bad cache label: {other:?}")),
+                    };
+                    let mut features = [0.0f32; FEATURE_COUNT];
+                    for slot in &mut features {
+                        let bits = parts.next().ok_or("cache line missing feature column")?;
+                        let bits = u32::from_str_radix(bits, 16)
+                            .map_err(|e| format!("bad feature bits: {e}"))?;
+                        *slot = f32::from_bits(bits);
+                    }
+                    if parts.next().is_some() {
+                        return Err(format!("trailing tokens on cache line: {line:?}"));
+                    }
+                    let dup = cache.insert(DomainId(id), CacheEntry { label, features });
+                    if dup.is_some() {
+                        return Err(format!("duplicate cache entry for domain {id}"));
+                    }
+                }
+                Some(PrevDay { pruned, cache })
+            }
+            other => return Err(format!("bad prev marker: {other:?}")),
+        };
+        match lines.next() {
+            Some("end-engine") => {}
+            other => return Err(format!("missing end-engine, got {other:?}")),
+        }
+        Ok(IncrementalEngine {
+            delta,
+            rolling,
+            touched: AbuseDelta::default(),
+            prev,
+            machine_changed: Vec::new(),
+            reuse: Vec::new(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod features;
@@ -72,6 +73,10 @@ pub mod snapshot;
 pub mod tracker;
 pub mod trainer;
 
+pub use checkpoint::{
+    crc32, write_atomic, write_atomic_with_kill, CheckpointError, WriteOutcome,
+    DEFAULT_KEEP_GENERATIONS,
+};
 pub use config::{ClassifierKind, HealthPolicy, SegugioConfig};
 pub use error::{TrackerError, TrainError};
 pub use features::{FeatureConfig, FeatureExtractor, FeatureGroup, FEATURE_COUNT, FEATURE_NAMES};

@@ -57,6 +57,21 @@ pub enum Degradation {
     /// The day's pDNS abuse window was blank; the model was trained and
     /// scored with the IP-abuse feature group (F3) masked.
     MaskedIpFeatures,
+    /// The tracker was restored from a durable checkpoint generation older
+    /// than the newest one (the newer generations failed validation and
+    /// were discarded). Recorded in the first report after the resume.
+    RestoredFromCheckpoint {
+        /// The day of the generation the state was restored from.
+        day: Day,
+    },
+    /// A checkpoint generation failed validation during resume and was
+    /// skipped. One record per discarded generation, newest first; if no
+    /// generation was loadable the tracker rebuilt from scratch via the
+    /// incremental reset.
+    CheckpointDiscarded {
+        /// The day of the discarded generation.
+        day: Day,
+    },
 }
 
 /// One day's tracking outcome.
@@ -116,10 +131,10 @@ impl DayOutcome {
 
 /// A successfully trained model retained for stale-model fallback scoring.
 #[derive(Debug, Clone)]
-struct RetainedModel {
-    model: SegugioModel,
-    threshold: f32,
-    trained_on: Day,
+pub(crate) struct RetainedModel {
+    pub(crate) model: SegugioModel,
+    pub(crate) threshold: f32,
+    pub(crate) trained_on: Day,
 }
 
 /// Tracks malware-control domains across days.
@@ -131,22 +146,26 @@ struct RetainedModel {
 pub struct Tracker {
     /// Day each still-unconfirmed flagged domain was first detected.
     /// Ordered so [`Tracker::pending`] iterates deterministically.
-    flagged: BTreeMap<DomainId, Day>,
+    pub(crate) flagged: BTreeMap<DomainId, Day>,
     /// Confirmed detections: domain → (flagged day, confirmed day).
-    confirmed: BTreeMap<DomainId, (Day, Day)>,
-    days_processed: usize,
+    pub(crate) confirmed: BTreeMap<DomainId, (Day, Day)>,
+    pub(crate) days_processed: usize,
     /// Cross-day incremental state; only advanced when
     /// [`SegugioConfig::incremental`] is set.
-    engine: IncrementalEngine,
+    pub(crate) engine: IncrementalEngine,
     /// The most recent successfully trained model, for stale-model
     /// fallback scoring on seedless days.
-    last_model: Option<RetainedModel>,
+    pub(crate) last_model: Option<RetainedModel>,
     /// The most recent successfully processed day, enforcing ascending
     /// delivery.
-    last_day: Option<Day>,
+    pub(crate) last_day: Option<Day>,
+    /// Degradation records produced outside a processed day (checkpoint
+    /// resume fallbacks); drained into the front of the next
+    /// [`DayReport::degradation`] so the operator log carries them.
+    pub(crate) pending_degradation: Vec<Degradation>,
     /// Reusable scoring scratch: the daily scoring pass fills this instead
     /// of allocating fresh score/detection vectors every day.
-    score_buf: ScoreBuffer,
+    pub(crate) score_buf: ScoreBuffer,
 }
 
 impl Tracker {
@@ -158,6 +177,14 @@ impl Tracker {
     /// Number of days processed so far.
     pub fn days_processed(&self) -> usize {
         self.days_processed
+    }
+
+    /// The most recent successfully processed day, if any. After a
+    /// [`Tracker::resume`](crate::checkpoint) this is the day of the
+    /// restored checkpoint generation — the caller should continue with
+    /// the first later day.
+    pub fn last_day(&self) -> Option<Day> {
+        self.last_day
     }
 
     /// Domains currently flagged but not yet blacklist-confirmed, with
@@ -392,6 +419,14 @@ impl Tracker {
         }
         self.last_day = Some(day);
         self.days_processed += 1;
+        // Checkpoint-resume records (restored-from / discarded-generation)
+        // were produced before any day ran; surface them at the front of
+        // the first successful report so the operator log carries them.
+        if !self.pending_degradation.is_empty() {
+            let mut carried = std::mem::take(&mut self.pending_degradation);
+            carried.extend(degradation);
+            degradation = carried;
+        }
         Ok(DayReport {
             day,
             new_detections,

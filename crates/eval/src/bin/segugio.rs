@@ -20,6 +20,15 @@
 //!     ingest resolver logs and rank the unknown domains of a day, either
 //!     training in place or deploying a previously saved model (the
 //!     cross-network story: train at one ISP, ship the model to another)
+//!
+//! segugio track --logs FILE --blacklist FILE --whitelist FILE
+//!               [--checkpoint-dir DIR] [--keep K]
+//!     run the multi-day deployment loop over every day in the logs,
+//!     retraining each morning and reconciling flags against the
+//!     blacklist. With --checkpoint-dir the tracker state is durably
+//!     checkpointed after every day (atomic write, last-K generations)
+//!     and resumed on start: days already covered by the restored
+//!     checkpoint are skipped, so a killed run can simply be re-run
 //! ```
 //!
 //! # Exit codes
@@ -35,14 +44,25 @@
 //! | 4    | ingest error (malformed logs, quarantine exceeded)  |
 //! | 5    | model parse error (corrupt/incompatible model file) |
 //! | 6    | data error (no traffic, insufficient seeds)         |
+//! | 7    | checkpoint error (unusable dir, unwritable state)   |
+//!
+//! A *corrupt* checkpoint generation is not an error: resume falls back
+//! generation by generation (recording the fallback in the day report) and
+//! rebuilds from scratch if nothing is loadable. Exit 7 is reserved for
+//! unrecoverable conditions — the checkpoint directory cannot be listed or
+//! a new checkpoint cannot be written.
 
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use segugio_core::{Segugio, SegugioConfig, SnapshotInput, TrainError};
+use segugio_core::{
+    CheckpointError, DayOutcome, Degradation, Segugio, SegugioConfig, SnapshotInput, Tracker,
+    TrackerConfig, TrainError, DEFAULT_KEEP_GENERATIONS,
+};
 use segugio_eval::experiments::{
     ablation, bp_comparison, crossday, crossfamily, dataset, early_detection, fp_analysis,
     notos_comparison, performance, public_blacklist, robustness, seed_sensitivity, Scale,
@@ -69,6 +89,10 @@ enum CliError {
     /// The inputs parsed but cannot support the requested operation
     /// (no traffic, missing day, insufficient training seeds).
     Data(String),
+    /// The checkpoint directory is unusable or a checkpoint could not be
+    /// written. Corrupt generations are *not* this: resume degrades
+    /// through them and rebuilds from scratch if it must.
+    Checkpoint(CheckpointError),
 }
 
 impl CliError {
@@ -94,6 +118,7 @@ impl CliError {
             CliError::Ingest(_) => ExitCode::from(4),
             CliError::Model(_) => ExitCode::from(5),
             CliError::Data(_) => ExitCode::from(6),
+            CliError::Checkpoint(_) => ExitCode::from(7),
         }
     }
 }
@@ -106,6 +131,7 @@ impl fmt::Display for CliError {
             CliError::Ingest(e) => write!(f, "ingesting logs: {e}"),
             CliError::Model(e) => write!(f, "loading model: {e}"),
             CliError::Data(msg) => write!(f, "{msg}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -116,6 +142,7 @@ impl Error for CliError {
             CliError::Io { source, .. } => Some(source),
             CliError::Ingest(e) => Some(e),
             CliError::Model(e) => Some(e),
+            CliError::Checkpoint(e) => Some(e),
             CliError::Usage(_) | CliError::Data(_) => None,
         }
     }
@@ -139,6 +166,12 @@ impl From<TrainError> for CliError {
     }
 }
 
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -146,6 +179,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
+        Some("track") => cmd_track(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -173,6 +207,8 @@ USAGE:
                 --save FILE [--day D]
   segugio detect --logs FILE --blacklist FILE --whitelist FILE
                  [--model FILE] [--train-day D] [--test-day D] [--top N]
+  segugio track --logs FILE --blacklist FILE --whitelist FILE
+                [--checkpoint-dir DIR] [--keep K]
 
 Experiments: dataset crossday ablation crossfamily fp-analysis
              public-blacklist early-detection performance notos bp
@@ -523,6 +559,104 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
             collector.table().name(det.domain)
         );
     }
+    Ok(())
+}
+
+/// One word per fallback for the per-day operator log.
+fn describe_degradation(d: &Degradation) -> String {
+    match d {
+        Degradation::StaleModel { trained_on } => format!("stale-model[{trained_on}]"),
+        Degradation::MaskedIpFeatures => "masked-ip-features".to_owned(),
+        Degradation::RestoredFromCheckpoint { day } => {
+            format!("restored-from-checkpoint[{day}]")
+        }
+        Degradation::CheckpointDiscarded { day } => format!("checkpoint-discarded[{day}]"),
+    }
+}
+
+fn cmd_track(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(
+        args,
+        &["logs", "blacklist", "whitelist", "checkpoint-dir", "keep"],
+    )?;
+    let keep: usize = parse_or(&flags, "keep", DEFAULT_KEEP_GENERATIONS)?;
+    let checkpoint_dir = flags.get("checkpoint-dir").map(PathBuf::from);
+
+    // Resume before touching the logs: a killed run restarts from its
+    // latest good checkpoint generation (falling back through corrupt
+    // ones) and only replays the days the checkpoint does not cover.
+    let mut tracker = match &checkpoint_dir {
+        Some(dir) => {
+            let tracker = Tracker::resume(dir)?;
+            if let Some(day) = tracker.last_day() {
+                eprintln!(
+                    "resumed from checkpoint: {} days processed, last {day}",
+                    tracker.days_processed()
+                );
+            }
+            tracker
+        }
+        None => Tracker::new(),
+    };
+
+    let (collector, blacklist, whitelist) = load_inputs(&flags)?;
+    let days = collector.days();
+    if days.is_empty() {
+        return Err(CliError::data("log file contains no traffic"));
+    }
+
+    let config = TrackerConfig::default();
+    let mut processed = 0usize;
+    for &day in &days {
+        if tracker.last_day().is_some_and(|last| day <= last) {
+            continue; // already covered by the restored checkpoint
+        }
+        let traffic = collector
+            .day(day)
+            .ok_or_else(|| CliError::data(format!("no traffic on {day}")))?;
+        let input = SnapshotInput {
+            day,
+            queries: &traffic.queries,
+            resolutions: &traffic.resolutions,
+            table: collector.table(),
+            pdns: collector.pdns(),
+            blacklist: &blacklist,
+            whitelist: &whitelist,
+            hidden: None,
+        };
+        match tracker.process_day_outcome(&input, collector.activity(), &config) {
+            DayOutcome::Processed(report) => {
+                processed += 1;
+                let notes = if report.degradation.is_empty() {
+                    String::new()
+                } else {
+                    let words: Vec<String> = report
+                        .degradation
+                        .iter()
+                        .map(describe_degradation)
+                        .collect();
+                    format!("  ({})", words.join(" "))
+                };
+                println!(
+                    "{day}: {} new, {} re-detected, {} confirmed, threshold {:.4}{notes}",
+                    report.new_detections.len(),
+                    report.all_detections.len() - report.new_detections.len(),
+                    report.confirmed.len(),
+                    report.threshold,
+                );
+                if let Some(dir) = &checkpoint_dir {
+                    tracker.save_checkpoint(dir, keep)?;
+                }
+            }
+            DayOutcome::Skipped { day, error } => eprintln!("skipped {day}: {error}"),
+        }
+    }
+
+    println!(
+        "tracked {processed} day(s): {} flagged pending, {} confirmed",
+        tracker.pending().count(),
+        tracker.confirmations().count()
+    );
     Ok(())
 }
 

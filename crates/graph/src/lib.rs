@@ -22,7 +22,9 @@
 //!   two exceptions (infected machines survive R1; known malware domains
 //!   survive R3);
 //! - [`hiding`] — the label-hiding view used when measuring features for
-//!   known (training) domains without leaking their own ground truth.
+//!   known (training) domains without leaking their own ground truth;
+//! - [`persist`] — versioned line-oriented text round-trip of a graph, the
+//!   CSR layer of `segugio-core`'s crash-safe checkpoints.
 
 #![warn(missing_docs)]
 pub mod builder;
@@ -30,6 +32,7 @@ pub mod delta;
 pub mod graph;
 pub mod hiding;
 pub mod labeling;
+pub mod persist;
 pub mod pruning;
 pub mod runs;
 pub mod stats;
@@ -39,6 +42,7 @@ pub use builder::GraphBuilder;
 pub use delta::DeltaBuilder;
 pub use graph::{BehaviorGraph, DomainIdx, MachineIdx};
 pub use hiding::HiddenLabelView;
+pub use persist::{read_graph, write_graph};
 pub use pruning::{PruneConfig, PruneStats};
 pub use runs::{EdgeRuns, DEFAULT_RUN_CAPACITY};
 pub use stats::{DegreeSummary, GraphStats};

@@ -38,6 +38,7 @@ use segugio_model::{Blacklist, Day};
 /// perturb each other.
 const STREAM_DAY: u64 = 0x01;
 const STREAM_LINES: u64 = 0x02;
+const STREAM_CHECKPOINT: u64 = 0x03;
 
 /// Probabilities and magnitudes for every fault class the injector can
 /// apply. All probabilities are per day (day-level faults) or per line
@@ -67,6 +68,13 @@ pub struct FaultConfig {
     pub truncate_line: f64,
     /// Per-line probability that a rendered log line is emitted twice.
     pub duplicate_line: f64,
+    /// Probability that the day's checkpoint save is killed mid-write
+    /// (the process dies after a seeded byte count of the temp file).
+    pub kill_mid_checkpoint: f64,
+    /// Probability that the newest on-disk checkpoint generation is
+    /// damaged after the day's save — torn tail, bit flip, truncation,
+    /// or outright deletion, drawn uniformly.
+    pub corrupt_checkpoint: f64,
 }
 
 impl FaultConfig {
@@ -83,6 +91,8 @@ impl FaultConfig {
             corrupt_line: 0.0,
             truncate_line: 0.0,
             duplicate_line: 0.0,
+            kill_mid_checkpoint: 0.0,
+            corrupt_checkpoint: 0.0,
         }
     }
 
@@ -100,6 +110,8 @@ impl FaultConfig {
             corrupt_line: 0.01,
             truncate_line: 0.005,
             duplicate_line: 0.01,
+            kill_mid_checkpoint: 0.10,
+            corrupt_checkpoint: 0.10,
         }
     }
 }
@@ -119,6 +131,80 @@ impl DayFaults {
     /// Whether any day-level fault fires.
     pub fn any(&self) -> bool {
         self.drop_day || self.blank_pdns || self.stale_blacklist
+    }
+}
+
+/// One kind of damage to an on-disk checkpoint generation. Offsets are
+/// raw seeded `u64`s reduced modulo the file length at
+/// [`apply`](Self::apply) time, so one drawn fault is valid for any file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFault {
+    /// The file's tail is torn off at a seeded offset and replaced with
+    /// garbage bytes — the classic half-flushed-page crash signature.
+    TornTail {
+        /// Seeded byte offset; reduced modulo the file length.
+        keep: u64,
+    },
+    /// A single bit flips at a seeded position — silent media corruption.
+    BitFlip {
+        /// Seeded byte offset; reduced modulo the file length.
+        byte: u64,
+        /// Bit index within the byte (0–7).
+        bit: u8,
+    },
+    /// The file is cut short at a seeded offset with nothing appended.
+    Truncate {
+        /// Seeded byte offset; reduced modulo the file length.
+        keep: u64,
+    },
+    /// The newest generation file disappears entirely.
+    DeleteNewest,
+}
+
+impl CheckpointFault {
+    /// The damaged rendition of a checkpoint file's bytes, or `None` when
+    /// the fault deletes the file. Pure and deterministic: same fault +
+    /// same bytes → same damage. Never panics, including on empty input.
+    pub fn apply(&self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let len = bytes.len() as u64;
+        match *self {
+            CheckpointFault::TornTail { keep } => {
+                let keep = if len == 0 { 0 } else { (keep % len) as usize };
+                let mut v = bytes[..keep].to_vec();
+                v.extend_from_slice(b"\xC3\x28@@torn-checkpoint");
+                Some(v)
+            }
+            CheckpointFault::BitFlip { byte, bit } => {
+                let mut v = bytes.to_vec();
+                if len > 0 {
+                    v[(byte % len) as usize] ^= 1 << (bit & 7);
+                }
+                Some(v)
+            }
+            CheckpointFault::Truncate { keep } => {
+                let keep = if len == 0 { 0 } else { (keep % len) as usize };
+                Some(bytes[..keep].to_vec())
+            }
+            CheckpointFault::DeleteNewest => None,
+        }
+    }
+}
+
+/// The checkpoint-layer faults the injector chose for one day.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointFaults {
+    /// If set, the day's checkpoint save dies after this many bytes of
+    /// the temp file (callers reduce modulo the document length — the
+    /// write never commits either way).
+    pub kill_mid_write: Option<u64>,
+    /// If set, the newest generation is damaged after the day's save.
+    pub corruption: Option<CheckpointFault>,
+}
+
+impl CheckpointFaults {
+    /// Whether any checkpoint-layer fault fires.
+    pub fn any(&self) -> bool {
+        self.kill_mid_write.is_some() || self.corruption.is_some()
     }
 }
 
@@ -175,6 +261,30 @@ impl FaultInjector {
             drop_day,
             blank_pdns,
             stale_blacklist,
+        }
+    }
+
+    /// The checkpoint-layer faults for `day` — a pure function of the
+    /// seed and the day, on its own RNG stream so the PR-4 line/day fault
+    /// draws are untouched by the new classes.
+    pub fn checkpoint_faults_for(&self, day: Day) -> CheckpointFaults {
+        let mut rng = self.rng_for(day, STREAM_CHECKPOINT);
+        // Draw every class (and every magnitude) unconditionally so one
+        // probability change does not shift the draws of the others.
+        let kill = rng.gen_bool(self.cfg.kill_mid_checkpoint);
+        let kill_offset: u64 = rng.gen();
+        let corrupt = rng.gen_bool(self.cfg.corrupt_checkpoint);
+        let kind = rng.gen_range(0u32..4);
+        let offset: u64 = rng.gen();
+        let bit = rng.gen_range(0u8..8);
+        CheckpointFaults {
+            kill_mid_write: kill.then_some(kill_offset),
+            corruption: corrupt.then_some(match kind {
+                0 => CheckpointFault::TornTail { keep: offset },
+                1 => CheckpointFault::BitFlip { byte: offset, bit },
+                2 => CheckpointFault::Truncate { keep: offset },
+                _ => CheckpointFault::DeleteNewest,
+            }),
         }
     }
 
@@ -390,6 +500,97 @@ mod tests {
         assert!(seen.contains_as_of(old, Day(11)));
         assert!(!seen.contains_as_of(fresh, Day(11)));
         assert!(seen.contains_as_of(fresh, Day(13)));
+    }
+
+    #[test]
+    fn checkpoint_faults_are_deterministic_and_decorrelated() {
+        let a = FaultInjector::new(FaultConfig::chaos(11));
+        let b = FaultInjector::new(FaultConfig::chaos(11));
+        for d in 0..200 {
+            assert_eq!(
+                a.checkpoint_faults_for(Day(d)),
+                b.checkpoint_faults_for(Day(d))
+            );
+        }
+        // The new stream must not perturb the PR-4 day/line draws: an
+        // injector that never asks for checkpoint faults sees identical
+        // day faults.
+        let fa: Vec<DayFaults> = (0..100).map(|d| a.faults_for(Day(d))).collect();
+        for d in 0..100 {
+            let _ = a.checkpoint_faults_for(Day(d));
+        }
+        let fb: Vec<DayFaults> = (0..100).map(|d| a.faults_for(Day(d))).collect();
+        assert_eq!(fa, fb, "checkpoint draws must not move day-fault draws");
+    }
+
+    #[test]
+    fn disabled_config_never_fires_checkpoint_faults() {
+        let inj = FaultInjector::new(FaultConfig::disabled(9));
+        for d in 0..200 {
+            assert!(!inj.checkpoint_faults_for(Day(d)).any());
+        }
+    }
+
+    #[test]
+    fn chaos_fires_every_checkpoint_fault_kind() {
+        let inj = FaultInjector::new(FaultConfig::chaos(3));
+        let mut kills = 0usize;
+        let mut kinds = [0usize; 4];
+        for d in 0..2000 {
+            let f = inj.checkpoint_faults_for(Day(d));
+            kills += usize::from(f.kill_mid_write.is_some());
+            match f.corruption {
+                Some(CheckpointFault::TornTail { .. }) => kinds[0] += 1,
+                Some(CheckpointFault::BitFlip { .. }) => kinds[1] += 1,
+                Some(CheckpointFault::Truncate { .. }) => kinds[2] += 1,
+                Some(CheckpointFault::DeleteNewest) => kinds[3] += 1,
+                None => {}
+            }
+        }
+        assert!(kills > 0, "mid-write kill never fired in 2000 days");
+        for (i, count) in kinds.iter().enumerate() {
+            assert!(*count > 0, "corruption kind {i} never fired in 2000 days");
+        }
+    }
+
+    #[test]
+    fn checkpoint_fault_appliers_are_total_and_deterministic() {
+        let faults = [
+            CheckpointFault::TornTail { keep: 7 },
+            CheckpointFault::BitFlip {
+                byte: 12345,
+                bit: 3,
+            },
+            CheckpointFault::Truncate { keep: u64::MAX },
+            CheckpointFault::DeleteNewest,
+        ];
+        let doc = b"segugio-checkpoint v1 4 00000000\nbody";
+        for fault in faults {
+            // Never panics, even on empty input.
+            let _ = fault.apply(b"");
+            let a = fault.apply(doc);
+            let b = fault.apply(doc);
+            assert_eq!(a, b, "{fault:?} must replay exactly");
+            if fault == CheckpointFault::DeleteNewest {
+                assert!(a.is_none());
+            } else {
+                assert_ne!(
+                    a.as_deref(),
+                    Some(&doc[..]),
+                    "{fault:?} must damage the doc"
+                );
+            }
+        }
+        // Bit flip flips exactly one bit.
+        let flipped = CheckpointFault::BitFlip { byte: 0, bit: 0 }
+            .apply(doc)
+            .expect("bytes back");
+        let diff: u32 = doc
+            .iter()
+            .zip(&flipped)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub mod world;
 
 pub use config::IspConfig;
 pub use day::DayTraffic;
-pub use faults::{DayFaults, FaultConfig, FaultInjector};
+pub use faults::{CheckpointFault, CheckpointFaults, DayFaults, FaultConfig, FaultInjector};
 pub use truth::{DomainKind, GroundTruth};
 pub use world::IspNetwork;

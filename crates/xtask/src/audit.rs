@@ -59,7 +59,7 @@ pub fn render_json(
     let clean = ratchet.is_clean() && ratchet.stale.is_empty() && alloc.is_clean();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"segugio-audit/2\",\n");
+    out.push_str("  \"schema\": \"segugio-audit/3\",\n");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"clean\": {clean},");
 
@@ -249,7 +249,7 @@ mod tests {
         let a = render_json(&report, &base, &ratchet, &enabled, &alloc);
         let b = render_json(&report, &base, &ratchet, &enabled, &alloc);
         assert_eq!(a, b, "byte-identical across runs");
-        assert!(a.contains("\"schema\": \"segugio-audit/2\""), "{a}");
+        assert!(a.contains("\"schema\": \"segugio-audit/3\""), "{a}");
         assert!(a.contains("\\\"quotes\\\""), "{a}");
         assert!(a.contains("\\n"), "{a}");
         assert!(a.contains("\"clean\": false"));

@@ -3,9 +3,9 @@
 //! Two tasks share one static-analysis engine:
 //!
 //! * `lint` — enforce the repo's determinism, concurrency, layering,
-//!   hot-path allocation (see [`hotpath`]), and unsafe-hygiene invariants
-//!   (see [`rules`]) against a checked-in ratchet baseline (see
-//!   [`baseline`]).
+//!   hot-path allocation (see [`hotpath`]), atomic-persistence (see
+//!   [`persistence`]), and unsafe-hygiene invariants (see [`rules`])
+//!   against a checked-in ratchet baseline (see [`baseline`]).
 //! * `audit` — emit the same pass as a deterministic machine-readable
 //!   report (see [`audit`]), uploaded as a CI artifact on every run.
 //!
@@ -24,6 +24,7 @@ pub mod audit;
 pub mod baseline;
 pub mod hotpath;
 pub mod layering;
+pub mod persistence;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
@@ -54,7 +55,7 @@ TASKS:
     lint     enforce the determinism/concurrency/layering/hot-path rules
              against the ratchet baseline (lint-baseline.toml)
     audit    emit the same pass as a deterministic JSON report
-             (segugio-audit/2, including the allocation-budget section)
+             (segugio-audit/3, including the allocation-budget section)
     help     print this message
 
 COMMON OPTIONS (lint and audit):
@@ -299,6 +300,11 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
     } else {
         None
     };
+    let persist = if enabled.contains("S1") {
+        persistence::load(root)?
+    } else {
+        None
+    };
     let files = workspace::rust_files(root)?;
     let mut violations = Vec::new();
     let mut suppressions = Vec::new();
@@ -319,6 +325,16 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
         if let Some(hot) = &hot {
             hotpath::check_source(&class, &scanned, hot, enabled, &mut violations, &mut used);
         }
+        if let Some(persist) = &persist {
+            persistence::check_source(
+                &class,
+                &scanned,
+                persist,
+                enabled,
+                &mut violations,
+                &mut used,
+            );
+        }
         collect_suppressions(
             &class,
             &scanned,
@@ -326,6 +342,7 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
             &used,
             layering.is_some(),
             hot.is_some(),
+            persist.is_some(),
             &mut suppressions,
             &mut violations,
         );
@@ -343,8 +360,8 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
 }
 
 /// Records every allow-comment site in non-test code with its usage state,
-/// and performs the tree-level W1 accounting that `rule_w1` defers for A1
-/// and the H family (their suppressions are only visible after the
+/// and performs the tree-level W1 accounting that `rule_w1` defers for A1,
+/// S1, and the H family (their suppressions are only visible after the
 /// tree-level `check_source` passes run).
 #[allow(clippy::too_many_arguments)] // internal helper mirroring lint_tree state
 fn collect_suppressions(
@@ -354,6 +371,7 @@ fn collect_suppressions(
     used: &BTreeSet<(u32, String)>,
     layering_active: bool,
     hotpath_active: bool,
+    persist_active: bool,
     suppressions: &mut Vec<Suppression>,
     violations: &mut Vec<Violation>,
 ) {
@@ -376,9 +394,14 @@ fn collect_suppressions(
                 used: is_used,
             });
             let tree_level = (rule == "A1" && layering_active)
-                || (matches!(rule.as_str(), "H1" | "H2" | "H3") && hotpath_active);
+                || (matches!(rule.as_str(), "H1" | "H2" | "H3") && hotpath_active)
+                || (rule == "S1" && persist_active);
             if tree_level && enabled.contains("W1") && !is_used {
-                let what = if rule == "A1" { "layering" } else { "hot-path" };
+                let what = match rule.as_str() {
+                    "A1" => "layering",
+                    "S1" => "persistence",
+                    _ => "hot-path",
+                };
                 violations.push(Violation {
                     file: class.path.clone(),
                     line,

@@ -12,6 +12,7 @@
 //! | H2   | hot regions (`hotpath.toml`)  | `.clone()` / `.to_owned()` / `.to_vec()` / `.to_string()` |
 //! | H3   | hot regions (`hotpath.toml`)  | `.collect()` into a fresh container while a reusable buffer (`&mut self` scratch or `&mut` buffer parameter) is in scope |
 //! | A1   | crate manifests + lib code    | crate-dependency edges outside the layering DAG (`crates/xtask/layering.toml`) |
+//! | S1   | persistence modules (`persistence.toml`) | raw write entry points (`fs::write`, `File::create`, `OpenOptions::new`) outside the sanctioned atomic-writer functions |
 //! | U1   | all non-test code             | `unsafe` without an adjacent `// SAFETY:` comment |
 //! | W1   | all non-test code             | `segugio-lint: allow(…)` comments that suppress no finding |
 //!
@@ -27,7 +28,7 @@ use crate::scan::{ScannedFile, Token};
 
 /// All known rule ids, in report order.
 pub const ALL_RULES: &[&str] = &[
-    "D1", "D2", "C1", "C2", "P1", "P2", "H1", "H2", "H3", "A1", "U1", "W1",
+    "D1", "D2", "C1", "C2", "P1", "P2", "H1", "H2", "H3", "A1", "S1", "U1", "W1",
 ];
 
 /// How a file participates in linting, derived from its workspace-relative
@@ -804,10 +805,10 @@ fn rule_w1(
             if !ALL_RULES.contains(&rule.as_str()) || !enabled.contains(rule) {
                 continue;
             }
-            // A1 and the H family run at tree level (their suppressions
-            // are not visible here); lint_tree performs the equivalent W1
-            // accounting.
-            if matches!(rule.as_str(), "A1" | "H1" | "H2" | "H3") {
+            // A1, S1, and the H family run at tree level (their
+            // suppressions are not visible here); lint_tree performs the
+            // equivalent W1 accounting.
+            if matches!(rule.as_str(), "A1" | "H1" | "H2" | "H3" | "S1") {
                 continue;
             }
             if !used.contains(&(line, rule.clone())) {

@@ -1,0 +1,31 @@
+//! S1 fixture: `atomic_write` is the sanctioned writer declared by the
+//! test's persistence config; `save_direct` repeats the raw write
+//! patterns outside it, and the test module is exempt.
+
+use std::fs::{self, File, OpenOptions};
+use std::path::Path;
+
+pub fn save_direct(path: &Path, bytes: &[u8]) {
+    let _ = fs::write(path, bytes);
+    let _ = File::create(path);
+    let _ = OpenOptions::new();
+}
+
+pub fn atomic_write(path: &Path, bytes: &[u8]) {
+    let tmp = path.with_extension("tmp");
+    let f = File::create(&tmp);
+    let _ = (f, bytes);
+    let _ = fs::rename(&tmp, path);
+}
+
+pub fn load(path: &Path) -> Vec<u8> {
+    fs::read(path).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seed() {
+        let _ = std::fs::write(std::path::Path::new("x"), b"fixture");
+    }
+}
