@@ -88,6 +88,7 @@ impl DeltaBuilder {
     /// from-scratch graph.
     pub fn new(initial: &BehaviorGraph) -> Self {
         DeltaBuilder {
+            // segugio-lint: allow(H4, one-time constructor copy — runs once per tracker lifetime, not per day)
             prev: initial.clone(),
             scratch: DeltaScratch::default(),
         }

@@ -20,6 +20,31 @@ use crate::allocbudget::AllocState;
 use crate::baseline::{Counts, Ratchet};
 use crate::{rules, LintReport};
 
+/// The current audit schema id. v4 added the `callgraph` section and the
+/// `missing` baseline array.
+pub const SCHEMA: &str = "segugio-audit/4";
+
+/// Extracts the `schema` field from a rendered audit report.
+pub fn schema_of(json: &str) -> Option<&str> {
+    let needle = "\"schema\": \"";
+    let pos = json.find(needle)? + needle.len();
+    let rest = &json[pos..];
+    rest.split('"').next()
+}
+
+/// Extracts the call-graph `unresolved_ratio` from a rendered audit
+/// report (`None` for pre-v4 reports or lint passes without the
+/// reachability rules).
+pub fn unresolved_ratio_of(json: &str) -> Option<f64> {
+    let needle = "\"unresolved_ratio\": ";
+    let rest = &json[json.find(needle)? + needle.len()..];
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
 /// Escapes a string for a JSON string literal.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -49,17 +74,28 @@ fn rule_total(counts: &Counts, rule: &str) -> usize {
 }
 
 /// Renders the full audit JSON document.
+#[allow(clippy::too_many_arguments)] // mirrors run_audit state
 pub fn render_json(
     report: &LintReport,
     base: &Counts,
     ratchet: &Ratchet,
+    missing: &[(String, String, usize)],
     enabled: &BTreeSet<String>,
     alloc: &AllocState,
+    ceiling: Option<f64>,
 ) -> String {
-    let clean = ratchet.is_clean() && ratchet.stale.is_empty() && alloc.is_clean();
+    let cg_clean = match (&report.callgraph, ceiling) {
+        (Some(cg), Some(c)) => cg.unresolved_ratio() <= c,
+        _ => true,
+    };
+    let clean = ratchet.is_clean()
+        && ratchet.stale.is_empty()
+        && missing.is_empty()
+        && alloc.is_clean()
+        && cg_clean;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"segugio-audit/3\",\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"clean\": {clean},");
 
@@ -131,12 +167,53 @@ pub fn render_json(
         out.push_str("\n  ],\n");
     }
 
-    // Baseline drift: growth fails the ratchet, staleness should shrink it.
+    // Baseline drift: growth fails the ratchet, staleness should shrink
+    // it, and entries naming deleted files must be removed.
     out.push_str("  \"baseline\": {\n    \"grown\": [");
     render_drift(&mut out, &ratchet.grown);
     out.push_str("],\n    \"stale\": [");
     render_drift(&mut out, &ratchet.stale);
+    out.push_str("],\n    \"missing\": [");
+    for (i, (rule, file, n)) in missing.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            out,
+            "{sep}{{\"rule\": \"{rule}\", \"file\": \"{}\", \"baselined\": {n}}}",
+            escape(file)
+        );
+    }
     out.push_str("]\n  },\n");
+
+    // Call-graph resolution stats: present when any reachability rule ran.
+    out.push_str("  \"callgraph\": {\n");
+    match &report.callgraph {
+        Some(cg) => {
+            out.push_str("    \"present\": true,\n");
+            let _ = writeln!(out, "    \"nodes\": {},", cg.nodes);
+            let _ = writeln!(out, "    \"edges\": {},", cg.edges);
+            let _ = writeln!(
+                out,
+                "    \"calls\": {{\"total\": {}, \"resolved\": {}, \"external\": {}, \"unresolved\": {}}},",
+                cg.calls_total, cg.calls_resolved, cg.calls_external, cg.calls_unresolved
+            );
+            let _ = writeln!(
+                out,
+                "    \"unresolved_ratio\": {:.4},",
+                cg.unresolved_ratio()
+            );
+            let _ = writeln!(
+                out,
+                "    \"ceiling\": {},",
+                ceiling.map_or("null".to_owned(), |c| format!("{c}"))
+            );
+            let _ = writeln!(out, "    \"clean\": {cg_clean}");
+        }
+        None => {
+            out.push_str("    \"present\": false,\n");
+            out.push_str("    \"clean\": true\n");
+        }
+    }
+    out.push_str("  },\n");
 
     // Allocation-budget state: the runtime counterpart of the H rules.
     render_alloc(&mut out, alloc);
@@ -236,6 +313,7 @@ mod tests {
                 rule: "D1".to_owned(),
                 used: true,
             }],
+            callgraph: None,
         }
     }
 
@@ -246,10 +324,10 @@ mod tests {
         let ratchet = crate::baseline::compare(&base, &report.counts);
         let enabled: BTreeSet<String> = rules::ALL_RULES.iter().map(|s| s.to_string()).collect();
         let alloc = AllocState::default();
-        let a = render_json(&report, &base, &ratchet, &enabled, &alloc);
-        let b = render_json(&report, &base, &ratchet, &enabled, &alloc);
+        let a = render_json(&report, &base, &ratchet, &[], &enabled, &alloc, None);
+        let b = render_json(&report, &base, &ratchet, &[], &enabled, &alloc, None);
         assert_eq!(a, b, "byte-identical across runs");
-        assert!(a.contains("\"schema\": \"segugio-audit/3\""), "{a}");
+        assert!(a.contains("\"schema\": \"segugio-audit/4\""), "{a}");
         assert!(a.contains("\\\"quotes\\\""), "{a}");
         assert!(a.contains("\\n"), "{a}");
         assert!(a.contains("\"clean\": false"));
@@ -263,11 +341,20 @@ mod tests {
             violations: Vec::new(),
             counts: Counts::new(),
             suppressions: Vec::new(),
+            callgraph: None,
         };
         let base = Counts::new();
         let ratchet = crate::baseline::compare(&base, &report.counts);
         let enabled: BTreeSet<String> = rules::ALL_RULES.iter().map(|s| s.to_string()).collect();
-        let json = render_json(&report, &base, &ratchet, &enabled, &AllocState::default());
+        let json = render_json(
+            &report,
+            &base,
+            &ratchet,
+            &[],
+            &enabled,
+            &AllocState::default(),
+            None,
+        );
         assert!(json.contains("\"violations\": [],"), "{json}");
         assert!(json.contains("\"clean\": true"), "{json}");
         assert!(json.contains("\"budget_present\": false"), "{json}");
@@ -280,6 +367,7 @@ mod tests {
             violations: Vec::new(),
             counts: Counts::new(),
             suppressions: Vec::new(),
+            callgraph: None,
         };
         let base = Counts::new();
         let ratchet = crate::baseline::compare(&base, &report.counts);
@@ -295,7 +383,7 @@ mod tests {
             measured: Some(measured),
             drift,
         };
-        let json = render_json(&report, &base, &ratchet, &enabled, &alloc);
+        let json = render_json(&report, &base, &ratchet, &[], &enabled, &alloc, None);
         assert!(json.contains("\"clean\": false"), "{json}");
         assert!(
             json.contains("{\"phase\": \"score\", \"budget\": 0, \"measured\": 9}"),

@@ -124,6 +124,21 @@ pub fn compare(baseline: &Counts, current: &Counts) -> Ratchet {
     r
 }
 
+/// Baseline entries naming files that no longer exist under `root`, as
+/// `(rule, file, baselined)`. A deleted file zeroes its current counts, so
+/// without this check its baseline line would linger as a merely-stale
+/// entry that non-strict lint never flags; a missing file is instead a
+/// hard error in both lint and audit — the entry is dead and must go.
+pub fn missing_entries(baseline: &Counts, root: &std::path::Path) -> Vec<(String, String, usize)> {
+    let mut out: Vec<(String, String, usize)> = baseline
+        .iter()
+        .filter(|&((_, file), &n)| n > 0 && !root.join(file).exists())
+        .map(|((rule, file), &n)| (rule.clone(), file.clone(), n))
+        .collect();
+    out.sort();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +193,20 @@ mod tests {
         let r = compare(&base, &base.clone());
         assert!(r.is_clean());
         assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn missing_entries_flags_deleted_files_only() {
+        let dir = std::env::temp_dir().join(format!("baseline-miss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("present.rs"), "fn f() {}\n").unwrap();
+        let base = counts(&[
+            ("C1", "present.rs", 2),
+            ("C1", "deleted.rs", 1),
+            ("D1", "also-gone.rs", 0), // zero-count: ignored
+        ]);
+        let missing = missing_entries(&base, &dir);
+        assert_eq!(missing, vec![("C1".to_owned(), "deleted.rs".to_owned(), 1)]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

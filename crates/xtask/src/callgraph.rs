@@ -1,0 +1,1370 @@
+//! Whole-workspace call-graph construction.
+//!
+//! Every rule before this module was token-local: a hot function that
+//! delegates its allocation to a helper, or a public entry point that
+//! reaches `unwrap()` three calls down, passed clean. This module builds
+//! the function index and call edges that the reachability rules (R1 /
+//! H4 / D3, see [`crate::reach`]) walk.
+//!
+//! The graph is built from the same token streams the per-file rules use
+//! — no full parser, no external dependency. Symbol resolution is
+//! deliberately conservative:
+//!
+//! * **Definitions** — every `fn` with a body is indexed with its crate
+//!   (from the workspace-relative path), enclosing `impl`/`trait` type
+//!   (innermost block wins), visibility (`pub` without a `(…)`
+//!   restriction), and body token range.
+//! * **Qualified calls** — `segugio_foo::bar::baz(…)`, `crate::…`,
+//!   `Type::assoc(…)`, UFCS `<Type as Trait>::name(…)`, and turbofish
+//!   (`path::<T>(…)`) resolve through the per-crate / per-type indexes.
+//!   Cross-crate leaf imports (`use segugio_graph::{GraphBuilder, …}`)
+//!   feed a per-file alias map so bare calls to imported names resolve.
+//! * **Method calls** — `.name(…)` resolves through a ladder: a `self`
+//!   receiver uses the enclosing impl type; a plain-identifier receiver
+//!   uses the file's `ident: Type` / `let ident = Type::…` bindings, then
+//!   the receiver-name heuristic (`edge_runs.push(…)` → `EdgeRuns`);
+//!   finally a method name defined exactly once in the workspace (and not
+//!   on the std-method blocklist) resolves to that unique definition.
+//! * **No phantom edges** — a call that cannot be resolved produces *no*
+//!   edge. Capitalized bare calls (`Some(…)`, `Day(…)`) are constructors,
+//!   not calls. Ambiguity is *counted*, not guessed at: every call site
+//!   lands in exactly one of resolved / external / unresolved, and the
+//!   unresolved ratio is reported in the audit and ratcheted by
+//!   `crates/xtask/callgraph-ceiling.toml` (see [`load_ceiling`]).
+//!
+//! Known unresolvable shapes (documented in DESIGN.md §5.14): trait-object
+//! and generic dispatch, closures passed as values, method chains whose
+//! receiver is an expression (`foo().bar()`), and common std method names
+//! on receivers of unknown type (assumed external rather than guessed).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+use crate::hotpath;
+use crate::rules::FileClass;
+use crate::scan::{matching_close, ScannedFile, Token};
+
+/// One scanned workspace source file with its path classification; the
+/// unit the call-graph pass (and the reachability rules) consume.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path classification (test scope, rule scopes).
+    pub class: FileClass,
+    /// Token scan of the file.
+    pub scanned: ScannedFile,
+}
+
+/// The crate a workspace-relative path belongs to: `crates/<name>/…` maps
+/// to `<name>`, anything else to its first path component (`suite`, …).
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_owned(),
+        Some(first) => first.to_owned(),
+        None => String::new(),
+    }
+}
+
+/// One indexed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into the `SourceFile` slice the graph was built from.
+    pub file_idx: usize,
+    /// Owning crate (from the file path).
+    pub crate_name: String,
+    /// The function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, when the fn is a method.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Half-open token index range of the body.
+    pub body: (usize, usize),
+    /// `pub` without a `(…)` visibility restriction.
+    pub is_pub: bool,
+    /// Test/bench/example code (by path or embedded `#[cfg(test)]` range).
+    pub is_test: bool,
+    /// Whether a reusable buffer is in scope (`&mut self` or a `&mut`
+    /// buffer-typed parameter) — the H3/H4 collect discipline.
+    pub reusable_buffer: bool,
+}
+
+impl FnDef {
+    /// Display name: `Type::name` for methods, `name` for free fns.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call edge out of a definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee definition index.
+    pub callee: usize,
+    /// 1-based line of (the first occurrence of) the call site.
+    pub line: u32,
+    /// Whether any call site for this edge sits inside a loop body of the
+    /// caller — the loop-amplification signal H4 uses.
+    pub in_loop: bool,
+}
+
+/// Resolution accounting for the whole graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Indexed function definitions.
+    pub nodes: usize,
+    /// Distinct (caller, callee) edges.
+    pub edges: usize,
+    /// Classified call sites (resolved + external + unresolved).
+    pub calls_total: usize,
+    /// Call sites resolved to at least one workspace definition.
+    pub calls_resolved: usize,
+    /// Call sites whose callee is not defined in the workspace (std,
+    /// dependencies, closure values).
+    pub calls_external: usize,
+    /// Call sites naming a workspace definition that the heuristics could
+    /// not place — the quality metric the CI ceiling ratchets.
+    pub calls_unresolved: usize,
+}
+
+impl Stats {
+    /// Unresolved share of the calls that plausibly target workspace code
+    /// (`unresolved / (resolved + unresolved)`); `0.0` when there are none.
+    pub fn unresolved_ratio(&self) -> f64 {
+        let denom = self.calls_resolved + self.calls_unresolved;
+        if denom == 0 {
+            0.0
+        } else {
+            self.calls_unresolved as f64 / denom as f64
+        }
+    }
+}
+
+/// The whole-workspace call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Every indexed definition, in file order.
+    pub defs: Vec<FnDef>,
+    /// Adjacency: `calls[i]` are the deduplicated edges out of `defs[i]`,
+    /// sorted by callee index.
+    pub calls: Vec<Vec<Edge>>,
+    /// Resolution accounting.
+    pub stats: Stats,
+}
+
+/// Method names common enough on std types that an unknown-receiver call
+/// is assumed external rather than resolved to the single workspace
+/// definition sharing the name. Without this list, `xs.push(…)` on a
+/// `Vec` would grow an edge to `EdgeRuns::push` the moment it is the only
+/// `push` in the index.
+const STD_METHODS: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "extend",
+    "clear",
+    "truncate",
+    "drain",
+    "retain",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "map",
+    "filter",
+    "fold",
+    "collect",
+    "min",
+    "max",
+    "sum",
+    "count",
+    "rev",
+    "zip",
+    "enumerate",
+    "take",
+    "skip",
+    "chain",
+    "find",
+    "any",
+    "all",
+    "position",
+    "last",
+    "first",
+    "split",
+    "join",
+    "trim",
+    "parse",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "as_bytes",
+    "as_slice",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "and_then",
+    "or_else",
+    "write",
+    "read",
+    "flush",
+    "fmt",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "entry",
+    "or_insert",
+    "or_default",
+    "keys",
+    "values",
+    "range",
+    "swap",
+    "reserve",
+    "with_capacity",
+    "copied",
+    "cloned",
+    "flatten",
+    "flat_map",
+    "filter_map",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "map_err",
+    "starts_with",
+    "ends_with",
+    "splice",
+    "resize",
+    "binary_search",
+    "windows",
+    "chunks",
+    "abs",
+    "floor",
+    "ceil",
+    "sqrt",
+    "ln",
+    "exp",
+    "powi",
+    "powf",
+];
+
+/// Keywords that can precede a `(` without naming a call.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "else", "break",
+    "continue", "let", "mut", "ref", "unsafe", "use", "where", "impl", "fn", "pub", "mod",
+    "struct", "enum", "trait", "type", "const", "static", "dyn", "self", "super", "crate", "true",
+    "false", "async", "await", "box",
+];
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// `EdgeRuns` → `edge_runs`: the receiver-name heuristic's key.
+fn snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// `impl`/`trait` blocks in a token stream: `(type name, open brace index,
+/// close brace index)`. Trait blocks are indexed like impls so default
+/// method bodies get an owning type.
+fn impl_blocks(tokens: &[Token]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let kw = tokens[i].text.as_str();
+        if kw != "impl" && kw != "trait" {
+            i += 1;
+            continue;
+        }
+        // Item position only: `impl Trait` in return/argument position
+        // (`-> impl Iterator`, `x: impl Fn()`) follows an operator token,
+        // never the end of a previous item.
+        if i > 0
+            && !matches!(
+                tokens[i - 1].text.as_str(),
+                "}" | ";" | "{" | "]" | "unsafe" | "pub" | ")"
+            )
+        {
+            i += 1;
+            continue;
+        }
+        // Walk the header to the body `{` at bracket depth 0; generic
+        // parameter lists contain no braces.
+        let mut j = i + 1;
+        let open = loop {
+            match text(j) {
+                Some("(") | Some("[") => j = matching_close(tokens, j) + 1,
+                Some("{") => break Some(j),
+                Some(";") | None => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let close = matching_close(tokens, open);
+        if let Some(ty) = impl_type_name(kw, &tokens[i + 1..open]) {
+            out.push((ty, open, close));
+        }
+        // Keep scanning inside the body: fns can nest impls.
+        i = open + 1;
+    }
+    out
+}
+
+/// Extracts the self-type name from an `impl`/`trait` header (the tokens
+/// between the keyword and the body `{`): the last angle-depth-0
+/// capitalized ident of the self-type segment (after `for` when present,
+/// so `impl Clone for EdgeRuns` yields `EdgeRuns`, not `Clone`).
+fn impl_type_name(kw: &str, header: &[Token]) -> Option<String> {
+    let seg = if kw == "impl" {
+        let mut depth = 0i32;
+        let mut for_pos = None;
+        for (k, t) in header.iter().enumerate() {
+            let prev_minus = k > 0 && header[k - 1].text == "-";
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" if !prev_minus => depth -= 1,
+                "for" if depth == 0 => {
+                    for_pos = Some(k);
+                    break;
+                }
+                "where" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        match for_pos {
+            Some(p) => &header[p + 1..],
+            None => header,
+        }
+    } else {
+        // `trait Name: Super { … }` — the name is the first ident; stop
+        // at the supertrait `:`.
+        let end = header
+            .iter()
+            .position(|t| t.text == ":" || t.text == "where")
+            .unwrap_or(header.len());
+        &header[..end]
+    };
+    let mut depth = 0i32;
+    let mut last = None;
+    for (k, t) in seg.iter().enumerate() {
+        let prev_minus = k > 0 && seg[k - 1].text == "-";
+        match t.text.as_str() {
+            "<" => depth += 1,
+            ">" if !prev_minus => depth -= 1,
+            "where" if depth == 0 => break,
+            s if depth == 0 && starts_upper(s) && s != "Self" => last = Some(s.to_owned()),
+            _ => {}
+        }
+    }
+    last
+}
+
+/// Collects every `fn` definition (with a body) in one file.
+fn collect_defs(file_idx: usize, source: &SourceFile, defs: &mut Vec<FnDef>) {
+    let tokens = &source.scanned.tokens;
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let impls = impl_blocks(tokens);
+    let crate_name = crate_of(&source.class.path);
+    for i in 0..tokens.len() {
+        if tokens[i].text != "fn" {
+            continue;
+        }
+        let Some(name) = text(i + 1).filter(|t| is_ident(t)) else {
+            continue; // `fn(u32) -> u32` pointer type
+        };
+        // Walk the signature to the body `{`, skipping balanced round and
+        // square groups; the first `(…)` is the parameter list. A `;`
+        // first means a bodyless trait signature.
+        let mut j = i + 2;
+        let mut params: Option<(usize, usize)> = None;
+        let open = loop {
+            match text(j) {
+                Some("(") | Some("[") => {
+                    let close = matching_close(tokens, j);
+                    if params.is_none() && text(j) == Some("(") {
+                        params = Some((j + 1, close));
+                    }
+                    j = close + 1;
+                }
+                Some("{") => break Some(j),
+                Some(";") | Some("}") | None => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else { continue };
+        let close = matching_close(tokens, open);
+        // Visibility: walk back over `pub(crate)`-style modifier tokens.
+        // A `pub` directly followed by `(` is restricted, not public API.
+        let is_pub = {
+            let mut k = i;
+            let mut found = None;
+            while k > 0 {
+                k -= 1;
+                match tokens[k].text.as_str() {
+                    "pub" => {
+                        found = Some(k);
+                        break;
+                    }
+                    "(" | ")" | "crate" | "super" | "in" | "const" | "unsafe" | "async"
+                    | "extern" => {}
+                    _ => break,
+                }
+            }
+            found.is_some_and(|k| text(k + 1) != Some("("))
+        };
+        let impl_type = impls
+            .iter()
+            .filter(|&&(_, o, c)| o < i && i < c)
+            .min_by_key(|&&(_, o, c)| c - o)
+            .map(|(ty, _, _)| ty.clone());
+        let line = tokens[i].line;
+        defs.push(FnDef {
+            file_idx,
+            crate_name: crate_name.clone(),
+            name: name.to_owned(),
+            impl_type,
+            line,
+            body: (open + 1, close),
+            is_pub,
+            is_test: source.class.is_test || source.scanned.is_test_line(line),
+            reusable_buffer: params
+                .map(|(lo, hi)| hotpath::has_reusable_buffer(&tokens[lo..hi.min(tokens.len())]))
+                .unwrap_or(false),
+        });
+    }
+}
+
+/// Per-file alias map: leaf ident → crate name, from `use segugio_*::…`
+/// (and `use crate::…` / `use self::…` / `use super::…`) imports,
+/// including `as` renames and nested `{…}` groups.
+fn import_map(tokens: &[Token], current_crate: &str) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "use" {
+            i += 1;
+            continue;
+        }
+        let krate = match text(i + 1) {
+            Some(s) if s.starts_with("segugio_") => Some(s["segugio_".len()..].to_owned()),
+            Some("crate") | Some("self") | Some("super") => Some(current_crate.to_owned()),
+            _ => None,
+        };
+        let mut j = i + 1;
+        while j < tokens.len() && tokens[j].text != ";" {
+            if let Some(krate) = &krate {
+                let t = tokens[j].text.as_str();
+                if is_ident(t) && !CALL_KEYWORDS.contains(&t) {
+                    match text(j + 1) {
+                        // `X as Y` aliases Y; X itself is not in scope.
+                        Some("as") => {
+                            if let Some(alias) = text(j + 2).filter(|a| is_ident(a)) {
+                                map.insert(alias.to_owned(), krate.clone());
+                            }
+                        }
+                        // A leaf: the path ends here.
+                        Some(",") | Some("}") | Some(";") | None => {
+                            map.insert(t.to_owned(), krate.clone());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    map
+}
+
+/// File-wide `ident → type` bindings: `name: Type` (params, fields, typed
+/// lets) and `let name = Type::…`. An ident bound to two different types
+/// in one file maps to `None` (ambiguous — no hint).
+fn typed_idents(tokens: &[Token]) -> BTreeMap<String, Option<String>> {
+    let mut map: BTreeMap<String, Option<String>> = BTreeMap::new();
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut bind = |name: &str, ty: String| match map.get_mut(name) {
+        Some(slot) => {
+            if slot.as_deref() != Some(ty.as_str()) {
+                *slot = None;
+            }
+        }
+        None => {
+            map.insert(name.to_owned(), Some(ty));
+        }
+    };
+    for (i, tok) in tokens.iter().enumerate() {
+        let t = tok.text.as_str();
+        if !is_ident(t) || CALL_KEYWORDS.contains(&t) {
+            continue;
+        }
+        // `name : [&] [mut] Type` — first capitalized ident before the
+        // parameter/field/let terminator.
+        if text(i + 1) == Some(":") {
+            let mut j = i + 2;
+            while j < i + 8 {
+                match text(j) {
+                    Some("&") | Some("mut") => j += 1,
+                    Some(ty) if starts_upper(ty) => {
+                        bind(t, ty.to_owned());
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // `let [mut] name = Type :: …`
+        if t == "let" {
+            let mut j = i + 1;
+            if text(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = text(j).filter(|s| is_ident(s)) {
+                if text(j + 1) == Some("=")
+                    && text(j + 2).is_some_and(starts_upper)
+                    && text(j + 3) == Some("::")
+                {
+                    let ty = text(j + 2).unwrap().to_owned();
+                    bind(name, ty);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Finds the matching `<` scanning back from the `>` at `close`. Bails
+/// (`None`) on statement boundaries or a runaway scan — the `>` was a
+/// comparison, not a generic-argument close. `->` arrows do not count.
+fn match_angle_back(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close;
+    for _ in 0..64 {
+        let t = tokens.get(j)?.text.as_str();
+        let prev_minus = j > 0 && tokens[j - 1].text == "-";
+        match t {
+            ">" if !prev_minus => depth += 1,
+            "<" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            "{" | "}" | ";" => return None,
+            _ => {}
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    None
+}
+
+/// How one call site was classified.
+enum Resolution {
+    /// Edges to these definition indexes.
+    Resolved(Vec<usize>),
+    /// Callee is not workspace code.
+    External,
+    /// Callee names workspace code the heuristics could not place.
+    Unresolved,
+    /// Not a call site at all (constructor, attribute, definition).
+    Skip,
+}
+
+/// Shared lookup tables for resolution.
+struct Index {
+    /// `(crate, name)` → free-fn definition indexes.
+    free_fns: BTreeMap<(String, String), Vec<usize>>,
+    /// `(type, method)` → method definition indexes (workspace-global;
+    /// types are assumed uniquely named across crates).
+    methods: BTreeMap<(String, String), Vec<usize>>,
+    /// method name → definition indexes, for the heuristics.
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Every definition name, to split external from unresolved.
+    all_names: BTreeSet<String>,
+}
+
+impl Index {
+    fn build(defs: &[FnDef]) -> Index {
+        let mut free_fns: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut all_names = BTreeSet::new();
+        for (idx, def) in defs.iter().enumerate() {
+            all_names.insert(def.name.clone());
+            match &def.impl_type {
+                Some(ty) => {
+                    methods
+                        .entry((ty.clone(), def.name.clone()))
+                        .or_default()
+                        .push(idx);
+                    methods_by_name
+                        .entry(def.name.clone())
+                        .or_default()
+                        .push(idx);
+                }
+                None => {
+                    free_fns
+                        .entry((def.crate_name.clone(), def.name.clone()))
+                        .or_default()
+                        .push(idx);
+                }
+            }
+        }
+        Index {
+            free_fns,
+            methods,
+            methods_by_name,
+            all_names,
+        }
+    }
+}
+
+/// Context for resolving the call sites of one definition.
+struct FileCtx<'a> {
+    tokens: &'a [Token],
+    imports: &'a BTreeMap<String, String>,
+    hints: &'a BTreeMap<String, Option<String>>,
+}
+
+/// Builds the call graph over every scanned workspace file.
+pub fn build(files: &[SourceFile]) -> CallGraph {
+    let mut defs = Vec::new();
+    for (idx, source) in files.iter().enumerate() {
+        collect_defs(idx, source, &mut defs);
+    }
+    let index = Index::build(&defs);
+    let imports: Vec<BTreeMap<String, String>> = files
+        .iter()
+        .map(|f| import_map(&f.scanned.tokens, &crate_of(&f.class.path)))
+        .collect();
+    let hints: Vec<BTreeMap<String, Option<String>>> = files
+        .iter()
+        .map(|f| typed_idents(&f.scanned.tokens))
+        .collect();
+
+    // Per-file def body ranges, for nested-definition exclusion.
+    let mut bodies_by_file: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for def in &defs {
+        bodies_by_file
+            .entry(def.file_idx)
+            .or_default()
+            .push(def.body);
+    }
+
+    let mut stats = Stats {
+        nodes: defs.len(),
+        ..Stats::default()
+    };
+    let mut calls: Vec<Vec<Edge>> = vec![Vec::new(); defs.len()];
+
+    for (d_idx, def) in defs.iter().enumerate() {
+        let file = &files[def.file_idx];
+        let tokens = &file.scanned.tokens;
+        let ctx = FileCtx {
+            tokens,
+            imports: &imports[def.file_idx],
+            hints: &hints[def.file_idx],
+        };
+        let (lo, hi) = def.body;
+        let nested: Vec<(usize, usize)> = bodies_by_file
+            .get(&def.file_idx)
+            .map(|bodies| {
+                bodies
+                    .iter()
+                    .copied()
+                    .filter(|&(a, b)| a > lo && b < hi)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let loops = hotpath::loop_bodies(tokens, lo, hi);
+        let in_loop = |k: usize| loops.iter().any(|&(a, b)| a <= k && k < b);
+
+        let mut merged: BTreeMap<usize, (u32, bool)> = BTreeMap::new();
+        for k in lo..hi.min(tokens.len()) {
+            if nested.iter().any(|&(a, b)| a <= k && k < b) {
+                continue;
+            }
+            if tokens[k].text != "(" {
+                continue;
+            }
+            let resolution = classify_call(tokens, k, def, &ctx, &index, &defs);
+            let line = tokens[k].line;
+            match resolution {
+                Resolution::Skip => {}
+                Resolution::External => {
+                    stats.calls_total += 1;
+                    stats.calls_external += 1;
+                }
+                Resolution::Unresolved => {
+                    stats.calls_total += 1;
+                    stats.calls_unresolved += 1;
+                }
+                Resolution::Resolved(targets) => {
+                    stats.calls_total += 1;
+                    stats.calls_resolved += 1;
+                    let amplifies = in_loop(k);
+                    for t in targets {
+                        let entry = merged.entry(t).or_insert((line, amplifies));
+                        entry.1 |= amplifies;
+                    }
+                }
+            }
+        }
+        stats.edges += merged.len();
+        calls[d_idx] = merged
+            .into_iter()
+            .map(|(callee, (line, in_loop))| Edge {
+                callee,
+                line,
+                in_loop,
+            })
+            .collect();
+    }
+
+    CallGraph { defs, calls, stats }
+}
+
+/// Classifies the call site whose argument list opens at `open` (`(`).
+fn classify_call(
+    tokens: &[Token],
+    open: usize,
+    def: &FnDef,
+    ctx: &FileCtx,
+    index: &Index,
+    defs: &[FnDef],
+) -> Resolution {
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    if open == 0 {
+        return Resolution::Skip;
+    }
+    // Locate the callee ident, looking through a turbofish
+    // (`path::<T>(…)` — the `(` follows the `>`).
+    let callee = match text(open - 1) {
+        Some(">") => match match_angle_back(tokens, open - 1) {
+            Some(lt) if lt >= 2 && text(lt - 1) == Some("::") => {
+                let c = lt - 2;
+                if text(c).is_some_and(is_ident) {
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        Some(t) if is_ident(t) => Some(open - 1),
+        _ => None,
+    };
+    let Some(c) = callee else {
+        return Resolution::Skip;
+    };
+    let name = tokens[c].text.as_str();
+    if CALL_KEYWORDS.contains(&name) {
+        return Resolution::Skip;
+    }
+    // Method call: `recv . name (…)`.
+    if c >= 1 && text(c - 1) == Some(".") {
+        return resolve_method_full(name, c.checked_sub(2), def, ctx, index, defs);
+    }
+    // Walk the qualified path back from the callee.
+    let mut segs: Vec<&str> = vec![name];
+    let mut ufcs_type: Option<&str> = None;
+    let mut p = c;
+    while p >= 2 && text(p - 1) == Some("::") {
+        let before = p - 2;
+        match text(before) {
+            Some(t) if is_ident(t) => {
+                segs.push(t);
+                p = before;
+            }
+            Some(">") => {
+                // `Type::<T>::name` (turbofish segment) or UFCS
+                // `<Type as Trait>::name`.
+                let Some(lt) = match_angle_back(tokens, before) else {
+                    break;
+                };
+                if lt >= 2 && text(lt - 1) == Some("::") && text(lt - 2).is_some_and(is_ident) {
+                    segs.push(text(lt - 2).unwrap());
+                    p = lt - 2;
+                } else {
+                    // UFCS: the self type is the first ident after `<`.
+                    ufcs_type = text(lt + 1).filter(|t| is_ident(t));
+                    p = lt;
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    // Attribute context: `#[derive(…)]`, `#[cfg(…)]`.
+    if p >= 2 && text(p - 1) == Some("[") && text(p - 2) == Some("#") {
+        return Resolution::Skip;
+    }
+    // Definition, not a call: `fn name (…)`.
+    if p >= 1 && text(p - 1) == Some("fn") {
+        return Resolution::Skip;
+    }
+    segs.reverse();
+
+    // UFCS `<Type as Trait>::name(…)`.
+    if let Some(ty) = ufcs_type {
+        return match index.methods.get(&(ty.to_owned(), name.to_owned())) {
+            Some(targets) => Resolution::Resolved(targets.clone()),
+            None => Resolution::External,
+        };
+    }
+
+    // A capitalized callee is a tuple-struct / enum-variant constructor
+    // (`Some(x)`, `segugio_model::Day(0)`), not a call.
+    if starts_upper(name) {
+        return Resolution::Skip;
+    }
+
+    if segs.len() == 1 {
+        return resolve_bare(name, def, ctx, index);
+    }
+    resolve_qualified(&segs, def, ctx, index)
+}
+
+/// Resolves a bare call `name(…)`.
+fn resolve_bare(name: &str, def: &FnDef, ctx: &FileCtx, index: &Index) -> Resolution {
+    if let Some(targets) = index
+        .free_fns
+        .get(&(def.crate_name.clone(), name.to_owned()))
+    {
+        return Resolution::Resolved(targets.clone());
+    }
+    if let Some(krate) = ctx.imports.get(name) {
+        if let Some(targets) = index.free_fns.get(&(krate.clone(), name.to_owned())) {
+            return Resolution::Resolved(targets.clone());
+        }
+        // Imported but not an indexed free fn (re-exported macro, …).
+        return Resolution::External;
+    }
+    if index.all_names.contains(name) {
+        // Defined somewhere in the workspace but not placeable from here
+        // (un-imported cross-crate name, or a shadowing closure).
+        return Resolution::Unresolved;
+    }
+    Resolution::External
+}
+
+/// Resolves a qualified call `a::b::name(…)` (at least two segments).
+fn resolve_qualified(segs: &[&str], def: &FnDef, ctx: &FileCtx, index: &Index) -> Resolution {
+    let name = *segs.last().unwrap();
+    let first = segs[0];
+    let owner = segs[segs.len() - 2];
+
+    // `Self::helper(…)` — the enclosing impl type.
+    if first == "Self" {
+        if let Some(ty) = &def.impl_type {
+            return match index.methods.get(&(ty.clone(), name.to_owned())) {
+                Some(targets) => Resolution::Resolved(targets.clone()),
+                None => Resolution::External,
+            };
+        }
+        return Resolution::External;
+    }
+
+    // The owning crate, when the path names one.
+    let krate = if let Some(stripped) = first.strip_prefix("segugio_") {
+        Some(stripped.to_owned())
+    } else if matches!(first, "crate" | "self" | "super") {
+        Some(def.crate_name.clone())
+    } else {
+        None
+    };
+
+    // `Type::assoc(…)` anywhere in the path: the owner segment is a type.
+    if starts_upper(owner) {
+        return match index.methods.get(&(owner.to_owned(), name.to_owned())) {
+            Some(targets) => Resolution::Resolved(targets.clone()),
+            None => Resolution::External,
+        };
+    }
+
+    if let Some(krate) = krate {
+        if let Some(targets) = index.free_fns.get(&(krate, name.to_owned())) {
+            return Resolution::Resolved(targets.clone());
+        }
+        return if index.all_names.contains(name) {
+            Resolution::Unresolved
+        } else {
+            Resolution::External
+        };
+    }
+
+    // Module-qualified path (`baseline::parse(…)`): same crate first,
+    // then an imported module alias.
+    if let Some(targets) = index
+        .free_fns
+        .get(&(def.crate_name.clone(), name.to_owned()))
+    {
+        return Resolution::Resolved(targets.clone());
+    }
+    if let Some(krate) = ctx.imports.get(first) {
+        if let Some(targets) = index.free_fns.get(&(krate.clone(), name.to_owned())) {
+            return Resolution::Resolved(targets.clone());
+        }
+    }
+    if index.all_names.contains(name) {
+        Resolution::Unresolved
+    } else {
+        Resolution::External
+    }
+}
+
+/// Resolves a method call with the full ladder (needs `defs` for the
+/// receiver-name heuristic).
+fn resolve_method_full(
+    name: &str,
+    recv_idx: Option<usize>,
+    def: &FnDef,
+    ctx: &FileCtx,
+    index: &Index,
+    defs: &[FnDef],
+) -> Resolution {
+    let recv = recv_idx.map(|k| ctx.tokens[k].text.as_str());
+    // 1. Statically-known receiver type.
+    let ty = match recv {
+        Some("self") | Some("Self") => def.impl_type.clone(),
+        Some(r) if is_ident(r) => ctx.hints.get(r).cloned().flatten(),
+        _ => None,
+    };
+    if let Some(ty) = ty {
+        return match index.methods.get(&(ty, name.to_owned())) {
+            Some(targets) => Resolution::Resolved(targets.clone()),
+            None => Resolution::External,
+        };
+    }
+    let candidates = index.methods_by_name.get(name);
+    // 2. Receiver-name heuristic: the receiver ident is the snake_case of
+    // a type defining this method.
+    if let (Some(r), Some(candidates)) = (recv.filter(|r| is_ident(r)), candidates) {
+        let matching: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&idx| {
+                defs[idx]
+                    .impl_type
+                    .as_deref()
+                    .is_some_and(|ty| snake_case(ty) == r)
+            })
+            .collect();
+        if !matching.is_empty() {
+            return Resolution::Resolved(matching);
+        }
+    }
+    match candidates {
+        None => Resolution::External,
+        // 3. Unique-definition fallback, gated by the std-method
+        // blocklist: a name like `push` with an unknown receiver is
+        // assumed std, never guessed.
+        Some(_) if STD_METHODS.contains(&name) => Resolution::External,
+        Some(c) if c.len() == 1 => Resolution::Resolved(c.clone()),
+        Some(_) => Resolution::Unresolved,
+    }
+}
+
+/// Loads `<root>/crates/xtask/callgraph-ceiling.toml`: a `[callgraph]`
+/// section holding `max_unresolved_ratio = <float>`. `Ok(None)` when the
+/// file does not exist (synthetic trees skip the gate).
+///
+/// # Errors
+///
+/// Returns a message when the file exists but cannot be read or parsed.
+pub fn load_ceiling(root: &Path) -> Result<Option<f64>, String> {
+    let path = root.join("crates/xtask/callgraph-ceiling.toml");
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut in_section = false;
+    let mut ceiling = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            in_section = section.trim() == "callgraph";
+            continue;
+        }
+        if !in_section {
+            return Err(format!(
+                "{}: line {}: entry outside the [callgraph] section",
+                path.display(),
+                idx + 1
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{}: line {}: expected `max_unresolved_ratio = <float>`",
+                path.display(),
+                idx + 1
+            ));
+        };
+        if key.trim() != "max_unresolved_ratio" {
+            return Err(format!(
+                "{}: line {}: unknown key `{}`",
+                path.display(),
+                idx + 1,
+                key.trim()
+            ));
+        }
+        let v: f64 = value.trim().parse().map_err(|_| {
+            format!(
+                "{}: line {}: ratio is not a number",
+                path.display(),
+                idx + 1
+            )
+        })?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!(
+                "{}: line {}: ratio must be within [0, 1]",
+                path.display(),
+                idx + 1
+            ));
+        }
+        ceiling = Some(v);
+    }
+    ceiling.map(Some).ok_or_else(|| {
+        format!(
+            "{}: missing `max_unresolved_ratio` under [callgraph]",
+            path.display()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::classify;
+    use crate::scan::scan;
+
+    fn source(path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            class: classify(path),
+            scanned: scan(src),
+        }
+    }
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<SourceFile> = files.iter().map(|(p, s)| source(p, s)).collect();
+        build(&files)
+    }
+
+    fn def<'g>(g: &'g CallGraph, name: &str) -> (usize, &'g FnDef) {
+        g.defs
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name == name)
+            .unwrap_or_else(|| panic!("no def named {name}"))
+    }
+
+    fn edge_names(g: &CallGraph, caller: &str) -> Vec<String> {
+        let (idx, _) = def(g, caller);
+        g.calls[idx]
+            .iter()
+            .map(|e| g.defs[e.callee].qualified())
+            .collect()
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/graph/src/runs.rs"), "graph");
+        assert_eq!(crate_of("suite/src/main.rs"), "suite");
+    }
+
+    #[test]
+    fn free_fn_call_in_same_crate_resolves() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn helper() {}\npub fn entry() { helper(); }\n",
+        )]);
+        assert_eq!(edge_names(&g, "entry"), vec!["helper"]);
+        assert_eq!(g.stats.calls_resolved, 1);
+        assert_eq!(g.stats.calls_unresolved, 0);
+    }
+
+    #[test]
+    fn pub_restricted_is_not_public() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "pub(crate) fn a() {}\npub fn b() {}\nfn c() {}\n",
+        )]);
+        assert!(!def(&g, "a").1.is_pub);
+        assert!(def(&g, "b").1.is_pub);
+        assert!(!def(&g, "c").1.is_pub);
+    }
+
+    #[test]
+    fn method_on_self_resolves_to_impl_type() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "struct Tracker;\nimpl Tracker {\n  fn helper(&self) {}\n  pub fn run(&self) { self.helper(); }\n}\n",
+        )]);
+        assert_eq!(edge_names(&g, "run"), vec!["Tracker::helper"]);
+        assert_eq!(def(&g, "run").1.impl_type.as_deref(), Some("Tracker"));
+    }
+
+    #[test]
+    fn impl_trait_for_type_indexes_the_type() {
+        let g = graph(&[(
+            "crates/graph/src/a.rs",
+            "struct EdgeRuns;\ntrait Pack { fn pack(&self); }\nimpl Pack for EdgeRuns {\n  fn pack(&self) { self.go(); }\n}\nimpl EdgeRuns { fn go(&self) {} }\n",
+        )]);
+        assert_eq!(def(&g, "pack").1.impl_type.as_deref(), Some("EdgeRuns"));
+        assert_eq!(edge_names(&g, "pack"), vec!["EdgeRuns::go"]);
+    }
+
+    #[test]
+    fn impl_trait_return_is_not_an_impl_block() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn items() -> impl Iterator<Item = u32> { (0..3).map(|x| x) }\nfn f(cb: impl Fn(u32) -> u32) -> u32 { cb(1) }\n",
+        )]);
+        assert_eq!(def(&g, "items").1.impl_type, None);
+        assert_eq!(def(&g, "f").1.impl_type, None);
+        // `cb(1)` is a closure-value call: external, never phantom.
+        assert!(edge_names(&g, "f").is_empty());
+    }
+
+    #[test]
+    fn receiver_name_heuristic_resolves_snake_case() {
+        let g = graph(&[(
+            "crates/graph/src/a.rs",
+            "struct EdgeRuns;\nimpl EdgeRuns { fn merge_into(&self) {} }\nfn f(edge_runs: &u32) { edge_runs.merge_into(); }\n",
+        )]);
+        assert_eq!(edge_names(&g, "f"), vec!["EdgeRuns::merge_into"]);
+    }
+
+    #[test]
+    fn std_method_on_unknown_receiver_is_external_not_phantom() {
+        let g = graph(&[(
+            "crates/graph/src/a.rs",
+            "struct EdgeRuns;\nimpl EdgeRuns { fn push(&self) {} }\nfn f(xs: &u32) { xs.push(); }\n",
+        )]);
+        assert!(
+            edge_names(&g, "f").is_empty(),
+            "no phantom edge to EdgeRuns::push"
+        );
+        assert_eq!(g.stats.calls_external, 1);
+        assert_eq!(g.stats.calls_unresolved, 0);
+    }
+
+    #[test]
+    fn unique_non_std_method_resolves_by_name() {
+        let g = graph(&[(
+            "crates/graph/src/a.rs",
+            "struct Delta;\nimpl Delta { fn advance_epoch(&self) {} }\nfn f(d: &u32) { d.advance_epoch(); }\n",
+        )]);
+        assert_eq!(edge_names(&g, "f"), vec!["Delta::advance_epoch"]);
+    }
+
+    #[test]
+    fn ambiguous_method_is_unresolved_with_no_edge() {
+        let g = graph(&[(
+            "crates/graph/src/a.rs",
+            "struct A;\nstruct B;\nimpl A { fn churn(&self) {} }\nimpl B { fn churn(&self) {} }\nfn f(q: &u32) { q.churn(); }\n",
+        )]);
+        assert!(edge_names(&g, "f").is_empty());
+        assert_eq!(g.stats.calls_unresolved, 1);
+        assert!((g.stats.unresolved_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typed_binding_resolves_receiver() {
+        let g = graph(&[(
+            "crates/graph/src/a.rs",
+            "struct Delta;\nimpl Delta { fn push(&self) {} }\nfn f(d: &Delta) { d.push(); }\n",
+        )]);
+        assert_eq!(edge_names(&g, "f"), vec!["Delta::push"]);
+    }
+
+    #[test]
+    fn cross_crate_qualified_call_resolves() {
+        let g = graph(&[
+            ("crates/graph/src/lib.rs", "pub fn build_graph() {}\n"),
+            (
+                "crates/core/src/lib.rs",
+                "pub fn run() { segugio_graph::build_graph(); }\n",
+            ),
+        ]);
+        assert_eq!(edge_names(&g, "run"), vec!["build_graph"]);
+    }
+
+    #[test]
+    fn imported_leaf_resolves_bare_call() {
+        let g = graph(&[
+            ("crates/graph/src/lib.rs", "pub fn build_graph() {}\n"),
+            (
+                "crates/core/src/lib.rs",
+                "use segugio_graph::{build_graph, other};\npub fn run() { build_graph(); }\n",
+            ),
+        ]);
+        assert_eq!(edge_names(&g, "run"), vec!["build_graph"]);
+    }
+
+    #[test]
+    fn import_alias_resolves() {
+        let g = graph(&[
+            ("crates/graph/src/lib.rs", "pub fn build_graph() {}\n"),
+            (
+                "crates/core/src/lib.rs",
+                "use segugio_graph::build_graph as bg;\npub fn run() { bg(); }\n",
+            ),
+        ]);
+        // The alias maps to the crate, but `bg` is not an indexed name
+        // there — classified external (an alias, never a phantom edge).
+        assert!(edge_names(&g, "run").is_empty());
+        assert_eq!(g.stats.calls_external, 1);
+    }
+
+    #[test]
+    fn type_assoc_and_self_paths_resolve() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "struct Tracker;\nimpl Tracker {\n  fn fresh() {}\n  pub fn boot() { Self::fresh(); Tracker::fresh(); }\n}\n",
+        )]);
+        assert_eq!(edge_names(&g, "boot"), vec!["Tracker::fresh"]);
+        assert_eq!(g.stats.calls_resolved, 2);
+        // Two resolved call sites collapse into one deduplicated edge.
+        assert_eq!(g.stats.edges, 1);
+    }
+
+    #[test]
+    fn ufcs_and_turbofish_resolve() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "struct Day;\ntrait Step { fn step(&self); }\nimpl Step for Day { fn step(&self) {} }\nimpl Day { fn parse(s: &str) {} }\nfn f(d: &Day) { <Day as Step>::step(d); Day::parse::<>(\"x\"); }\n",
+        )]);
+        let names = edge_names(&g, "f");
+        assert!(names.contains(&"Day::step".to_owned()), "{names:?}");
+        assert!(names.contains(&"Day::parse".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn constructors_and_attrs_are_skipped_entirely() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "#[derive(Clone)]\nstruct Day(u32);\nfn f() -> Option<Day> { Some(Day(3)) }\n",
+        )]);
+        assert!(edge_names(&g, "f").is_empty());
+        assert_eq!(g.stats.calls_total, 0, "constructors are not call sites");
+    }
+
+    #[test]
+    fn nested_fn_calls_attribute_to_inner_def() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn leaf() {}\nfn outer() {\n  fn inner() { leaf(); }\n  inner();\n}\n",
+        )]);
+        assert_eq!(edge_names(&g, "inner"), vec!["leaf"]);
+        assert_eq!(edge_names(&g, "outer"), vec!["inner"]);
+    }
+
+    #[test]
+    fn loop_call_sites_set_in_loop() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn leaf() {}\nfn f() { for i in 0..3 { leaf(); } }\nfn g() { leaf(); }\n",
+        )]);
+        let (fi, _) = def(&g, "f");
+        assert!(g.calls[fi][0].in_loop);
+        let (gi, _) = def(&g, "g");
+        assert!(!g.calls[gi][0].in_loop);
+    }
+
+    #[test]
+    fn test_code_is_flagged() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "pub fn real() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { crate::real(); }\n}\n",
+        )]);
+        assert!(!def(&g, "real").1.is_test);
+        assert!(def(&g, "t").1.is_test);
+    }
+
+    #[test]
+    fn undefined_names_are_external() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "pub fn f() { no_such_fn(); std::mem::drop(1); }\n",
+        )]);
+        assert!(edge_names(&g, "f").is_empty());
+        assert_eq!(g.stats.calls_external, 2);
+        assert_eq!(g.stats.unresolved_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ceiling_loader_parses_and_validates() {
+        let dir = std::env::temp_dir().join(format!("cg-ceil-{}", std::process::id()));
+        let xdir = dir.join("crates/xtask");
+        std::fs::create_dir_all(&xdir).unwrap();
+        assert_eq!(load_ceiling(&dir.join("nope")), Ok(None));
+        let path = xdir.join("callgraph-ceiling.toml");
+        std::fs::write(&path, "[callgraph]\nmax_unresolved_ratio = 0.25\n").unwrap();
+        assert_eq!(load_ceiling(&dir), Ok(Some(0.25)));
+        std::fs::write(&path, "[callgraph]\nmax_unresolved_ratio = 7.0\n").unwrap();
+        assert!(load_ceiling(&dir).is_err(), "out-of-range ratio rejected");
+        std::fs::write(&path, "[other]\nx = 1\n").unwrap();
+        assert!(load_ceiling(&dir).is_err(), "wrong section rejected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

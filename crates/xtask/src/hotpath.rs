@@ -134,7 +134,7 @@ fn is_buffer_type(t: &str) -> bool {
 /// Scans a parameter-list token group (exclusive of the delimiters) for a
 /// reusable buffer: `&mut self`, or `&mut` followed (within the same
 /// parameter) by a buffer-shaped type.
-fn has_reusable_buffer(params: &[Token]) -> bool {
+pub(crate) fn has_reusable_buffer(params: &[Token]) -> bool {
     let text = |k: usize| params.get(k).map(|t| t.text.as_str());
     for k in 0..params.len() {
         if text(k) != Some("&") {
@@ -215,7 +215,7 @@ fn hot_regions(tokens: &[Token], names: &BTreeSet<String>) -> Vec<HotRegion> {
 /// `[lo, hi)`. Rust forbids bare struct literals in loop headers, so the
 /// first depth-0 `{` after the keyword (skipping balanced groups) opens
 /// the body.
-fn loop_bodies(tokens: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+pub(crate) fn loop_bodies(tokens: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
     let mut i = lo;
@@ -251,18 +251,56 @@ fn loop_bodies(tokens: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
 
 /// Allocation-constructor types H1 watches for `::new` / `::with_capacity`
 /// / `::from` inside loop bodies.
-const ALLOC_TYPES: &[&str] = &[
+pub(crate) const ALLOC_TYPES: &[&str] = &[
     "Vec", "String", "Box", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet",
 ];
 
 /// Constructor names that allocate.
-const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+pub(crate) const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
 
 /// Allocating macros H1 watches inside loop bodies.
-const ALLOC_MACROS: &[&str] = &["vec", "format"];
+pub(crate) const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 /// Deep-copy methods H2 watches anywhere in a hot region.
-const COPY_METHODS: &[&str] = &["clone", "to_owned", "to_vec", "to_string"];
+pub(crate) const COPY_METHODS: &[&str] = &["clone", "to_owned", "to_vec", "to_string"];
+
+/// If the token at `k` opens an allocation-constructor path
+/// (`Vec::new`, `Box::<T>::with_capacity`, `vec![…]`, `format!(…)`),
+/// returns a display label for it. Shared by H1 and the transitive H4
+/// closure check so both flag exactly the same constructor shapes.
+pub(crate) fn alloc_ctor_label(tokens: &[Token], k: usize) -> Option<String> {
+    let text = |j: usize| tokens.get(j).map(|t| t.text.as_str());
+    let t = tokens[k].text.as_str();
+    if ALLOC_MACROS.contains(&t) && text(k + 1) == Some("!") {
+        return Some(format!("`{t}!`"));
+    }
+    if !ALLOC_TYPES.contains(&t) || text(k + 1) != Some("::") {
+        return None;
+    }
+    // A turbofish between the type and the constructor
+    // (`Vec::<u32>::with_capacity`) still allocates; skip the balanced
+    // `<…>` group before looking for the ctor name.
+    let mut j = k + 2;
+    if text(j) == Some("<") {
+        let mut depth = 1u32;
+        j += 1;
+        while depth > 0 {
+            match text(j)? {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if text(j) != Some("::") {
+            return None;
+        }
+        j += 1;
+    }
+    text(j)
+        .filter(|c| ALLOC_CTORS.contains(c))
+        .map(|c| format!("`{t}::{c}`"))
+}
 
 /// Emits one H-family finding unless suppressed: test code is skipped, an
 /// allow on the firing line (or on the `macro_rules!` definition line when
@@ -321,42 +359,10 @@ pub fn check_source(
         {
             let t = tok.text.as_str();
             let line = tok.line;
-            // H1: allocation constructors in loop bodies. A turbofish
-            // between the type and the constructor
-            // (`Vec::<u32>::with_capacity`) still allocates, so skip
-            // balanced `<…>` generic args before looking for the ctor.
+            // H1: allocation constructors in loop bodies (see
+            // [`alloc_ctor_label`] for the shapes recognized).
             if enabled.contains("H1") && in_loop(k) {
-                let ctor_at = || -> Option<usize> {
-                    if !ALLOC_TYPES.contains(&t) || text(k + 1) != Some("::") {
-                        return None;
-                    }
-                    let mut j = k + 2;
-                    if text(j) == Some("<") {
-                        let mut depth = 1u32;
-                        j += 1;
-                        while depth > 0 {
-                            match text(j)? {
-                                "<" => depth += 1,
-                                ">" => depth -= 1,
-                                _ => {}
-                            }
-                            j += 1;
-                        }
-                        if text(j) != Some("::") {
-                            return None;
-                        }
-                        j += 1;
-                    }
-                    text(j).filter(|c| ALLOC_CTORS.contains(c)).map(|_| j)
-                };
-                let ctor = ctor_at();
-                let alloc_macro = ALLOC_MACROS.contains(&t) && text(k + 1) == Some("!");
-                if ctor.is_some() || alloc_macro {
-                    let what = if let Some(j) = ctor {
-                        format!("`{t}::{}`", text(j).unwrap_or(""))
-                    } else {
-                        format!("`{t}!`")
-                    };
+                if let Some(what) = alloc_ctor_label(tokens, k) {
                     fire(
                         class,
                         scanned,

@@ -4,15 +4,16 @@
 //!
 //! * `lint` — enforce the repo's determinism, concurrency, layering,
 //!   hot-path allocation (see [`hotpath`]), atomic-persistence (see
-//!   [`persistence`]), and unsafe-hygiene invariants (see [`rules`])
-//!   against a checked-in ratchet baseline (see [`baseline`]).
+//!   [`persistence`]), unsafe-hygiene (see [`rules`]), and call-graph
+//!   reachability invariants (see [`callgraph`] and [`reach`]) against a
+//!   checked-in ratchet baseline (see [`baseline`]).
 //! * `audit` — emit the same pass as a deterministic machine-readable
 //!   report (see [`audit`]), uploaded as a CI artifact on every run.
 //!
 //! ```text
 //! cargo run -p xtask -- lint  [--list] [--strict] [--update-baseline]
 //!                             [--rules D1,D2,…] [--root DIR] [--baseline FILE]
-//! cargo run -p xtask -- audit [--json] [--out FILE]
+//! cargo run -p xtask -- audit [--json] [--out FILE] [--diff OLD.json]
 //!                             [--rules D1,D2,…] [--root DIR] [--baseline FILE]
 //! ```
 //!
@@ -22,9 +23,11 @@
 pub mod allocbudget;
 pub mod audit;
 pub mod baseline;
+pub mod callgraph;
 pub mod hotpath;
 pub mod layering;
 pub mod persistence;
+pub mod reach;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
@@ -52,10 +55,12 @@ USAGE:
     cargo run -p xtask -- <TASK> [OPTIONS]
 
 TASKS:
-    lint     enforce the determinism/concurrency/layering/hot-path rules
-             against the ratchet baseline (lint-baseline.toml)
+    lint     enforce the determinism/concurrency/layering/hot-path and
+             call-graph reachability rules against the ratchet baseline
+             (lint-baseline.toml)
     audit    emit the same pass as a deterministic JSON report
-             (segugio-audit/3, including the allocation-budget section)
+             (segugio-audit/4, including the allocation-budget and
+             call-graph sections)
     help     print this message
 
 COMMON OPTIONS (lint and audit):
@@ -72,13 +77,16 @@ LINT OPTIONS:
 AUDIT OPTIONS:
     --json             print the JSON report to stdout
     --out FILE         also write the JSON report to FILE
+    --diff OLD.json    print per-rule count deltas against an older
+                       audit report (CI artifact comparison)
 
 EXIT CODES (shared by lint and audit):
     0    clean — no findings beyond the baseline
-    1    violations — findings beyond the baseline; for audit (always
-         strict) and `lint --strict`, stale baseline entries too, and
-         for audit any allocation-budget drift (alloc-budget.toml vs
-         BENCH_alloc.json)
+    1    violations — findings beyond the baseline or baseline entries
+         naming deleted files; for audit (always strict) and
+         `lint --strict`, stale baseline entries too, and for audit any
+         allocation-budget drift (alloc-budget.toml vs BENCH_alloc.json)
+         or an unresolved-call ratio above callgraph-ceiling.toml
     2    usage — unknown task, flag, or malformed value
     3    io — unreadable tree or baseline, or unwritable output
 ";
@@ -193,6 +201,8 @@ pub struct AuditOptions {
     pub json: bool,
     /// Also write the JSON report to this path.
     pub out: Option<PathBuf>,
+    /// Print per-rule count deltas against this older audit report.
+    pub diff: Option<PathBuf>,
 }
 
 impl Default for AuditOptions {
@@ -203,6 +213,7 @@ impl Default for AuditOptions {
             rules: rules::ALL_RULES.iter().map(|s| s.to_string()).collect(),
             json: false,
             out: None,
+            diff: None,
         }
     }
 }
@@ -222,6 +233,11 @@ impl AuditOptions {
                 "--out" => {
                     opts.out = Some(PathBuf::from(
                         it.next().ok_or_else(|| "--out needs a value".to_owned())?,
+                    ));
+                }
+                "--diff" => {
+                    opts.diff = Some(PathBuf::from(
+                        it.next().ok_or_else(|| "--diff needs a value".to_owned())?,
                     ));
                 }
                 "--root" => {
@@ -276,6 +292,8 @@ pub struct LintReport {
     pub counts: Counts,
     /// Every allow-comment site in non-test code, with usage state.
     pub suppressions: Vec<Suppression>,
+    /// Call-graph resolution stats, when any reachability rule ran.
+    pub callgraph: Option<callgraph::Stats>,
 }
 
 /// Lints every workspace source file under `root` with the given rules.
@@ -294,7 +312,9 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
     } else {
         None
     };
-    let h_enabled = ["H1", "H2", "H3"].iter().any(|r| enabled.contains(*r));
+    let h_enabled = ["H1", "H2", "H3", "H4"]
+        .iter()
+        .any(|r| enabled.contains(*r));
     let hot = if h_enabled {
         hotpath::load(root)?
     } else {
@@ -305,44 +325,78 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
     } else {
         None
     };
+    let cg_enabled = ["R1", "D3"].iter().any(|r| enabled.contains(*r))
+        || (enabled.contains("H4") && hot.is_some());
     let files = workspace::rust_files(root)?;
     let mut violations = Vec::new();
     let mut suppressions = Vec::new();
     if let Some(dag) = &layering {
         violations.extend(layering::check_manifests(root, dag)?);
     }
+
+    // Pass 1: scan every file once; the token streams feed both the
+    // per-file rules and the whole-workspace call graph.
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let src =
             fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
-        let class = rules::classify(rel);
-        let scanned = scan::scan(&src);
-        let lint = rules::lint_file_full(&class, &scanned, enabled);
+        sources.push(callgraph::SourceFile {
+            class: rules::classify(rel),
+            scanned: scan::scan(&src),
+        });
+    }
+
+    // Pass 2: per-file rules and the tree-level config-driven checks,
+    // with one used-allow set per file.
+    let mut used_sets: Vec<BTreeSet<(u32, String)>> = Vec::with_capacity(sources.len());
+    for source in &sources {
+        let (class, scanned) = (&source.class, &source.scanned);
+        let lint = rules::lint_file_full(class, scanned, enabled);
         let mut used = lint.used_allows;
         violations.extend(lint.violations);
         if let Some(dag) = &layering {
-            layering::check_source(&class, &scanned, dag, &mut violations, &mut used);
+            layering::check_source(class, scanned, dag, &mut violations, &mut used);
         }
         if let Some(hot) = &hot {
-            hotpath::check_source(&class, &scanned, hot, enabled, &mut violations, &mut used);
+            hotpath::check_source(class, scanned, hot, enabled, &mut violations, &mut used);
         }
         if let Some(persist) = &persist {
-            persistence::check_source(
-                &class,
-                &scanned,
-                persist,
-                enabled,
-                &mut violations,
-                &mut used,
-            );
+            persistence::check_source(class, scanned, persist, enabled, &mut violations, &mut used);
         }
+        used_sets.push(used);
+    }
+
+    // Pass 3: the call-graph reachability rules (R1 / H4 / D3).
+    let cg_stats = if cg_enabled {
+        let graph = callgraph::build(&sources);
+        if enabled.contains("R1") {
+            reach::check_r1(&sources, &graph, &mut violations, &mut used_sets);
+        }
+        if enabled.contains("H4") {
+            if let Some(hot) = &hot {
+                reach::check_h4(&sources, &graph, hot, &mut violations, &mut used_sets);
+            }
+        }
+        if enabled.contains("D3") {
+            reach::check_d3(&sources, &graph, &mut violations, &mut used_sets);
+        }
+        Some(graph.stats)
+    } else {
+        None
+    };
+
+    // Pass 4: record allow sites now that every rule (including the
+    // reachability families) has claimed its suppressions.
+    for (source, used) in sources.iter().zip(&used_sets) {
         collect_suppressions(
-            &class,
-            &scanned,
+            &source.class,
+            &source.scanned,
             enabled,
-            &used,
+            used,
             layering.is_some(),
             hot.is_some(),
             persist.is_some(),
+            cg_enabled,
             &mut suppressions,
             &mut violations,
         );
@@ -356,13 +410,14 @@ pub fn lint_tree(root: &Path, enabled: &BTreeSet<String>) -> Result<LintReport, 
         violations,
         counts,
         suppressions,
+        callgraph: cg_stats,
     })
 }
 
 /// Records every allow-comment site in non-test code with its usage state,
 /// and performs the tree-level W1 accounting that `rule_w1` defers for A1,
-/// S1, and the H family (their suppressions are only visible after the
-/// tree-level `check_source` passes run).
+/// S1, the H family, and the reachability rules (their suppressions are
+/// only visible after the tree-level check passes run).
 #[allow(clippy::too_many_arguments)] // internal helper mirroring lint_tree state
 fn collect_suppressions(
     class: &rules::FileClass,
@@ -372,6 +427,7 @@ fn collect_suppressions(
     layering_active: bool,
     hotpath_active: bool,
     persist_active: bool,
+    cg_active: bool,
     suppressions: &mut Vec<Suppression>,
     violations: &mut Vec<Violation>,
 ) {
@@ -395,11 +451,15 @@ fn collect_suppressions(
             });
             let tree_level = (rule == "A1" && layering_active)
                 || (matches!(rule.as_str(), "H1" | "H2" | "H3") && hotpath_active)
-                || (rule == "S1" && persist_active);
+                || (rule == "S1" && persist_active)
+                || (matches!(rule.as_str(), "R1" | "D3") && cg_active)
+                || (rule == "H4" && cg_active && hotpath_active);
             if tree_level && enabled.contains("W1") && !is_used {
                 let what = match rule.as_str() {
                     "A1" => "layering",
                     "S1" => "persistence",
+                    "R1" => "panic-reachability",
+                    "D3" => "determinism-taint",
                     _ => "hot-path",
                 };
                 violations.push(Violation {
@@ -454,6 +514,7 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
         }
     };
     let ratchet = baseline::compare(&base, &report.counts);
+    let missing = baseline::missing_entries(&base, &opts.root);
     print_summary(&report, Some(&base), &opts.rules);
 
     if opts.list {
@@ -463,6 +524,14 @@ pub fn run_lint(opts: &LintOptions) -> i32 {
     }
 
     let mut failed = false;
+    if !missing.is_empty() {
+        failed = true;
+        println!("\nbaseline entries naming deleted files:");
+        for (rule, file, n) in &missing {
+            println!("  {rule} {file}: baselined {n}, but the file no longer exists");
+        }
+        println!("run `cargo run -p xtask -- lint --update-baseline` to drop the dead entries.");
+    }
     if !ratchet.is_clean() {
         failed = true;
         println!("\nviolations beyond the baseline:");
@@ -524,6 +593,7 @@ pub fn run_audit(opts: &AuditOptions) -> i32 {
         Err(_) => Counts::new(),
     };
     let ratchet = baseline::compare(&base, &report.counts);
+    let missing = baseline::missing_entries(&base, &opts.root);
     let alloc = match allocbudget::evaluate(&opts.root) {
         Ok(a) => a,
         Err(e) => {
@@ -531,13 +601,38 @@ pub fn run_audit(opts: &AuditOptions) -> i32 {
             return EXIT_IO;
         }
     };
-    let json = audit::render_json(&report, &base, &ratchet, &opts.rules, &alloc);
+    let ceiling = match callgraph::load_ceiling(&opts.root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_IO;
+        }
+    };
+    let json = audit::render_json(
+        &report,
+        &base,
+        &ratchet,
+        &missing,
+        &opts.rules,
+        &alloc,
+        ceiling,
+    );
 
     if let Some(out_path) = &opts.out {
         if let Err(e) = fs::write(out_path, &json) {
             eprintln!("error: cannot write {}: {e}", out_path.display());
             return EXIT_IO;
         }
+    }
+    if let Some(diff_path) = &opts.diff {
+        let old = match fs::read_to_string(diff_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", diff_path.display());
+                return EXIT_IO;
+            }
+        };
+        print_diff(&old, &json, &opts.rules);
     }
     if opts.json {
         print!("{json}");
@@ -549,6 +644,18 @@ pub fn run_audit(opts: &AuditOptions) -> i32 {
             report.suppressions.len(),
             stale
         );
+        if let Some(cg) = &report.callgraph {
+            println!(
+                "  call graph: {} nodes, {} edges, unresolved ratio {:.4}{}",
+                cg.nodes,
+                cg.edges,
+                cg.unresolved_ratio(),
+                match ceiling {
+                    Some(c) => format!(" (ceiling {c})"),
+                    None => String::new(),
+                }
+            );
+        }
         match (&alloc.budget, &alloc.measured) {
             (Some(b), Some(_)) => {
                 println!(
@@ -572,10 +679,75 @@ pub fn run_audit(opts: &AuditOptions) -> i32 {
             println!("wrote {}", out_path.display());
         }
     }
-    if ratchet.is_clean() && ratchet.stale.is_empty() && alloc.is_clean() {
+    let cg_clean = match (&report.callgraph, ceiling) {
+        (Some(cg), Some(c)) => cg.unresolved_ratio() <= c,
+        _ => true,
+    };
+    if ratchet.is_clean()
+        && ratchet.stale.is_empty()
+        && missing.is_empty()
+        && alloc.is_clean()
+        && cg_clean
+    {
         EXIT_CLEAN
     } else {
         EXIT_VIOLATIONS
+    }
+}
+
+/// Extracts `"<rule>": {"violations": N` counts from a rendered audit
+/// report, for `--diff` (string-level scan — the reports are emitted by
+/// [`audit::render_json`], whose shape is pinned by test).
+fn rule_counts_from_json(json: &str, rules: &BTreeSet<String>) -> Vec<(String, Option<usize>)> {
+    let mut out = Vec::new();
+    for rule in rules {
+        let needle = format!("\"{rule}\": {{\"violations\": ");
+        let count = json.find(&needle).and_then(|pos| {
+            let rest = &json[pos + needle.len()..];
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        });
+        out.push((rule.clone(), count));
+    }
+    out
+}
+
+/// Prints per-rule violation-count deltas between an older audit report
+/// and the current one (satellite of the call-graph analyzer: CI compares
+/// uploaded artifacts across PRs).
+fn print_diff(old_json: &str, new_json: &str, enabled: &BTreeSet<String>) {
+    let old_schema = audit::schema_of(old_json).unwrap_or("unknown");
+    println!(
+        "audit diff (old report: {old_schema}, new report: {})",
+        audit::SCHEMA
+    );
+    println!("  {:<6} {:>8} {:>8} {:>8}", "rule", "old", "new", "delta");
+    let old_counts = rule_counts_from_json(old_json, enabled);
+    let new_counts = rule_counts_from_json(new_json, enabled);
+    let mut old_total = 0usize;
+    let mut new_total = 0usize;
+    for ((rule, old), (_, new)) in old_counts.iter().zip(&new_counts) {
+        let (o, n) = (old.unwrap_or(0), new.unwrap_or(0));
+        old_total += o;
+        new_total += n;
+        let delta = n as i64 - o as i64;
+        let old_s = match old {
+            Some(o) => o.to_string(),
+            None => "-".to_owned(),
+        };
+        println!("  {:<6} {:>8} {:>8} {:>+8}", rule, old_s, n, delta);
+    }
+    println!(
+        "  {:<6} {:>8} {:>8} {:>+8}",
+        "total",
+        old_total,
+        new_total,
+        new_total as i64 - old_total as i64
+    );
+    let old_ratio = audit::unresolved_ratio_of(old_json);
+    let new_ratio = audit::unresolved_ratio_of(new_json);
+    if let (Some(o), Some(n)) = (old_ratio, new_ratio) {
+        println!("  unresolved-call ratio: {o:.4} -> {n:.4}");
     }
 }
 

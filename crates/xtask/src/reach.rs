@@ -1,0 +1,612 @@
+//! Reachability rules over the workspace call graph.
+//!
+//! [`crate::callgraph`] builds the nodes and edges; this module walks
+//! them. Three rule families live here:
+//!
+//! * **R1 — panic-reachability.** Public functions of the library crates
+//!   (`ingest`, `graph`, `pdns`, `ml`, `core`) must not transitively
+//!   reach `panic!` / `todo!` / `.unwrap()` / `.expect()` in non-test
+//!   code. Violations print the witness path from the public root to the
+//!   function holding the sink (`a::b -> c::d -> e`), so the report shows
+//!   *why* a leaf panic is a public-API liability.
+//! * **H4 — transitive hot-path allocation.** The call closure of every
+//!   `hotpath.toml` region must observe the H1–H3 discipline: helpers
+//!   reached from a hot region must not allocate in loops (or at all when
+//!   the call edge is loop-amplified), must not deep-copy, and must not
+//!   build fresh collections via `.collect()` when the helper has a
+//!   reusable buffer in scope. This closes the helper-fn laundering hole:
+//!   hoisting `Vec::new()` out of the hot fn into a callee no longer
+//!   hides it.
+//! * **D3 — determinism taint.** The D2 entropy/clock sources
+//!   (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`)
+//!   must be unreachable from `Tracker::process_day` and the streamed-day
+//!   generators (`IspNetwork::next_day*`). D2 catches direct use in
+//!   pinned crates; D3 catches a tracked path importing one through any
+//!   chain of calls.
+//!
+//! All three fire through the shared suppression machinery (reasoned
+//! allow comments, same syntax as every other rule), remap
+//! macro-expanded sinks to their definition line, and skip test code.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::callgraph::{CallGraph, SourceFile};
+use crate::hotpath::{self, Hotpath, COPY_METHODS};
+use crate::rules::{suppressed, Violation};
+
+/// Per-file used-allow sets, parallel to the `SourceFile` slice; merged
+/// into the tree-level W1 accounting by the caller.
+pub type UsedAllows = Vec<BTreeSet<(u32, String)>>;
+
+/// Result of a BFS over the call graph.
+pub struct Reach {
+    /// Parent pointers: `parent[n]` is the node that first reached `n`
+    /// (`None` for roots and unreached nodes).
+    parent: Vec<Option<usize>>,
+    /// Whether each node is reachable from any root.
+    reached: Vec<bool>,
+    /// Whether the path to each node crosses a loop-amplified call edge
+    /// (or the node re-amplifies itself downstream of one).
+    amplified: Vec<bool>,
+}
+
+impl Reach {
+    /// Whether `node` is reachable from the root set.
+    pub fn reached(&self, node: usize) -> bool {
+        self.reached[node]
+    }
+
+    /// Whether the witness path to `node` crosses a loop-amplified edge.
+    pub fn amplified(&self, node: usize) -> bool {
+        self.amplified[node]
+    }
+}
+
+/// Breadth-first reachability from `roots`. Deterministic: roots are
+/// visited in sorted order and adjacency lists are already sorted by
+/// callee index, so parent pointers (and witness paths) are stable across
+/// runs. With `amplify`, a second wave upgrades nodes whose path crosses
+/// an `in_loop` edge — an upgraded node re-enqueues so amplification
+/// propagates through its callees.
+pub fn reach(g: &CallGraph, roots: &[usize], amplify: bool) -> Reach {
+    let n = g.defs.len();
+    let mut r = Reach {
+        parent: vec![None; n],
+        reached: vec![false; n],
+        amplified: vec![false; n],
+    };
+    let mut sorted: Vec<usize> = roots.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &root in &sorted {
+        if !r.reached[root] {
+            r.reached[root] = true;
+            queue.push_back(root);
+        }
+    }
+    while let Some(node) = queue.pop_front() {
+        for edge in &g.calls[node] {
+            let amp = amplify && (r.amplified[node] || edge.in_loop);
+            let c = edge.callee;
+            if !r.reached[c] {
+                r.reached[c] = true;
+                r.parent[c] = Some(node);
+                r.amplified[c] = amp;
+                queue.push_back(c);
+            } else if amp && !r.amplified[c] {
+                // Already reached without amplification; upgrade and
+                // re-propagate (each node upgrades at most once, so this
+                // terminates).
+                r.amplified[c] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    r
+}
+
+/// The witness path root → … → `node`, as definition indexes.
+pub fn witness_chain(g: &CallGraph, r: &Reach, node: usize) -> Vec<usize> {
+    let _ = g;
+    let mut chain = vec![node];
+    let mut cur = node;
+    while let Some(p) = r.parent[cur] {
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Renders a witness chain as `a::b -> c -> d::e`.
+fn render_chain(g: &CallGraph, chain: &[usize]) -> String {
+    chain
+        .iter()
+        .map(|&i| g.defs[i].qualified())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Crates whose public API R1 holds to the no-transitive-panic bar.
+const R1_CRATES: &[&str] = &["ingest", "graph", "pdns", "ml", "core"];
+
+/// Token-level panic sinks inside one definition body: `(line, label)`
+/// for `panic!` / `todo!` / `.unwrap(` / `.expect(`, excluding test-range
+/// lines.
+fn panic_sinks(files: &[SourceFile], g: &CallGraph, node: usize) -> Vec<(u32, &'static str)> {
+    let def = &g.defs[node];
+    let file = &files[def.file_idx];
+    let tokens = &file.scanned.tokens;
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let (lo, hi) = def.body;
+    let mut out = Vec::new();
+    for (k, tok) in tokens
+        .iter()
+        .enumerate()
+        .take(hi.min(tokens.len()))
+        .skip(lo)
+    {
+        let line = tok.line;
+        if file.scanned.is_test_line(line) {
+            continue;
+        }
+        let label = match tok.text.as_str() {
+            "panic" if text(k + 1) == Some("!") => Some("panic!"),
+            "todo" if text(k + 1) == Some("!") => Some("todo!"),
+            "unwrap" if k > 0 && text(k - 1) == Some(".") && text(k + 1) == Some("(") => {
+                Some(".unwrap()")
+            }
+            "expect" if k > 0 && text(k - 1) == Some(".") && text(k + 1) == Some("(") => {
+                Some(".expect()")
+            }
+            _ => None,
+        };
+        if let Some(label) = label {
+            out.push((line, label));
+        }
+    }
+    out
+}
+
+/// R1: no panic sink transitively reachable from the public API of the
+/// library crates.
+pub fn check_r1(
+    files: &[SourceFile],
+    g: &CallGraph,
+    out: &mut Vec<Violation>,
+    used: &mut UsedAllows,
+) {
+    let roots: Vec<usize> = g
+        .defs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            d.is_pub
+                && !d.is_test
+                && R1_CRATES.contains(&d.crate_name.as_str())
+                && files[d.file_idx].class.path.contains("/src/")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let r = reach(g, &roots, false);
+    for node in 0..g.defs.len() {
+        if !r.reached(node) || g.defs[node].is_test {
+            continue;
+        }
+        let def = &g.defs[node];
+        let file = &files[def.file_idx];
+        for (line, label) in panic_sinks(files, g, node) {
+            if suppressed(
+                &file.class,
+                &file.scanned,
+                "R1",
+                line,
+                &mut used[def.file_idx],
+            ) {
+                continue;
+            }
+            let chain = witness_chain(g, &r, node);
+            let root = chain[0];
+            let fire_line = file.scanned.macro_def_line(line).unwrap_or(line);
+            out.push(Violation {
+                file: file.class.path.clone(),
+                line: fire_line,
+                rule: "R1",
+                message: format!(
+                    "`{label}` in `{}` is reachable from public API `{}::{}` via {}; \
+                     public {}-crate functions must not transitively panic — return a \
+                     Result or handle the case",
+                    def.qualified(),
+                    g.defs[root].crate_name,
+                    g.defs[root].qualified(),
+                    render_chain(g, &chain),
+                    g.defs[root].crate_name,
+                ),
+            });
+        }
+    }
+}
+
+/// H4: the call closure of every hot region observes the H1–H3
+/// allocation discipline.
+pub fn check_h4(
+    files: &[SourceFile],
+    g: &CallGraph,
+    hot: &Hotpath,
+    out: &mut Vec<Violation>,
+    used: &mut UsedAllows,
+) {
+    let mut roots = Vec::new();
+    let mut is_root = vec![false; g.defs.len()];
+    for (i, def) in g.defs.iter().enumerate() {
+        if hot
+            .functions(&files[def.file_idx].class.path)
+            .is_some_and(|fns| fns.contains(def.name.as_str()))
+        {
+            roots.push(i);
+            is_root[i] = true;
+        }
+    }
+    if roots.is_empty() {
+        return;
+    }
+    let r = reach(g, &roots, true);
+    for (node, &rooted) in is_root.iter().enumerate() {
+        // The regions themselves are H1–H3's job; H4 owns the closure.
+        if !r.reached(node) || rooted || g.defs[node].is_test {
+            continue;
+        }
+        let def = &g.defs[node];
+        let file = &files[def.file_idx];
+        let tokens = &file.scanned.tokens;
+        let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+        let (lo, hi) = def.body;
+        let loops = hotpath::loop_bodies(tokens, lo, hi);
+        let in_loop = |k: usize| loops.iter().any(|&(a, b)| a <= k && k < b);
+        let chain = witness_chain(g, &r, node);
+        let hot_root = g.defs[chain[0]].qualified();
+        let amplified = r.amplified(node);
+        let mut fire = |line: u32, what: String| {
+            if suppressed(
+                &file.class,
+                &file.scanned,
+                "H4",
+                line,
+                &mut used[def.file_idx],
+            ) {
+                return;
+            }
+            let fire_line = file.scanned.macro_def_line(line).unwrap_or(line);
+            out.push(Violation {
+                file: file.class.path.clone(),
+                line: fire_line,
+                rule: "H4",
+                message: format!(
+                    "{what} in `{}`, reached from hot region `{hot_root}` via {}; the \
+                     transitive closure of a hotpath.toml region must keep the H1-H3 \
+                     allocation discipline",
+                    def.qualified(),
+                    render_chain(g, &chain),
+                ),
+            });
+        };
+        for k in lo..hi.min(tokens.len()) {
+            let line = tokens[k].line;
+            if file.scanned.is_test_line(line) {
+                continue;
+            }
+            let t = tokens[k].text.as_str();
+            // Allocation constructors: inside the helper's own loop they
+            // mirror H1; anywhere when the call edge from the hot region
+            // is loop-amplified (the helper runs once per iteration).
+            if let Some(what) = hotpath::alloc_ctor_label(tokens, k) {
+                if in_loop(k) {
+                    fire(line, format!("{what} allocates inside a loop"));
+                    continue;
+                }
+                if amplified {
+                    fire(
+                        line,
+                        format!("{what} allocates on every iteration (loop-amplified call)"),
+                    );
+                    continue;
+                }
+            }
+            // Deep copies mirror H2 anywhere in the closure.
+            if COPY_METHODS.contains(&t)
+                && k > 0
+                && text(k - 1) == Some(".")
+                && text(k + 1) == Some("(")
+            {
+                fire(line, format!("`.{t}()` deep-copies"));
+                continue;
+            }
+            // `.collect()` with a reusable buffer in scope mirrors H3.
+            if t == "collect"
+                && def.reusable_buffer
+                && k > 0
+                && (text(k - 1) == Some(".") || text(k - 1) == Some("::"))
+            {
+                fire(
+                    line,
+                    "`.collect()` builds a fresh collection while a reusable buffer is in scope"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// D3 root shapes: `Tracker::process_day*` and the streamed-day
+/// generators `IspNetwork::next_day*`. Matched by impl-type + name so the
+/// committed fixtures exercise the exact production shapes.
+fn is_d3_root(def: &crate::callgraph::FnDef) -> bool {
+    match def.impl_type.as_deref() {
+        Some("Tracker") => def.name.starts_with("process_day"),
+        Some("IspNetwork") => def.name.starts_with("next_day"),
+        _ => false,
+    }
+}
+
+/// D3: the D2 entropy/clock sources are unreachable from the tracked
+/// processing path.
+pub fn check_d3(
+    files: &[SourceFile],
+    g: &CallGraph,
+    out: &mut Vec<Violation>,
+    used: &mut UsedAllows,
+) {
+    let roots: Vec<usize> = g
+        .defs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.is_test && is_d3_root(d))
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let r = reach(g, &roots, false);
+    for node in 0..g.defs.len() {
+        if !r.reached(node) || g.defs[node].is_test {
+            continue;
+        }
+        let def = &g.defs[node];
+        let file = &files[def.file_idx];
+        let tokens = &file.scanned.tokens;
+        let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+        let (lo, hi) = def.body;
+        for (k, tok) in tokens
+            .iter()
+            .enumerate()
+            .take(hi.min(tokens.len()))
+            .skip(lo)
+        {
+            let line = tok.line;
+            if file.scanned.is_test_line(line) {
+                continue;
+            }
+            // Exactly the D2 sink shapes (rules::rule_d2).
+            let label = match tok.text.as_str() {
+                "thread_rng" => Some("thread_rng"),
+                "from_entropy" => Some("from_entropy"),
+                t @ ("SystemTime" | "Instant")
+                    if text(k + 1) == Some("::") && text(k + 2) == Some("now") =>
+                {
+                    Some(if t == "SystemTime" {
+                        "SystemTime::now"
+                    } else {
+                        "Instant::now"
+                    })
+                }
+                _ => None,
+            };
+            let Some(label) = label else { continue };
+            if suppressed(
+                &file.class,
+                &file.scanned,
+                "D3",
+                line,
+                &mut used[def.file_idx],
+            ) {
+                continue;
+            }
+            let chain = witness_chain(g, &r, node);
+            let fire_line = file.scanned.macro_def_line(line).unwrap_or(line);
+            out.push(Violation {
+                file: file.class.path.clone(),
+                line: fire_line,
+                rule: "D3",
+                message: format!(
+                    "`{label}` in `{}` taints the tracked processing path `{}` via {}; \
+                     day processing must be bit-for-bit reproducible — thread a seeded \
+                     Rng or an explicit clock through the call chain",
+                    def.qualified(),
+                    g.defs[chain[0]].qualified(),
+                    render_chain(g, &chain),
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{build, SourceFile};
+    use crate::rules::classify;
+    use crate::scan::scan;
+
+    fn sources(files: &[(&str, &str)]) -> Vec<SourceFile> {
+        files
+            .iter()
+            .map(|(p, s)| SourceFile {
+                class: classify(p),
+                scanned: scan(s),
+            })
+            .collect()
+    }
+
+    fn run_r1(files: &[(&str, &str)]) -> Vec<Violation> {
+        let files = sources(files);
+        let g = build(&files);
+        let mut out = Vec::new();
+        let mut used = vec![BTreeSet::new(); files.len()];
+        check_r1(&files, &g, &mut out, &mut used);
+        out
+    }
+
+    fn run_d3(files: &[(&str, &str)]) -> Vec<Violation> {
+        let files = sources(files);
+        let g = build(&files);
+        let mut out = Vec::new();
+        let mut used = vec![BTreeSet::new(); files.len()];
+        check_d3(&files, &g, &mut out, &mut used);
+        out
+    }
+
+    #[test]
+    fn r1_fires_through_a_two_hop_chain_with_witness() {
+        let out = run_r1(&[(
+            "crates/graph/src/a.rs",
+            "fn leaf(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             fn mid(x: Option<u32>) -> u32 { leaf(x) }\n\
+             pub fn api(x: Option<u32>) -> u32 { mid(x) }\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "R1");
+        assert_eq!(out[0].line, 1);
+        assert!(
+            out[0].message.contains("api -> mid -> leaf"),
+            "{}",
+            out[0].message
+        );
+        assert!(out[0].message.contains("graph::api"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn r1_ignores_private_roots_and_test_code() {
+        let out = run_r1(&[(
+            "crates/graph/src/a.rs",
+            "fn leaf() { panic!(\"x\") }\n\
+             pub(crate) fn internal() { leaf(); }\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { crate::internal(); }\n}\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r1_allow_suppresses() {
+        let out = run_r1(&[(
+            "crates/graph/src/a.rs",
+            "pub fn api(x: Option<u32>) -> u32 {\n\
+             // segugio-lint: allow(R1, len checked above)\n\
+             x.unwrap()\n}\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r1_skips_non_library_crates() {
+        let out = run_r1(&[(
+            "crates/eval/src/a.rs",
+            "pub fn api(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )]);
+        assert!(out.is_empty(), "eval is not an R1 crate: {out:?}");
+    }
+
+    #[test]
+    fn d3_fires_on_clock_reached_from_process_day() {
+        let out = run_d3(&[(
+            "crates/core/src/a.rs",
+            "struct Tracker;\n\
+             fn stamp() -> u64 { let t = Instant::now(); 0 }\n\
+             impl Tracker {\n  pub fn process_day(&self) { stamp(); }\n}\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "D3");
+        assert!(
+            out[0].message.contains("Instant::now"),
+            "{}",
+            out[0].message
+        );
+        assert!(
+            out[0].message.contains("Tracker::process_day -> stamp"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn d3_quiet_when_no_roots_exist() {
+        let out = run_d3(&[(
+            "crates/core/src/a.rs",
+            "fn stamp() -> u64 { let t = Instant::now(); 0 }\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn h4_fires_on_loop_alloc_in_helper() {
+        let files = sources(&[(
+            "crates/ml/src/flat.rs",
+            "pub struct F;\n\
+             impl F {\n  pub fn score(&self) { helper(); }\n}\n\
+             fn helper() { for i in 0..3 { let v = Vec::new(); } }\n",
+        )]);
+        let g = build(&files);
+        let hot = hotpath::parse("[hot]\n\"crates/ml/src/flat.rs\" = \"score\"\n").unwrap();
+        let mut out = Vec::new();
+        let mut used = vec![BTreeSet::new(); files.len()];
+        check_h4(&files, &g, &hot, &mut out, &mut used);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "H4");
+        assert!(
+            out[0].message.contains("F::score -> helper"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn h4_amplified_call_flags_flat_alloc() {
+        let files = sources(&[(
+            "crates/ml/src/flat.rs",
+            "pub fn score() { for i in 0..3 { helper(); } }\n\
+             fn helper() { let v = Vec::new(); }\n",
+        )]);
+        let g = build(&files);
+        let hot = hotpath::parse("[hot]\n\"crates/ml/src/flat.rs\" = \"score\"\n").unwrap();
+        let mut out = Vec::new();
+        let mut used = vec![BTreeSet::new(); files.len()];
+        check_h4(&files, &g, &hot, &mut out, &mut used);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("loop-amplified"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn h4_flat_alloc_in_unamplified_helper_is_fine() {
+        let files = sources(&[(
+            "crates/ml/src/flat.rs",
+            "pub fn score() { helper(); }\n\
+             fn helper() { let v = Vec::new(); }\n",
+        )]);
+        let g = build(&files);
+        let hot = hotpath::parse("[hot]\n\"crates/ml/src/flat.rs\" = \"score\"\n").unwrap();
+        let mut out = Vec::new();
+        let mut used = vec![BTreeSet::new(); files.len()];
+        check_h4(&files, &g, &hot, &mut out, &mut used);
+        assert!(
+            out.is_empty(),
+            "one-shot setup allocation is allowed: {out:?}"
+        );
+    }
+}

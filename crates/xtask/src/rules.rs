@@ -4,6 +4,7 @@
 //! |------|-------------------------------|------------------------------------------|
 //! | D1   | all non-test code             | `HashMap`/`HashSet` iteration order escaping into ordered output |
 //! | D2   | all non-test, non-bench code  | entropy / wall-clock sources (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`) |
+//! | D3   | call-graph closure            | D2 entropy/clock sources transitively reachable from `Tracker::process_day` / the streamed-day generators (see [`crate::reach`]) |
 //! | C1   | ingest/graph/core/ml lib code | `unwrap()` / `expect()` / `panic!`       |
 //! | C2   | `crates/ingest/src` parsers   | lossy `as` numeric casts (use `try_from`) |
 //! | P1   | all non-test code             | parallel closures capturing interior-mutable state (`RefCell`/`Cell`), relaxed atomics, or mutating captured bindings |
@@ -11,7 +12,9 @@
 //! | H1   | hot regions (`hotpath.toml`)  | allocation constructors (`Vec::new`, `vec![]`, `format!`, `Box::new`, …) inside loop bodies |
 //! | H2   | hot regions (`hotpath.toml`)  | `.clone()` / `.to_owned()` / `.to_vec()` / `.to_string()` |
 //! | H3   | hot regions (`hotpath.toml`)  | `.collect()` into a fresh container while a reusable buffer (`&mut self` scratch or `&mut` buffer parameter) is in scope |
+//! | H4   | call-graph closure of hot regions | the H1–H3 allocation discipline broken in helpers reached from a `hotpath.toml` region (helper-fn laundering; see [`crate::reach`]) |
 //! | A1   | crate manifests + lib code    | crate-dependency edges outside the layering DAG (`crates/xtask/layering.toml`) |
+//! | R1   | call-graph closure of public API | `panic!` / `todo!` / `.unwrap()` / `.expect()` transitively reachable from public ingest/graph/pdns/ml/core functions, with witness paths (see [`crate::reach`]) |
 //! | S1   | persistence modules (`persistence.toml`) | raw write entry points (`fs::write`, `File::create`, `OpenOptions::new`) outside the sanctioned atomic-writer functions |
 //! | U1   | all non-test code             | `unsafe` without an adjacent `// SAFETY:` comment |
 //! | W1   | all non-test code             | `segugio-lint: allow(…)` comments that suppress no finding |
@@ -28,7 +31,7 @@ use crate::scan::{ScannedFile, Token};
 
 /// All known rule ids, in report order.
 pub const ALL_RULES: &[&str] = &[
-    "D1", "D2", "C1", "C2", "P1", "P2", "H1", "H2", "H3", "A1", "S1", "U1", "W1",
+    "D1", "D2", "D3", "C1", "C2", "P1", "P2", "H1", "H2", "H3", "H4", "A1", "R1", "S1", "U1", "W1",
 ];
 
 /// How a file participates in linting, derived from its workspace-relative
@@ -805,10 +808,13 @@ fn rule_w1(
             if !ALL_RULES.contains(&rule.as_str()) || !enabled.contains(rule) {
                 continue;
             }
-            // A1, S1, and the H family run at tree level (their
-            // suppressions are not visible here); lint_tree performs the
-            // equivalent W1 accounting.
-            if matches!(rule.as_str(), "A1" | "H1" | "H2" | "H3" | "S1") {
+            // A1, S1, the H family, and the reachability rules run at
+            // tree level (their suppressions are not visible here);
+            // lint_tree performs the equivalent W1 accounting.
+            if matches!(
+                rule.as_str(),
+                "A1" | "H1" | "H2" | "H3" | "H4" | "S1" | "R1" | "D3"
+            ) {
                 continue;
             }
             if !used.contains(&(line, rule.clone())) {

@@ -110,7 +110,7 @@ fn audit_json_carries_exact_per_rule_h_counts() {
     let out = xtask(&["audit", "--json", "--root", root.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1), "H violations must fail audit");
     let json = String::from_utf8_lossy(&out.stdout);
-    assert!(json.contains("\"schema\": \"segugio-audit/3\""), "{json}");
+    assert!(json.contains("\"schema\": \"segugio-audit/4\""), "{json}");
     assert!(json.contains("\"clean\": false"), "{json}");
     for needle in [
         "\"H1\": {\"violations\": 2, \"baselined\": 0, \"suppressions_used\": 0, \"suppressions_stale\": 0}",

@@ -1,0 +1,295 @@
+//! Integration tests for the call-graph reachability rules: R1/H4/D3 fire
+//! on the committed fixture trees with exact (rule, file, line) positions
+//! and pinned witness chains, the audit report carries the v4 call-graph
+//! section and ceiling gate, `--diff` prints per-rule deltas, and the
+//! baseline rejects entries naming deleted files.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::lint_tree;
+use xtask::rules::Violation;
+
+/// Root of a committed fixture tree under `tests/fixtures/callgraph/`.
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/callgraph")
+        .join(name)
+}
+
+/// Lints a fixture tree with exactly the named rules enabled.
+fn lint_fixture(name: &str, rules: &[&str]) -> Vec<Violation> {
+    let enabled: BTreeSet<String> = rules.iter().map(|s| s.to_string()).collect();
+    lint_tree(&fixture_root(name), &enabled)
+        .unwrap_or_else(|e| panic!("lint {name}: {e}"))
+        .violations
+}
+
+fn xtask(args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("spawn xtask")
+}
+
+// --- R1: panic-reachability ------------------------------------------------
+
+#[test]
+fn r1_fixture_fires_with_exact_witness_chain() {
+    let out = lint_fixture("r1", &["R1"]);
+    assert_eq!(out.len(), 1, "{out:?}");
+    let v = &out[0];
+    assert_eq!(
+        (v.rule, v.file.as_str(), v.line),
+        ("R1", "crates/graph/src/lib.rs", 4)
+    );
+    // The witness path is pinned exactly: public root -> middle -> sink fn.
+    assert!(
+        v.message.contains("via api -> mid -> leaf"),
+        "witness chain: {}",
+        v.message
+    );
+    assert!(
+        v.message.contains("`.unwrap()` in `leaf`"),
+        "sink label: {}",
+        v.message
+    );
+    assert!(
+        v.message.contains("public API `graph::api`"),
+        "root label: {}",
+        v.message
+    );
+}
+
+#[test]
+fn r1_fixture_allow_and_test_code_are_exempt() {
+    // The fixture's `shielded` fn carries a reasoned allow on its expect,
+    // and the #[cfg(test)] unwrap never counts — only `leaf` fires.
+    let out = lint_fixture("r1", &["R1"]);
+    assert!(
+        out.iter().all(|v| !v.message.contains("shielded")),
+        "{out:?}"
+    );
+    // W1 sees the R1 allow as live (no stale-suppression firing).
+    let with_w1 = lint_fixture("r1", &["R1", "W1"]);
+    assert!(
+        with_w1.iter().all(|v| v.rule != "W1"),
+        "live allow must not fire W1: {with_w1:?}"
+    );
+}
+
+// --- H4: transitive hot-path allocation ------------------------------------
+
+#[test]
+fn h4_fixture_fires_on_laundered_loop_alloc_only() {
+    let out = lint_fixture("h4", &["H4"]);
+    assert_eq!(out.len(), 1, "{out:?}");
+    let v = &out[0];
+    assert_eq!(
+        (v.rule, v.file.as_str(), v.line),
+        ("H4", "crates/ml/src/flat.rs", 17)
+    );
+    assert!(
+        v.message.contains("via Forest::score -> launder"),
+        "witness chain: {}",
+        v.message
+    );
+    assert!(
+        v.message.contains("loop-amplified"),
+        "amplification is named: {}",
+        v.message
+    );
+    // `setup` allocates flat off the loop path: not a violation.
+    assert!(out.iter().all(|v| !v.message.contains("setup")), "{out:?}");
+}
+
+// --- D3: determinism taint --------------------------------------------------
+
+#[test]
+fn d3_fixture_fires_on_clock_behind_process_day() {
+    let out = lint_fixture("d3", &["D3"]);
+    assert_eq!(out.len(), 1, "{out:?}");
+    let v = &out[0];
+    assert_eq!(
+        (v.rule, v.file.as_str(), v.line),
+        ("D3", "crates/core/src/lib.rs", 7)
+    );
+    assert!(
+        v.message.contains("via Tracker::process_day -> jitter"),
+        "witness chain: {}",
+        v.message
+    );
+    assert!(
+        v.message.contains("`Instant::now`"),
+        "sink label: {}",
+        v.message
+    );
+    // The seeded helper is clean.
+    assert!(
+        out.iter().all(|v| !v.message.contains("in `seeded`")),
+        "{out:?}"
+    );
+}
+
+// --- end to end: exit codes, audit v4, --diff, missing baseline files -------
+
+#[test]
+fn reachability_rules_fail_lint_strict_and_audit_with_exit_1() {
+    for (tree, rule) in [("r1", "R1"), ("h4", "H4"), ("d3", "D3")] {
+        let root = fixture_root(tree);
+        let root = root.to_str().unwrap();
+        let out = xtask(&["lint", "--strict", "--rules", rule, "--root", root]);
+        assert_eq!(out.status.code(), Some(1), "{tree} lint --strict");
+        let out = xtask(&["audit", "--rules", rule, "--root", root]);
+        assert_eq!(out.status.code(), Some(1), "{tree} audit");
+    }
+}
+
+#[test]
+fn audit_v4_carries_callgraph_stats_for_fixture_tree() {
+    let root = fixture_root("r1");
+    let out = xtask(&[
+        "audit",
+        "--json",
+        "--rules",
+        "R1",
+        "--root",
+        root.to_str().unwrap(),
+    ]);
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"schema\": \"segugio-audit/4\""), "{json}");
+    assert!(json.contains("\"callgraph\": {"), "{json}");
+    assert!(json.contains("\"present\": true"), "{json}");
+    assert!(json.contains("\"unresolved_ratio\": "), "{json}");
+    // No ceiling file in the fixture tree: gate off, ceiling null.
+    assert!(json.contains("\"ceiling\": null"), "{json}");
+    assert!(
+        json.contains("\"R1\": {\"violations\": 1,"),
+        "per-rule count: {json}"
+    );
+}
+
+/// Scratch copy of a fixture tree (so end-to-end tests can mutate it).
+fn scratch_tree(from: &str, tag: &str) -> PathBuf {
+    let dst = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("cg-{tag}"));
+    let _ = fs::remove_dir_all(&dst);
+    let src = fixture_root(from);
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel) = stack.pop() {
+        let here = src.join(&rel);
+        fs::create_dir_all(dst.join(&rel)).unwrap();
+        for entry in fs::read_dir(&here).unwrap() {
+            let entry = entry.unwrap();
+            let rel = rel.join(entry.file_name());
+            if entry.file_type().unwrap().is_dir() {
+                stack.push(rel);
+            } else {
+                fs::copy(entry.path(), dst.join(&rel)).unwrap();
+            }
+        }
+    }
+    dst
+}
+
+#[test]
+fn audit_diff_prints_per_rule_deltas() {
+    let root = scratch_tree("r1", "diff");
+    let root_s = root.to_str().unwrap();
+    let old = root.join("old.json");
+    let out = xtask(&[
+        "audit",
+        "--rules",
+        "R1",
+        "--root",
+        root_s,
+        "--out",
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    // Fix the violation chain, then diff against the old report.
+    let lib = root.join("crates/graph/src/lib.rs");
+    let fixed = fs::read_to_string(&lib)
+        .unwrap()
+        .replace("    x.unwrap()", "    x.unwrap_or(0)");
+    fs::write(&lib, fixed).unwrap();
+    let out = xtask(&[
+        "audit",
+        "--rules",
+        "R1",
+        "--root",
+        root_s,
+        "--diff",
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "fixed tree is clean: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("audit diff"), "{stdout}");
+    assert!(
+        stdout.contains("R1") && stdout.contains("-1"),
+        "R1 delta of -1: {stdout}"
+    );
+    assert!(stdout.contains("unresolved-call ratio:"), "{stdout}");
+    // An unreadable old report is an I/O error.
+    let out = xtask(&["audit", "--root", root_s, "--diff", "no-such-report.json"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn baseline_entries_naming_deleted_files_fail_even_unstrict() {
+    let root = scratch_tree("d3", "missing-base");
+    // Baseline a file that does not exist in the tree.
+    fs::write(
+        root.join("lint-baseline.toml"),
+        "[C1]\n\"crates/core/src/deleted.rs\" = 2\n",
+    )
+    .unwrap();
+    let root_s = root.to_str().unwrap();
+    let out = xtask(&["lint", "--rules", "C1", "--root", root_s]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("baseline entries naming deleted files"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("crates/core/src/deleted.rs"), "{stdout}");
+    // The audit carries the dead entry in the v4 `missing` array.
+    let out = xtask(&["audit", "--json", "--rules", "C1", "--root", root_s]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains(
+            "\"missing\": [{\"rule\": \"C1\", \"file\": \"crates/core/src/deleted.rs\", \"baselined\": 2}]"
+        ),
+        "{json}"
+    );
+}
+
+#[test]
+fn ceiling_gate_fails_audit_when_ratio_exceeds_it() {
+    let root = scratch_tree("r1", "ceiling");
+    // The r1 fixture resolves everything, so a 0.0 ceiling passes; prove
+    // the gate by injecting an unresolvable workspace call (two types
+    // defining the same method, called through an untyped receiver).
+    fs::create_dir_all(root.join("crates/xtask")).unwrap();
+    fs::write(
+        root.join("crates/xtask/callgraph-ceiling.toml"),
+        "[callgraph]\nmax_unresolved_ratio = 0.0\n",
+    )
+    .unwrap();
+    let root_s = root.to_str().unwrap();
+    let lib = root.join("crates/graph/src/lib.rs");
+    let clean = fs::read_to_string(&lib)
+        .unwrap()
+        .replace("    x.unwrap()", "    x.unwrap_or(0)");
+    fs::write(&lib, &clean).unwrap();
+    let out = xtask(&["audit", "--rules", "R1", "--root", root_s]);
+    assert_eq!(out.status.code(), Some(0), "all calls resolve: {out:?}");
+    fs::write(
+        root.join("crates/graph/src/ambiguous.rs"),
+        "struct A;\nstruct B;\nimpl A { fn churn(&self) {} }\nimpl B { fn churn(&self) {} }\npub fn poke(q: &u32) { q.churn(); }\n",
+    )
+    .unwrap();
+    let out = xtask(&["audit", "--rules", "R1", "--root", root_s]);
+    assert_eq!(out.status.code(), Some(1), "ratio above ceiling: {out:?}");
+}

@@ -1,0 +1,19 @@
+//! D3 fixture: the tracked day path reaches a wall-clock source through a
+//! helper; the seeded helper is clean.
+
+pub struct Tracker;
+
+fn jitter() -> u64 {
+    let _t = Instant::now();
+    0
+}
+
+fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+impl Tracker {
+    pub fn process_day(&mut self) -> u64 {
+        seeded(7) + jitter()
+    }
+}

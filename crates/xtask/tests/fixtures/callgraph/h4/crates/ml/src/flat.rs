@@ -1,0 +1,24 @@
+//! H4 fixture: the hot region itself is H1-clean, but a helper called
+//! from its loop allocates on every iteration (helper-fn laundering).
+
+pub struct Forest;
+
+impl Forest {
+    pub fn score(&self, xs: &[u32]) -> u32 {
+        let mut acc = 0;
+        for &x in xs {
+            acc += launder(x);
+        }
+        acc + setup()
+    }
+}
+
+fn launder(x: u32) -> u32 {
+    let v = vec![x];
+    v[0]
+}
+
+fn setup() -> u32 {
+    let v: Vec<u32> = Vec::new();
+    v.len() as u32
+}

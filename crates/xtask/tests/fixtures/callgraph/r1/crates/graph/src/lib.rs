@@ -1,0 +1,26 @@
+//! R1 fixture: a public API reaching a panic sink through two hops.
+
+fn leaf(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn mid(x: Option<u32>) -> u32 {
+    leaf(x)
+}
+
+pub fn api(x: Option<u32>) -> u32 {
+    mid(x)
+}
+
+pub fn shielded(x: Option<u32>) -> u32 {
+    // segugio-lint: allow(R1, fixture: invariant documented, panic is the contract)
+    x.expect("fixture invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_panic_is_exempt() {
+        super::api(Some(1)).to_string().parse::<u32>().unwrap();
+    }
+}

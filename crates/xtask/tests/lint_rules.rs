@@ -325,7 +325,7 @@ fn audit_json_is_byte_identical_across_runs() {
     );
     assert_eq!(a.stdout, b.stdout, "audit --json must be deterministic");
     let text = String::from_utf8_lossy(&a.stdout);
-    assert!(text.contains("\"schema\": \"segugio-audit/3\""), "{text}");
+    assert!(text.contains("\"schema\": \"segugio-audit/4\""), "{text}");
     assert!(text.contains("\"clean\": true"), "{text}");
 }
 

@@ -113,7 +113,7 @@ fn audit_json_carries_exact_s1_counts() {
     let out = xtask(&["audit", "--json", "--root", root.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1), "S1 violations must fail audit");
     let json = String::from_utf8_lossy(&out.stdout);
-    assert!(json.contains("\"schema\": \"segugio-audit/3\""), "{json}");
+    assert!(json.contains("\"schema\": \"segugio-audit/4\""), "{json}");
     assert!(json.contains("\"clean\": false"), "{json}");
     assert!(
         json.contains(

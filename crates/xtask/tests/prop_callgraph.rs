@@ -1,0 +1,176 @@
+//! Property tests for call-edge extraction on hostile Rust: UFCS calls,
+//! turbofish, nested closures, `impl Trait` returns, and macro-generated
+//! functions must never panic the graph builder, and a call to a name with
+//! no workspace definition must never conjure a phantom edge.
+
+use proptest::prelude::*;
+use xtask::callgraph::{build, CallGraph, SourceFile};
+use xtask::rules::classify;
+use xtask::scan::scan;
+
+fn source(path: &str, src: &str) -> SourceFile {
+    SourceFile {
+        class: classify(path),
+        scanned: scan(src),
+    }
+}
+
+fn graph_of(files: &[(&str, String)]) -> CallGraph {
+    let files: Vec<SourceFile> = files.iter().map(|(p, s)| source(p, s)).collect();
+    build(&files)
+}
+
+/// Structural invariants every graph must satisfy, whatever the input:
+/// callee indices in range, adjacency sorted and deduplicated, and the
+/// resolution accounting sums to the total.
+fn assert_invariants(g: &CallGraph, src: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(g.calls.len(), g.defs.len(), "adjacency rows:\n{}", src);
+    for edges in &g.calls {
+        for pair in edges.windows(2) {
+            prop_assert!(
+                pair[0].callee < pair[1].callee,
+                "edges unsorted or duplicated in:\n{}",
+                src
+            );
+        }
+        for e in edges {
+            prop_assert!(e.callee < g.defs.len(), "callee out of range in:\n{}", src);
+            prop_assert!(e.line >= 1, "edge line must be 1-based in:\n{}", src);
+        }
+    }
+    prop_assert_eq!(
+        g.stats.calls_resolved + g.stats.calls_external + g.stats.calls_unresolved,
+        g.stats.calls_total,
+        "resolution accounting in:\n{}",
+        src
+    );
+    prop_assert_eq!(g.stats.nodes, g.defs.len(), "node count in:\n{}", src);
+    Ok(())
+}
+
+/// Hostile call shapes. `{w}` is replaced by a generated word that names
+/// NO definition anywhere in the source, so none of these may produce an
+/// edge — only external/unresolved accounting.
+const UNDEFINED_CALL_SNIPPETS: &[&str] = &[
+    "        {w}(1);\n",
+    "        ext::{w}(1);\n",
+    "        {w}::<u32>(1);\n",
+    "        <Vec<u32> as Default>::default();\n",
+    "        xs.iter().map(|x| {w}(*x)).count();\n",
+    "        let f = || || {w}(2); f()();\n",
+    "        segugio_missing::{w}();\n",
+    "        x.{w}_method();\n",
+];
+
+/// Well-formed-but-gnarly definition shapes the def collector must survive:
+/// impl Trait returns, generic fns, macro definitions, trait impls.
+const HOSTILE_DEF_SNIPPETS: &[&str] = &[
+    "fn ret_iter(xs: &[u32]) -> impl Iterator<Item = u32> + '_ { xs.iter().copied() }\n",
+    "fn generic<T: Clone, const N: usize>(t: [T; N]) -> T { t[0].clone() }\n",
+    "macro_rules! gen { ($name:ident) => { fn $name() -> u32 { 0 } }; }\ngen!(made_by_macro);\n",
+    "trait Scored { fn score(&self) -> u32; }\n",
+    "struct Row;\nimpl Scored for Row { fn score(&self) -> u32 { 1 } }\n",
+    "fn takes_fn(f: impl Fn(u32) -> u32) -> u32 { f(3) }\n",
+];
+
+fn undefined_call_body(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| UNDEFINED_CALL_SNIPPETS[i % UNDEFINED_CALL_SNIPPETS.len()])
+        .collect()
+}
+
+proptest! {
+    /// Calls to names with no workspace definition must never produce an
+    /// edge, whatever shape the call takes — UFCS, turbofish, nested
+    /// closures, cross-crate paths, or unknown methods.
+    #[test]
+    fn undefined_callees_never_produce_edges(
+        picks in proptest::collection::vec(0usize..UNDEFINED_CALL_SNIPPETS.len(), 0..10),
+        word in "[a-z][a-z_]{2,10}",
+    ) {
+        let body = undefined_call_body(&picks).replace("{w}", &word);
+        let src = format!("pub fn caller(x: u32, xs: &[u32]) {{\n{body}}}\n");
+        let g = graph_of(&[("crates/core/src/hostile.rs", src.clone())]);
+        assert_invariants(&g, &src)?;
+        prop_assert_eq!(g.stats.calls_resolved, 0, "phantom resolution in:\n{}", src);
+        prop_assert!(
+            g.calls.iter().all(|e| e.is_empty()),
+            "phantom edge in:\n{}",
+            src
+        );
+    }
+
+    /// The def collector survives gnarly definition shapes (impl Trait
+    /// returns, const generics, macro-generated fns, trait impls) in any
+    /// order, and a straight-line call to a real fn still resolves.
+    #[test]
+    fn hostile_defs_never_panic_and_real_calls_still_resolve(
+        order in proptest::collection::vec(0usize..HOSTILE_DEF_SNIPPETS.len(), 0..8),
+    ) {
+        let defs: String = order
+            .iter()
+            .map(|&i| HOSTILE_DEF_SNIPPETS[i % HOSTILE_DEF_SNIPPETS.len()])
+            .collect();
+        let src = format!(
+            "{defs}fn anchor_target() -> u32 {{ 9 }}\npub fn anchor_caller() -> u32 {{ anchor_target() }}\n"
+        );
+        let g = graph_of(&[("crates/core/src/hostile.rs", src.clone())]);
+        assert_invariants(&g, &src)?;
+        let caller = g
+            .defs
+            .iter()
+            .position(|d| d.name == "anchor_caller")
+            .expect("anchor_caller indexed");
+        let target = g
+            .defs
+            .iter()
+            .position(|d| d.name == "anchor_target")
+            .expect("anchor_target indexed");
+        prop_assert!(
+            g.calls[caller].iter().any(|e| e.callee == target),
+            "anchor edge lost among hostile defs in:\n{}",
+            src
+        );
+    }
+
+    /// Arbitrary text — not even valid Rust — must never panic the
+    /// builder, and whatever graph comes out must satisfy the structural
+    /// invariants.
+    #[test]
+    fn arbitrary_text_never_panics_the_builder(src in "[ -~\n\t]{0,400}") {
+        let g = graph_of(&[("crates/core/src/junk.rs", src.clone())]);
+        assert_invariants(&g, &src)?;
+    }
+
+    /// Every edge must be backed by a call token: the callee's name
+    /// appears somewhere in the caller's file. Catches edges conjured
+    /// from thin air on multi-file workspaces.
+    #[test]
+    fn every_edge_is_backed_by_a_name_token(
+        picks in proptest::collection::vec(0usize..UNDEFINED_CALL_SNIPPETS.len(), 0..6),
+        word in "[a-z][a-z_]{2,10}",
+    ) {
+        let body = undefined_call_body(&picks).replace("{w}", &word);
+        let a = format!("pub fn caller(x: u32, xs: &[u32]) {{\n{body}        helper(x);\n}}\n");
+        let b = "pub fn helper(x: u32) -> u32 { x }\n".to_owned();
+        let files = [
+            ("crates/core/src/a.rs", a),
+            ("crates/graph/src/b.rs", b),
+        ];
+        let g = graph_of(&files);
+        assert_invariants(&g, &files[0].1)?;
+        for (i, edges) in g.calls.iter().enumerate() {
+            let caller_file = g.defs[i].file_idx;
+            for e in edges {
+                let callee = &g.defs[e.callee].name;
+                prop_assert!(
+                    files[caller_file].1.contains(callee.as_str()),
+                    "edge to `{}` with no such token in caller file:\n{}",
+                    callee,
+                    files[caller_file].1
+                );
+            }
+        }
+    }
+}
